@@ -1,0 +1,107 @@
+"""Shared utilities for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see the
+per-experiment index in DESIGN.md and the registry in
+:mod:`repro.analysis.experiments`).  Because the full-scale figures sweep up
+to ~180 users for six protocols, the benchmarks default to a *scaled-down*
+version — fewer sweep points and shorter simulated time — sized so the whole
+suite finishes in a few minutes while still exhibiting the qualitative shapes
+the paper reports.
+
+Set the environment variable ``REPRO_BENCH_SCALE`` to a value larger than 1
+to lengthen the simulated time per point (e.g. ``REPRO_BENCH_SCALE=10`` for
+paper-scale statistics), and ``REPRO_BENCH_FULL=1`` to use the experiments'
+full sweep grids.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import get_experiment
+from repro.analysis.tables import format_comparison_table
+from repro.config import SimulationParameters
+from repro.sim.results import SweepResult
+
+#: Multiplier applied to the simulated duration of every benchmark point.
+BENCH_SCALE: float = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: When set, benchmarks use each experiment's full sweep grid.
+BENCH_FULL: bool = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+#: Simulated seconds per sweep point at scale 1.
+BASE_DURATION_S: float = 1.25
+BASE_WARMUP_S: float = 0.6
+
+#: Reduced sweep grids used at scale 1 (full grids live in the registry).
+#: The top value sits inside the overload region where the protocols
+#: separate most clearly (cf. the paper's Figs. 11-13 x-ranges).
+REDUCED_VALUES: Dict[str, Sequence[int]] = {
+    "voice_sweep": (30, 90, 150),
+    "data_sweep": (20, 70, 120),
+    "speed_sweep": (10, 50, 80),
+}
+
+PARAMS = SimulationParameters()
+
+
+def bench_duration_s() -> float:
+    """Simulated measured time per point for the current scale."""
+    return BASE_DURATION_S * BENCH_SCALE
+
+
+def sweep_values_for(key: str) -> List[int]:
+    """Sweep grid used by the benchmark for experiment ``key``."""
+    experiment = get_experiment(key)
+    if BENCH_FULL:
+        return list(experiment.sweep_values)
+    return list(REDUCED_VALUES.get(experiment.kind, experiment.sweep_values))
+
+
+def run_figure(
+    key: str,
+    cache: Dict[str, Dict[str, SweepResult]],
+    seed: int = 0,
+) -> Dict[str, SweepResult]:
+    """Run (or fetch from the session cache) the sweeps behind one figure.
+
+    Figures 12 and 13 share the exact same simulations (throughput and delay
+    are two views of the same runs), so results are cached under a key that
+    identifies the workload rather than the figure.
+    """
+    experiment = get_experiment(key)
+    workload_key = (
+        f"{experiment.kind}|{sorted(experiment.fixed.items())}|"
+        f"{sweep_values_for(key)}|{seed}"
+    )
+    if workload_key not in cache:
+        cache[workload_key] = experiment.run(
+            PARAMS,
+            values=sweep_values_for(key),
+            duration_s=bench_duration_s(),
+            seed=seed,
+        )
+    return cache[workload_key]
+
+
+def print_figure(key: str, sweeps: Dict[str, SweepResult]) -> None:
+    """Print the figure's series in the paper's row/column layout."""
+    experiment = get_experiment(key)
+    print()
+    print(f"==== {experiment.paper_artifact}: {experiment.description} ====")
+    for metric in experiment.metrics:
+        print(format_comparison_table(sweeps, metric, title=f"[{metric}]"))
+        print()
+
+
+def loss_at_highest_load(sweeps: Dict[str, SweepResult], protocol: str) -> float:
+    """Voice loss of one protocol at the largest swept population."""
+    return sweeps[protocol].series("voice_loss_rate")[-1]
+
+
+def series_at_highest_load(
+    sweeps: Dict[str, SweepResult], protocol: str, metric: str
+) -> float:
+    """Any summary metric of one protocol at the largest swept population."""
+    return sweeps[protocol].series(metric)[-1]

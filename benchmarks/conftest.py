@@ -1,0 +1,22 @@
+"""Fixtures shared by the benchmark harness."""
+
+import pytest
+
+from repro.config import SimulationParameters
+
+
+@pytest.fixture(scope="session")
+def params() -> SimulationParameters:
+    """The paper's Table 1 parameters, shared by every benchmark."""
+    return SimulationParameters()
+
+
+@pytest.fixture(scope="session")
+def sweep_cache() -> dict:
+    """Session-wide cache of sweep results.
+
+    Figures 12 and 13 (and the two metrics of each Figure 11 panel) are
+    different views of the same simulations; caching avoids paying for the
+    runs twice.
+    """
+    return {}

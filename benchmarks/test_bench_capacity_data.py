@@ -1,0 +1,51 @@
+"""Benchmark / regeneration of the Section 5.2 data QoS-capacity comparison.
+
+The paper evaluates data service quality through the (delay, per-user
+throughput) pair and reports that, at the (1 s, 0.25 packets/frame) operating
+point, CHARISMA's capacity is roughly 1.5x that of D-TDMA/VR and about 3x
+that of RAMA and DRMA.  This benchmark runs the corresponding QoS-capacity
+search for each protocol (scaled down by default) and prints the capacities
+and the CHARISMA-relative ratios.
+"""
+
+from benchmarks.bench_utils import BENCH_SCALE, PARAMS
+from repro.analysis.capacity import data_qos_capacity
+
+PROTOCOLS = ["charisma", "dtdma_vr", "dtdma_fr", "drma", "rama", "rmav"]
+
+SEARCH = dict(
+    n_voice=10,
+    lower=10,
+    upper=190,
+    step=30,
+    duration_s=1.25 * BENCH_SCALE,
+    warmup_s=0.6 * BENCH_SCALE,
+    seed=5,
+)
+
+
+def run_capacity_study():
+    return {
+        protocol: data_qos_capacity(protocol, PARAMS, **SEARCH).capacity
+        for protocol in PROTOCOLS
+    }
+
+
+def test_bench_capacity_data(benchmark):
+    capacities = benchmark.pedantic(run_capacity_study, rounds=1, iterations=1)
+
+    print()
+    print("==== Section 5.2: data users supported at the (1 s, 0.25 pkt/frame) "
+          "QoS point ====")
+    reference = max(capacities["charisma"], 1)
+    print(f"{'protocol':<10} {'capacity':>9} {'vs CHARISMA':>12}")
+    for protocol in PROTOCOLS:
+        ratio = capacities[protocol] / reference
+        print(f"{protocol:<10} {capacities[protocol]:>9} {ratio:>11.2f}x")
+
+    # Shape checks: CHARISMA leads, the adaptive-PHY baseline is second, the
+    # fixed-rate and single-slot designs trail far behind.
+    assert capacities["charisma"] >= max(capacities.values()) - SEARCH["step"] // 4
+    assert capacities["charisma"] >= capacities["rama"]
+    assert capacities["charisma"] >= capacities["drma"]
+    assert capacities["rmav"] <= capacities["charisma"]

@@ -1,0 +1,61 @@
+"""Benchmark / regeneration of the Section 5.1 voice-capacity narrative.
+
+The paper reads its Fig. 11 curves off at the 1 % packet-loss threshold and
+reports, e.g., that without a request queue CHARISMA accommodates the most
+voice users, and that adding the queue increases CHARISMA's and D-TDMA/VR's
+capacity substantially while helping DRMA and RAMA only marginally (their
+inherent stabilising mechanisms already play the queue's role).
+
+This benchmark runs the capacity search of :mod:`repro.analysis.capacity`
+for every protocol (scaled down by default) and prints the resulting
+capacity table.
+"""
+
+from benchmarks.bench_utils import BENCH_SCALE, PARAMS
+from repro.analysis.capacity import voice_capacity
+
+NO_QUEUE_PROTOCOLS = ["charisma", "dtdma_vr", "dtdma_fr", "drma", "rama", "rmav"]
+QUEUE_PROTOCOLS = ["charisma", "dtdma_vr", "drma", "rama"]
+
+SEARCH = dict(
+    lower=20,
+    upper=200,
+    step=40,
+    duration_s=1.25 * BENCH_SCALE,
+    warmup_s=0.6 * BENCH_SCALE,
+    seed=3,
+)
+
+
+def run_capacity_study():
+    capacities = {}
+    for protocol in NO_QUEUE_PROTOCOLS:
+        capacities[(protocol, False)] = voice_capacity(
+            protocol, PARAMS, use_request_queue=False, **SEARCH
+        ).capacity
+    for protocol in QUEUE_PROTOCOLS:
+        capacities[(protocol, True)] = voice_capacity(
+            protocol, PARAMS, use_request_queue=True, **SEARCH
+        ).capacity
+    return capacities
+
+
+def test_bench_capacity_voice(benchmark):
+    capacities = benchmark.pedantic(run_capacity_study, rounds=1, iterations=1)
+
+    print()
+    print("==== Section 5.1: voice users supported at the 1% loss threshold ====")
+    print(f"{'protocol':<10} {'no queue':>9} {'with queue':>11}")
+    for protocol in NO_QUEUE_PROTOCOLS:
+        no_queue = capacities[(protocol, False)]
+        with_queue = capacities.get((protocol, True), "-")
+        print(f"{protocol:<10} {no_queue:>9} {str(with_queue):>11}")
+
+    no_queue = {p: capacities[(p, False)] for p in NO_QUEUE_PROTOCOLS}
+    # CHARISMA supports at least as many voice users as every baseline.
+    assert no_queue["charisma"] >= max(no_queue.values()) - SEARCH["step"] // 4
+    # RMAV is the most fragile protocol.
+    assert no_queue["rmav"] <= no_queue["charisma"]
+    # The request queue never hurts CHARISMA or D-TDMA/VR.
+    assert capacities[("charisma", True)] >= no_queue["charisma"] - SEARCH["step"] // 4
+    assert capacities[("dtdma_vr", True)] >= no_queue["dtdma_vr"] - SEARCH["step"] // 4

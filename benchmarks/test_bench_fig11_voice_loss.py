@@ -1,0 +1,49 @@
+"""Benchmark / regeneration of Figure 11: voice packet loss rate vs traffic load.
+
+The paper's Fig. 11 has six panels — {without, with} request queue crossed
+with Nd ∈ {0, 10, 20} background data users — each plotting the voice packet
+loss rate of the six protocols against the number of voice users.  Each
+benchmark below regenerates one panel (at reduced scale by default; see
+``benchmarks/bench_utils.py`` for the scaling knobs), prints the series, and
+asserts the qualitative shape the paper reports:
+
+* CHARISMA has the lowest loss of all protocols at the highest load, and
+  essentially zero loss at light load;
+* D-TDMA/VR (adaptive PHY, blind scheduling) never does worse than
+  D-TDMA/FR (fixed PHY) by more than statistical noise;
+* RMAV is the most loss-prone protocol at the highest load (its single
+  competitive slot destabilises first).
+"""
+
+import pytest
+
+from benchmarks.bench_utils import (
+    loss_at_highest_load,
+    print_figure,
+    run_figure,
+)
+
+PANELS = ["fig11a", "fig11b", "fig11c", "fig11d", "fig11e", "fig11f"]
+
+
+@pytest.mark.parametrize("panel", PANELS)
+def test_bench_fig11_voice_loss(benchmark, sweep_cache, panel):
+    sweeps = benchmark.pedantic(
+        run_figure, args=(panel, sweep_cache), rounds=1, iterations=1
+    )
+    print_figure(panel, sweeps)
+
+    charisma = loss_at_highest_load(sweeps, "charisma")
+    fixed_rate = loss_at_highest_load(sweeps, "dtdma_fr")
+    adaptive_rate = loss_at_highest_load(sweeps, "dtdma_vr")
+    rmav = loss_at_highest_load(sweeps, "rmav")
+    everyone = {p: loss_at_highest_load(sweeps, p) for p in sweeps}
+
+    # CHARISMA wins (ties allowed within a small tolerance for short runs).
+    assert charisma <= min(everyone.values()) + 0.01
+    # The adaptive PHY never hurts relative to the identical fixed-rate MAC.
+    assert adaptive_rate <= fixed_rate + 0.02
+    # RMAV's single competitive slot makes it the most fragile design.
+    assert rmav >= max(charisma, adaptive_rate) - 1e-9
+    # Light-load CHARISMA loss is negligible (the paper's "almost no loss").
+    assert sweeps["charisma"].series("voice_loss_rate")[0] < 0.005

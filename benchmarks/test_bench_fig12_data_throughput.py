@@ -1,0 +1,48 @@
+"""Benchmark / regeneration of Figure 12: data throughput vs traffic load.
+
+Six panels — {without, with} request queue crossed with Nv ∈ {0, 10, 20}
+background voice users — each plotting the delivered data packets per frame
+against the number of data users.  The qualitative shape asserted here
+follows the paper's Section 5.2: CHARISMA delivers the highest throughput at
+high load (its CSI-ranked allocation packs every frame with good-channel
+users), D-TDMA/VR is the closest competitor, the fixed-rate baselines
+saturate well below them, and RMAV collapses.
+"""
+
+import pytest
+
+from benchmarks.bench_utils import (
+    print_figure,
+    run_figure,
+    series_at_highest_load,
+)
+
+PANELS = ["fig12a", "fig12b", "fig12c", "fig12d", "fig12e", "fig12f"]
+METRIC = "data_throughput_per_frame"
+
+
+@pytest.mark.parametrize("panel", PANELS)
+def test_bench_fig12_data_throughput(benchmark, sweep_cache, panel):
+    sweeps = benchmark.pedantic(
+        run_figure, args=(panel, sweep_cache), rounds=1, iterations=1
+    )
+    print_figure(panel, sweeps)
+
+    charisma = series_at_highest_load(sweeps, "charisma", METRIC)
+    adaptive_rate = series_at_highest_load(sweeps, "dtdma_vr", METRIC)
+    fixed_rate = series_at_highest_load(sweeps, "dtdma_fr", METRIC)
+    rmav = series_at_highest_load(sweeps, "rmav", METRIC)
+    best = max(series_at_highest_load(sweeps, p, METRIC) for p in sweeps)
+
+    # CHARISMA is (within noise) the best data protocol at high load...
+    assert charisma >= 0.9 * best
+    # ...and clearly beats the fixed-rate, channel-blind baseline.
+    assert charisma > fixed_rate
+    # The adaptive PHY alone already beats the fixed-rate PHY.
+    assert adaptive_rate >= fixed_rate * 0.9
+    # RMAV's single request opportunity per frame starves its data service.
+    assert rmav <= 0.6 * charisma
+    # Throughput grows (or at least does not collapse) with offered load for
+    # CHARISMA across the swept range.
+    series = sweeps["charisma"].series(METRIC)
+    assert series[-1] >= series[0]

@@ -1,0 +1,45 @@
+"""Benchmark / regeneration of Figure 13: data access delay vs traffic load.
+
+Six panels mirroring Figure 12 (the same simulations viewed through the delay
+metric; the session-wide cache in ``bench_utils.run_figure`` means the runs
+are not repeated).  The paper's qualitative findings asserted here: CHARISMA
+has the lowest delay, the fixed-rate FCFS baselines queue up dramatically as
+the load grows, and the delay ranking is consistent with the throughput
+ranking of Figure 12.
+"""
+
+import pytest
+
+from benchmarks.bench_utils import (
+    print_figure,
+    run_figure,
+    series_at_highest_load,
+)
+
+PANELS = ["fig13a", "fig13b", "fig13c", "fig13d", "fig13e", "fig13f"]
+METRIC = "data_delay_s"
+
+
+@pytest.mark.parametrize("panel", PANELS)
+def test_bench_fig13_data_delay(benchmark, sweep_cache, panel):
+    sweeps = benchmark.pedantic(
+        run_figure, args=(panel, sweep_cache), rounds=1, iterations=1
+    )
+    print_figure(panel, sweeps)
+
+    charisma = series_at_highest_load(sweeps, "charisma", METRIC)
+    adaptive_rate = series_at_highest_load(sweeps, "dtdma_vr", METRIC)
+    fixed_rate = series_at_highest_load(sweeps, "dtdma_fr", METRIC)
+    drma = series_at_highest_load(sweeps, "drma", METRIC)
+
+    # CHARISMA's delay at high load is the lowest (small tolerance for noise).
+    others = [series_at_highest_load(sweeps, p, METRIC) for p in sweeps if p != "charisma"]
+    assert charisma <= min(others) * 1.2 + 0.01
+    # The channel-adaptive PHY helps even without CSI scheduling.
+    assert adaptive_rate <= fixed_rate * 1.2 + 0.01
+    # The fixed-rate FCFS baselines accumulate queueing delay at high load.
+    assert fixed_rate > charisma
+    assert drma > charisma
+    # CHARISMA's delay stays within the paper's QoS operating point (1 s) over
+    # the swept range.
+    assert max(sweeps["charisma"].series(METRIC)) < 1.0

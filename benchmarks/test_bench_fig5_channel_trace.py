@@ -1,0 +1,67 @@
+"""Benchmark / regeneration of Figure 5: a sample of the combined channel fading.
+
+Generates a two-second composite fading trace (fast Rayleigh fading on
+log-normal shadowing) at the paper's 50 km/h operating point, prints its
+summary statistics, and checks the two time scales the paper highlights: a
+coherence time of roughly 10 ms for the fast component and a fluctuation
+time scale of the order of a second for the shadowing.
+"""
+
+import numpy as np
+
+from benchmarks.bench_utils import PARAMS
+from repro.channel import CompositeChannel, DopplerModel, JakesFading
+
+TRACE_SECONDS = 2.0
+SAMPLE_INTERVAL_S = 0.001
+
+
+def generate_trace():
+    channel = CompositeChannel(
+        DopplerModel(speed_kmh=PARAMS.mobile_speed_kmh),
+        sample_interval_s=SAMPLE_INTERVAL_S,
+        rng=np.random.default_rng(5),
+        shadow_std_db=PARAMS.shadow_std_db,
+        shadow_decorrelation_s=PARAMS.shadow_decorrelation_s,
+        mean_snr_db=PARAMS.mean_snr_db,
+    )
+    n = int(TRACE_SECONDS / SAMPLE_INTERVAL_S)
+    composite = channel.trace(n)
+    jakes = JakesFading(
+        DopplerModel(speed_kmh=PARAMS.mobile_speed_kmh).doppler_hz,
+        n_oscillators=32,
+        rng=np.random.default_rng(6),
+    ).trace(TRACE_SECONDS, SAMPLE_INTERVAL_S)
+    return composite, jakes
+
+
+def test_bench_fig5_channel_trace(benchmark):
+    composite, jakes = benchmark.pedantic(generate_trace, rounds=1, iterations=1)
+    composite_db = 20.0 * np.log10(composite)
+
+    doppler = DopplerModel(speed_kmh=PARAMS.mobile_speed_kmh)
+    print()
+    print("==== Figure 5: sample of combined channel fading ====")
+    print(f"mobile speed          : {doppler.speed_kmh:.0f} km/h")
+    print(f"Doppler spread        : {doppler.doppler_hz:.1f} Hz")
+    print(f"coherence time        : {doppler.coherence_time_s * 1e3:.1f} ms")
+    print(f"trace length          : {TRACE_SECONDS:.1f} s at {SAMPLE_INTERVAL_S*1e3:.0f} ms samples")
+    print(f"median level          : {np.median(composite_db):6.1f} dB")
+    print(f"deepest fade          : {composite_db.min():6.1f} dB")
+    print(f"90th percentile level : {np.percentile(composite_db, 90):6.1f} dB")
+    deciles = " ".join(f"{v:5.1f}" for v in np.percentile(composite_db, range(10, 100, 10)))
+    print(f"decile levels (dB)    : {deciles}")
+
+    # Paper-shape checks: ~100 Hz Doppler -> ~10 ms coherence, Rayleigh-like
+    # deep fades well below the median, unit-ish mean power of the fast part.
+    assert 90.0 < doppler.doppler_hz < 110.0
+    assert 8e-3 < doppler.coherence_time_s < 12e-3
+    assert composite_db.min() < np.median(composite_db) - 10.0
+    assert 0.7 < float(np.mean(jakes**2)) < 1.3
+
+    # Fast fading decorrelates over ~tens of ms; shadowing persists: the
+    # lag-1ms autocorrelation must far exceed the lag-100ms one.
+    def autocorr(x, lag):
+        return float(np.corrcoef(x[:-lag], x[lag:])[0, 1])
+
+    assert autocorr(composite, 1) > autocorr(composite, 100)

@@ -1,0 +1,57 @@
+"""Benchmark / regeneration of Figure 7: BER and throughput of the adaptive PHY.
+
+Figure 7(a) shows the instantaneous BER staying at the target level across
+the adaptation range and blowing up below it (outage); Figure 7(b) shows the
+normalised throughput climbing the 6-mode staircase from 1/2 to 5 as the CSI
+improves.  This benchmark sweeps the CSI, prints both curves, and asserts the
+constant-BER property and the staircase shape.
+"""
+
+import numpy as np
+
+from benchmarks.bench_utils import PARAMS
+from repro.phy import AdaptiveModem, ModeTable
+
+
+def build_modem_and_sweep():
+    table = ModeTable(
+        throughputs=PARAMS.mode_throughputs,
+        target_ber=PARAMS.target_ber,
+        reference_throughput=PARAMS.reference_throughput,
+    )
+    modem = AdaptiveModem(table, mean_snr_db=PARAMS.mean_snr_db,
+                          packet_size_bits=PARAMS.packet_size_bits)
+    snr_db = np.linspace(-2.0, 35.0, 150)
+    amplitudes = 10.0 ** ((snr_db - PARAMS.mean_snr_db) / 20.0)
+    throughput = modem.throughput(amplitudes)
+    ber = np.array([modem.instantaneous_ber(float(a)) for a in amplitudes])
+    return modem, snr_db, throughput, ber
+
+
+def test_bench_fig7_phy(benchmark):
+    modem, snr_db, throughput, ber = benchmark.pedantic(
+        build_modem_and_sweep, rounds=1, iterations=1
+    )
+    table = modem.mode_table
+
+    print()
+    print("==== Figure 7(a)/(b): BER and normalised throughput vs CSI ====")
+    print(f"target BER: {table.target_ber:.0e}; outage below "
+          f"{table.outage_threshold_db:.1f} dB instantaneous SNR")
+    print(f"{'SNR (dB)':>9} {'throughput':>11} {'BER':>10}")
+    for snr in (0.0, 4.0, 6.0, 9.5, 14.5, 18.0, 21.5, 24.5, 30.0):
+        idx = int(np.argmin(np.abs(snr_db - snr)))
+        print(f"{snr_db[idx]:9.1f} {throughput[idx]:11.1f} {ber[idx]:10.2e}")
+
+    in_range = snr_db >= table.outage_threshold_db
+    # Fig. 7a: constant-BER operation inside the adaptation range, violation
+    # below it.
+    assert np.all(ber[in_range] <= table.target_ber * 1.0001)
+    assert ber[0] > table.target_ber
+    # Fig. 7b: monotone staircase from 0 (outage) to the top mode.
+    assert np.all(np.diff(throughput) >= 0)
+    assert throughput[0] == 0.0
+    assert throughput[-1] == table.max_throughput == 5.0
+    assert set(np.unique(throughput)) <= {0.0, *PARAMS.mode_throughputs}
+    # Exactly six distinct non-outage plateaus.
+    assert len(set(np.unique(throughput)) - {0.0}) == 6

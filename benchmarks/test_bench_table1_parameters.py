@@ -1,0 +1,48 @@
+"""Benchmark / regeneration of Table 1: the common simulation parameters.
+
+Prints every parameter of the shared platform together with the frame
+structures each protocol derives from it, and times how long constructing the
+whole protocol stack takes (a proxy for "simulation setup cost").
+"""
+
+import numpy as np
+
+from benchmarks.bench_utils import PARAMS
+from repro.analysis.tables import format_kv_table
+from repro.mac.registry import available_protocols, create_protocol
+
+
+def build_all_protocols():
+    rng = np.random.default_rng(0)
+    return [
+        create_protocol(name, PARAMS, rng, use_request_queue=True)
+        for name in available_protocols()
+    ]
+
+
+def test_bench_table1_parameters(benchmark):
+    protocols = benchmark.pedantic(build_all_protocols, rounds=3, iterations=1)
+
+    print()
+    print(format_kv_table(PARAMS.describe(), title="Table 1 — simulation parameters"))
+    print()
+    print("Derived frame structures (slots per 2.5 ms frame):")
+    for protocol in protocols:
+        row = protocol.frame_structure.describe()
+        print(f"  {row['protocol']:<10} request={row['request_minislots']:<3} "
+              f"info={row['info_slots']:<3} pilot={row['pilot_minislots']:<3} "
+              f"dynamic={row['dynamic']}")
+
+    # The headline Table 1 values quoted in the paper's prose.
+    table = PARAMS.describe()
+    assert table["bandwidth_hz"] == 320_000.0
+    assert table["frame_duration_ms"] == 2.5
+    assert table["voice_bit_rate_kbps"] == 8.0
+    assert table["voice_packet_period_ms"] == 20.0
+    assert table["voice_deadline_ms"] == 20.0
+    assert table["mean_talkspurt_s"] == 1.0
+    assert table["mean_silence_s"] == 1.35
+    assert table["mean_data_interarrival_s"] == 1.0
+    assert table["mean_data_burst_packets"] == 100.0
+    assert len(table["adaptive_modes"]) == 6
+    assert len(protocols) == 6

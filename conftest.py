@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. running the test-suite straight from a source checkout on an
+offline machine), and registers the shared benchmark/test options.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

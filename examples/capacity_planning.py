@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many users can each protocol admit at the QoS target?
+
+This example reproduces the narrative capacity numbers of Sections 5.1/5.2 at
+a reduced scale: for each protocol it searches for
+
+* the largest number of *voice* users whose packet loss stays within 1 %, and
+* the largest number of *data* users meeting the (1 s delay, 0.25 packets
+  per frame per user) QoS operating point,
+
+with and without the base-station request queue.  A cell operator would use
+exactly this loop to dimension admission control.
+
+Run with::
+
+    python examples/capacity_planning.py [--quick]
+"""
+
+import sys
+
+from repro import SimulationParameters
+from repro.analysis.capacity import data_qos_capacity, voice_capacity
+
+PROTOCOLS = ["charisma", "dtdma_vr", "dtdma_fr", "drma", "rama", "rmav"]
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    params = SimulationParameters()
+    duration = 2.0 if quick else 5.0
+    upper = 120 if quick else 200
+
+    print("Voice capacity at the 1% packet-loss threshold")
+    print("protocol    no-queue   with-queue")
+    print("---------   --------   ----------")
+    for protocol in PROTOCOLS:
+        row = []
+        for use_queue in (False, True):
+            estimate = voice_capacity(
+                protocol, params,
+                use_request_queue=use_queue,
+                lower=20, upper=upper, step=40,
+                duration_s=duration, warmup_s=1.5, seed=11,
+            )
+            row.append(estimate.capacity)
+        print(f"{protocol:9s}   {row[0]:8d}   {row[1]:10d}")
+
+    print()
+    print("Data capacity at the (1 s, 0.25 pkt/frame/user) QoS point (no queue)")
+    print("protocol    capacity")
+    print("---------   --------")
+    for protocol in PROTOCOLS:
+        estimate = data_qos_capacity(
+            protocol, params,
+            n_voice=10,
+            lower=10, upper=upper, step=40,
+            duration_s=duration, warmup_s=1.5, seed=11,
+        )
+        print(f"{protocol:9s}   {estimate.capacity:8d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Protocol shoot-out: all six protocols on the same integrated voice/data cell.
+
+Reproduces, at laptop scale, the qualitative comparison behind the paper's
+Figs. 11-13: the same traffic mix and channel realisation is offered to
+CHARISMA and to the five baselines (D-TDMA/VR, D-TDMA/FR, DRMA, RAMA, RMAV),
+with and without the base-station request queue, and the three headline
+metrics are tabulated side by side.
+
+Run with::
+
+    python examples/protocol_shootout.py [n_voice] [n_data]
+"""
+
+import sys
+
+from repro import SimulationParameters, available_protocols
+from repro.analysis.tables import format_comparison_table
+from repro.sim.runner import run_protocol_comparison
+from repro.sim.scenario import Scenario
+
+#: Report protocols in the paper's own order.
+PROTOCOL_ORDER = ["charisma", "dtdma_vr", "dtdma_fr", "drma", "rama", "rmav"]
+
+
+def main() -> None:
+    n_voice = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    n_data = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+    params = SimulationParameters()
+    assert set(PROTOCOL_ORDER) == set(available_protocols())
+
+    for use_queue in (False, True):
+        queue_label = "WITH request queue" if use_queue else "WITHOUT request queue"
+        base = Scenario(
+            protocol="charisma",
+            n_voice=0,
+            n_data=n_data,
+            use_request_queue=use_queue,
+            duration_s=4.0,
+            warmup_s=2.0,
+            seed=7,
+        )
+        print(f"\n=== {queue_label}  (Nd = {n_data}) ===")
+        sweeps = run_protocol_comparison(
+            PROTOCOL_ORDER,
+            [max(2, n_voice // 2), n_voice],
+            parameter="n_voice",
+            base_scenario=base,
+            params=params,
+        )
+        print(format_comparison_table(
+            sweeps, "voice_loss_rate",
+            title="voice packet loss rate vs number of voice users"))
+        print()
+        print(format_comparison_table(
+            sweeps, "data_throughput_per_frame",
+            title="data throughput (packets/frame)"))
+        print()
+        print(format_comparison_table(
+            sweeps, "data_delay_s", title="data access delay (seconds)"))
+
+
+if __name__ == "__main__":
+    main()

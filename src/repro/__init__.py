@@ -1,0 +1,62 @@
+"""repro — reproduction of the CHARISMA channel-adaptive uplink MAC protocol.
+
+This package reimplements, from scratch, the complete system evaluated in
+Kwok & Lau, *"A Novel Channel-Adaptive Uplink Access Control Protocol for
+Nomadic Computing"* (ICPP 2000 / IEEE TPDS 2002): the fading channel models,
+the 6-mode variable-throughput adaptive physical layer, the integrated
+voice/data traffic sources, the five baseline uplink MAC protocols (RAMA,
+RMAV, DRMA, D-TDMA/FR, D-TDMA/VR), the proposed CHARISMA protocol, and the
+frame-synchronous simulation platform plus metrics used to compare them.
+
+Quickstart
+----------
+>>> from repro import SimulationParameters, Scenario, run_simulation
+>>> params = SimulationParameters()
+>>> scenario = Scenario(protocol="charisma", n_voice=20, n_data=5,
+...                     use_request_queue=True, duration_s=2.0, seed=1)
+>>> result = run_simulation(scenario, params)
+>>> 0.0 <= result.voice.loss_rate <= 1.0
+True
+
+Subpackages
+-----------
+``repro.channel``   Rayleigh fast fading × log-normal shadowing channel models.
+``repro.phy``       Adaptive (ABICM-style) and fixed-rate physical layers, CSI estimation.
+``repro.traffic``   Voice / data sources, terminals, permission-probability contention.
+``repro.mac``       MAC substrate and the five baseline protocols.
+``repro.core``      The CHARISMA protocol (the paper's contribution).
+``repro.sim``       Discrete-event kernel, frame engine, scenario runner.
+``repro.metrics``   Voice loss, data throughput/delay metrics and statistics.
+``repro.analysis``  Capacity analysis, parameter sweeps, experiment registry.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name):  # pragma: no cover - thin lazy-import shim
+    """Lazily expose the high-level convenience API.
+
+    The heavyweight subpackages are imported on first use so that
+    ``import repro`` stays cheap for users who only need one substrate
+    (e.g. the channel models).
+    """
+    lazy = {
+        "SimulationParameters": ("repro.config", "SimulationParameters"),
+        "Scenario": ("repro.sim.scenario", "Scenario"),
+        "run_simulation": ("repro.sim.runner", "run_simulation"),
+        "run_sweep": ("repro.sim.runner", "run_sweep"),
+        "SimulationResult": ("repro.sim.results", "SimulationResult"),
+        "available_protocols": ("repro.mac.registry", "available_protocols"),
+        "create_protocol": ("repro.mac.registry", "create_protocol"),
+    }
+    if name in lazy:
+        module_name, attr = lazy[name]
+        import importlib
+
+        module = importlib.import_module(module_name)
+        value = getattr(module, attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,38 @@
+"""Analysis layer: capacity read-offs, experiment registry and result tables.
+
+This subpackage turns raw :class:`~repro.sim.results.SimulationResult`
+objects into the quantities the paper actually reports:
+
+* :mod:`repro.analysis.capacity` — "how many voice users can the protocol
+  support at the 1 % packet-loss threshold?" and the data QoS equivalent
+  (Section 5.1 / 5.2 narrative numbers);
+* :mod:`repro.analysis.experiments` — a registry with one entry per paper
+  table/figure, each describing the workload, the swept parameter and the
+  modules involved, and able to run itself at a configurable scale (the
+  benchmark harness and EXPERIMENTS.md are generated from it);
+* :mod:`repro.analysis.tables` — plain-text table rendering of sweeps and
+  comparisons, used by the examples and the benchmarks' console output.
+"""
+
+from repro.analysis.capacity import (
+    data_qos_capacity,
+    voice_capacity,
+)
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    list_experiments,
+)
+from repro.analysis.tables import format_comparison_table, format_sweep_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "data_qos_capacity",
+    "format_comparison_table",
+    "format_sweep_table",
+    "get_experiment",
+    "list_experiments",
+    "voice_capacity",
+]

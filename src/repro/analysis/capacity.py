@@ -1,0 +1,210 @@
+"""Capacity analysis: supported user population at a QoS threshold.
+
+The paper's headline comparisons are capacity read-offs:
+
+* *voice capacity*: the largest number of voice users a protocol supports
+  while keeping the voice packet loss rate at or below 1 % (Section 5.1 —
+  e.g. "CHARISMA can accommodate approximately 100 voice users, while DRMA
+  and D-TDMA/VR support only about 80");
+* *data capacity*: the largest number of data users for which the (delay,
+  per-user throughput) pair stays within the QoS operating point
+  (Section 5.2 uses (1 s, 0.25 packets/frame)).
+
+Both are found by a bracket-then-bisect search over the population size,
+running one simulation per probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.config import SimulationParameters
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_simulation
+from repro.sim.scenario import Scenario
+
+__all__ = ["CapacityEstimate", "voice_capacity", "data_qos_capacity"]
+
+
+@dataclass(frozen=True)
+class CapacityEstimate:
+    """Result of a capacity search.
+
+    Attributes
+    ----------
+    protocol:
+        Protocol registry name.
+    capacity:
+        Largest probed population size that still met the QoS target
+        (0 if even the smallest probe failed).
+    threshold_value:
+        The QoS threshold used.
+    probes:
+        Every (population, metric, passed) triple evaluated by the search,
+        in evaluation order — useful for plotting and for debugging a search.
+    """
+
+    protocol: str
+    capacity: int
+    threshold_value: float
+    probes: Tuple[Tuple[int, float, bool], ...]
+
+    @property
+    def n_probes(self) -> int:
+        """Number of simulations the search spent."""
+        return len(self.probes)
+
+
+def _bracket_and_bisect(
+    evaluate: Callable[[int], Tuple[float, bool]],
+    lower: int,
+    upper: int,
+    step: int,
+) -> Tuple[int, List[Tuple[int, float, bool]]]:
+    """Generic integer capacity search.
+
+    Walks up from ``lower`` in ``step`` increments until the QoS check fails
+    (or ``upper`` is reached), then bisects the last passing/failing bracket.
+    Returns the largest passing value and the probe history.
+    """
+    if lower < 0 or upper < lower:
+        raise ValueError("need 0 <= lower <= upper")
+    if step < 1:
+        raise ValueError("step must be at least 1")
+    probes: List[Tuple[int, float, bool]] = []
+
+    def probe(n: int) -> bool:
+        metric, passed = evaluate(n)
+        probes.append((n, metric, passed))
+        return passed
+
+    # Walk upward to bracket the failure point.
+    best_pass: Optional[int] = None
+    first_fail: Optional[int] = None
+    n = lower
+    while n <= upper:
+        if probe(n):
+            best_pass = n
+            n += step
+        else:
+            first_fail = n
+            break
+    if first_fail is None:
+        return best_pass if best_pass is not None else lower, probes
+    if best_pass is None:
+        return 0, probes
+
+    # Bisect between the last pass and the first fail.
+    low, high = best_pass, first_fail
+    while high - low > 1:
+        mid = (low + high) // 2
+        if probe(mid):
+            low = mid
+        else:
+            high = mid
+    return low, probes
+
+
+def voice_capacity(
+    protocol: str,
+    params: Optional[SimulationParameters] = None,
+    n_data: int = 0,
+    use_request_queue: bool = False,
+    loss_threshold: Optional[float] = None,
+    lower: int = 10,
+    upper: int = 200,
+    step: int = 20,
+    duration_s: float = 5.0,
+    warmup_s: float = 2.0,
+    seed: int = 0,
+) -> CapacityEstimate:
+    """Largest number of voice users supported at the loss threshold."""
+    params = params if params is not None else SimulationParameters()
+    threshold = (
+        loss_threshold if loss_threshold is not None else params.voice_loss_threshold
+    )
+
+    def evaluate(n_voice: int) -> Tuple[float, bool]:
+        scenario = Scenario(
+            protocol=protocol,
+            n_voice=n_voice,
+            n_data=n_data,
+            use_request_queue=use_request_queue,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+        )
+        result = run_simulation(scenario, params)
+        loss = result.voice.loss_rate
+        return loss, loss <= threshold
+
+    capacity, probes = _bracket_and_bisect(evaluate, lower, upper, step)
+    return CapacityEstimate(
+        protocol=protocol,
+        capacity=capacity,
+        threshold_value=threshold,
+        probes=tuple(probes),
+    )
+
+
+def data_qos_capacity(
+    protocol: str,
+    params: Optional[SimulationParameters] = None,
+    n_voice: int = 0,
+    use_request_queue: bool = False,
+    max_delay_s: Optional[float] = None,
+    min_throughput_per_user: Optional[float] = None,
+    min_delivery_ratio: float = 0.9,
+    lower: int = 10,
+    upper: int = 200,
+    step: int = 20,
+    duration_s: float = 5.0,
+    warmup_s: float = 2.0,
+    seed: int = 0,
+) -> CapacityEstimate:
+    """Largest number of data users meeting the (delay, throughput) QoS pair.
+
+    The throughput half of the paper's QoS pair corresponds to full delivery
+    of the offered load (each data source offers exactly 0.25 packets per
+    frame on average), which is a razor-thin criterion on finite runs where
+    the last bursts of the window are still in flight.  The check therefore
+    accepts a run when the mean delay is within ``max_delay_s`` *and* either
+    the per-user delivered throughput reaches ``min_throughput_per_user`` or
+    the delivery ratio reaches ``min_delivery_ratio``.
+    """
+    params = params if params is not None else SimulationParameters()
+    max_delay = max_delay_s if max_delay_s is not None else params.data_qos_delay_s
+    min_tput = (
+        min_throughput_per_user
+        if min_throughput_per_user is not None
+        else params.data_qos_throughput
+    )
+    if not 0.0 < min_delivery_ratio <= 1.0:
+        raise ValueError("min_delivery_ratio must lie in (0, 1]")
+
+    def evaluate(n_data: int) -> Tuple[float, bool]:
+        scenario = Scenario(
+            protocol=protocol,
+            n_voice=n_voice,
+            n_data=n_data,
+            use_request_queue=use_request_queue,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+        )
+        result: SimulationResult = run_simulation(scenario, params)
+        throughput_ok = (
+            result.data.meets_qos(max_delay, min_tput, n_data)
+            or result.data.delivery_ratio >= min_delivery_ratio
+        )
+        passed = result.data.mean_delay_s <= max_delay and throughput_ok
+        return result.data.mean_delay_s, passed
+
+    capacity, probes = _bracket_and_bisect(evaluate, lower, upper, step)
+    return CapacityEstimate(
+        protocol=protocol,
+        capacity=capacity,
+        threshold_value=max_delay,
+        probes=tuple(probes),
+    )

@@ -1,0 +1,89 @@
+"""Plain-text result tables.
+
+The paper presents its evaluation as families of curves; for a console
+library the equivalent deliverable is a fixed-width table whose rows are the
+swept loads and whose columns are the protocols.  These helpers are shared by
+the examples and the benchmark harness, so every experiment prints its
+results in the same format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.sim.results import SweepResult
+
+__all__ = ["format_sweep_table", "format_comparison_table", "format_kv_table"]
+
+
+def _format_cell(value: object, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_kv_table(rows: Mapping[str, object], title: str = "") -> str:
+    """Render a key/value mapping (e.g. Table 1 parameters) as text."""
+    key_width = max((len(str(k)) for k in rows), default=3)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for key, value in rows.items():
+        lines.append(f"{str(key).ljust(key_width)}  {value}")
+    return "\n".join(lines)
+
+
+def format_sweep_table(
+    sweep: SweepResult,
+    metrics: Sequence[str] = ("voice_loss_rate", "data_throughput_per_frame", "data_delay_s"),
+    title: str = "",
+) -> str:
+    """Render one protocol's sweep as a text table (rows = swept values)."""
+    header = [sweep.parameter] + list(metrics)
+    widths = [max(10, len(h)) for h in header]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for value, result in zip(sweep.values, sweep.results):
+        summary = result.summary()
+        row = [value] + [summary[m] for m in metrics]
+        lines.append("  ".join(_format_cell(c, w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    sweeps: Dict[str, SweepResult],
+    metric: str,
+    title: str = "",
+) -> str:
+    """Render one metric for several protocols side by side.
+
+    Rows are the swept values (assumed identical across protocols, as
+    produced by :func:`repro.sim.runner.run_protocol_comparison`); columns
+    are the protocols.  This is the textual analogue of one sub-figure of the
+    paper's Figs. 11-13.
+    """
+    if not sweeps:
+        return title
+    protocols = list(sweeps)
+    first = sweeps[protocols[0]]
+    for sweep in sweeps.values():
+        if sweep.values != first.values:
+            raise ValueError("all sweeps must share the same swept values")
+    header = [first.parameter] + protocols
+    widths = [max(10, len(h)) for h in header]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    series = {p: sweeps[p].series(metric) for p in protocols}
+    for i, value in enumerate(first.values):
+        row = [value] + [series[p][i] for p in protocols]
+        lines.append("  ".join(_format_cell(c, w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

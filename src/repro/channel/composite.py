@@ -1,0 +1,150 @@
+"""Composite per-user channel: fast fading multiplied by shadowing.
+
+The paper (Section 4.2) writes the combined channel fading of a user as::
+
+    c(t) = c_l(t) * c_s(t)
+
+where ``c_l`` is the long-term log-normal shadowing and ``c_s`` the
+short-term Rayleigh fast fading.  :class:`CompositeChannel` owns one instance
+of each process and exposes the combined amplitude (the CSI the base station
+tries to estimate) plus dB and SNR views of it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.doppler import DopplerModel
+from repro.channel.fading import RayleighFading
+from repro.channel.shadowing import LogNormalShadowing
+
+__all__ = ["CompositeChannel", "amplitude_to_db", "db_to_amplitude"]
+
+
+def amplitude_to_db(amplitude: float) -> float:
+    """Convert an amplitude gain to dB (``20 log10``).
+
+    Zero (or negative, which cannot physically occur) amplitudes map to
+    ``-inf`` dB rather than raising, because a deep-fade sample of exactly
+    zero can be produced by degenerate test configurations.
+    """
+    if amplitude <= 0.0:
+        return float("-inf")
+    return 20.0 * math.log10(amplitude)
+
+
+def db_to_amplitude(level_db: float) -> float:
+    """Convert a dB gain to linear amplitude (``10^{dB/20}``)."""
+    return 10.0 ** (level_db / 20.0)
+
+
+class CompositeChannel:
+    """The combined fading channel of a single mobile device.
+
+    Parameters
+    ----------
+    doppler:
+        Mobility model providing the Doppler spread of the fast fading.
+    sample_interval_s:
+        Default advance step (the TDMA frame duration in the engine).
+    rng:
+        Random generator; both sub-processes draw from it so a single seed
+        fully determines the channel realisation.
+    shadow_std_db, shadow_mean_db, shadow_decorrelation_s:
+        Log-normal shadowing parameters.
+    mean_snr_db:
+        Average received SNR when the composite amplitude equals one.  Used
+        by :attr:`snr_db` to express the CSI on an SNR scale for the adaptive
+        PHY threshold comparisons.
+    """
+
+    def __init__(
+        self,
+        doppler: DopplerModel,
+        sample_interval_s: float = 0.0025,
+        rng: Optional[np.random.Generator] = None,
+        shadow_std_db: float = 6.0,
+        shadow_mean_db: float = 0.0,
+        shadow_decorrelation_s: float = 1.0,
+        mean_snr_db: float = 20.0,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng()
+        self._doppler = doppler
+        self._dt = float(sample_interval_s)
+        self._mean_snr_db = float(mean_snr_db)
+        self._fast = RayleighFading(
+            doppler_hz=doppler.doppler_hz,
+            sample_interval_s=sample_interval_s,
+            rng=rng,
+        )
+        self._shadow = LogNormalShadowing(
+            mean_db=shadow_mean_db,
+            std_db=shadow_std_db,
+            decorrelation_time_s=shadow_decorrelation_s,
+            sample_interval_s=sample_interval_s,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------ API
+    @property
+    def doppler(self) -> DopplerModel:
+        """Mobility model of this channel."""
+        return self._doppler
+
+    @property
+    def fast_fading(self) -> RayleighFading:
+        """The short-term Rayleigh component."""
+        return self._fast
+
+    @property
+    def shadowing(self) -> LogNormalShadowing:
+        """The long-term log-normal component."""
+        return self._shadow
+
+    @property
+    def amplitude(self) -> float:
+        """Current combined amplitude ``c = c_l * c_s`` (the true CSI)."""
+        return self._fast.envelope * self._shadow.gain
+
+    @property
+    def amplitude_db(self) -> float:
+        """Current combined amplitude expressed in dB."""
+        return amplitude_to_db(self.amplitude)
+
+    @property
+    def snr_db(self) -> float:
+        """Instantaneous received SNR in dB.
+
+        The SNR scales with the *power* gain, i.e. ``mean_snr_db + 20
+        log10(c)``.
+        """
+        return self._mean_snr_db + self.amplitude_db
+
+    @property
+    def mean_snr_db(self) -> float:
+        """Average SNR at unit composite amplitude."""
+        return self._mean_snr_db
+
+    def advance(self, dt: Optional[float] = None) -> float:
+        """Advance both components by ``dt`` seconds; return new amplitude."""
+        self._fast.advance(dt)
+        self._shadow.advance(dt)
+        return self.amplitude
+
+    def reset(self) -> float:
+        """Redraw both components from their stationary distributions."""
+        self._fast.reset()
+        self._shadow.reset()
+        return self.amplitude
+
+    def trace(self, n_samples: int, dt: Optional[float] = None) -> np.ndarray:
+        """Generate ``n_samples`` successive composite-amplitude samples."""
+        if n_samples < 0:
+            raise ValueError("n_samples must be non-negative")
+        out = np.empty(n_samples, dtype=float)
+        for i in range(n_samples):
+            out[i] = self.advance(dt)
+        return out

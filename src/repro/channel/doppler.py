@@ -1,0 +1,117 @@
+"""Doppler spread and coherence-time helpers.
+
+The paper assumes a mean mobile speed of 50 km/h (maximum 80 km/h), which it
+translates into a Doppler spread of ``f_d ~ 100 Hz`` and a short-term fading
+coherence time of roughly ``T_c ~ 1 / f_d ~ 10 ms`` (equation (1) of the
+paper).  These helpers perform the same conversions for arbitrary speeds and
+carrier frequencies so that the Section 5.3.3 mobile-speed ablation can be
+reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SPEED_OF_LIGHT_MPS: float = 299_792_458.0
+"""Propagation speed of radio waves in free space (m/s)."""
+
+#: Carrier frequency that makes a 50 km/h mobile produce the paper's quoted
+#: 100 Hz Doppler spread.  (2.16 GHz, i.e. an IMT-2000 style band.)
+DEFAULT_CARRIER_HZ: float = 2.158e9
+
+
+def speed_to_mps(speed_kmh: float) -> float:
+    """Convert a speed in km/h to m/s.
+
+    Parameters
+    ----------
+    speed_kmh:
+        Mobile speed in kilometres per hour.  Must be non-negative.
+    """
+    if speed_kmh < 0:
+        raise ValueError(f"speed must be non-negative, got {speed_kmh}")
+    return speed_kmh * 1000.0 / 3600.0
+
+
+def doppler_spread(speed_kmh: float, carrier_hz: float = DEFAULT_CARRIER_HZ) -> float:
+    """Maximum Doppler shift ``f_d = v * f_c / c`` in Hz.
+
+    Parameters
+    ----------
+    speed_kmh:
+        Mobile speed in km/h.
+    carrier_hz:
+        Carrier frequency in Hz.  The default is chosen so that 50 km/h maps
+        to the paper's quoted 100 Hz Doppler spread.
+    """
+    if carrier_hz <= 0:
+        raise ValueError(f"carrier frequency must be positive, got {carrier_hz}")
+    return speed_to_mps(speed_kmh) * carrier_hz / SPEED_OF_LIGHT_MPS
+
+
+def coherence_time(doppler_hz: float) -> float:
+    """Coherence time ``T_c ~ 1 / f_d`` in seconds (paper eq. (1)).
+
+    A zero Doppler spread (static terminal) yields an effectively infinite
+    coherence time; we return ``float('inf')`` in that case rather than
+    raising, because a static user is a legitimate simulation scenario.
+    """
+    if doppler_hz < 0:
+        raise ValueError(f"Doppler spread must be non-negative, got {doppler_hz}")
+    if doppler_hz == 0:
+        return float("inf")
+    return 1.0 / doppler_hz
+
+
+@dataclass(frozen=True)
+class DopplerModel:
+    """Bundle of mobility-related channel parameters.
+
+    Attributes
+    ----------
+    speed_kmh:
+        Mobile speed in km/h (the paper's default scenario uses 50 km/h).
+    carrier_hz:
+        Carrier frequency in Hz.
+    """
+
+    speed_kmh: float = 50.0
+    carrier_hz: float = DEFAULT_CARRIER_HZ
+
+    def __post_init__(self) -> None:
+        if self.speed_kmh < 0:
+            raise ValueError("speed_kmh must be non-negative")
+        if self.carrier_hz <= 0:
+            raise ValueError("carrier_hz must be positive")
+
+    @property
+    def speed_mps(self) -> float:
+        """Mobile speed in metres per second."""
+        return speed_to_mps(self.speed_kmh)
+
+    @property
+    def doppler_hz(self) -> float:
+        """Maximum Doppler shift in Hz."""
+        return doppler_spread(self.speed_kmh, self.carrier_hz)
+
+    @property
+    def coherence_time_s(self) -> float:
+        """Short-term fading coherence time in seconds."""
+        return coherence_time(self.doppler_hz)
+
+    def frames_per_coherence(self, frame_duration_s: float) -> float:
+        """Number of TDMA frames spanned by one coherence time.
+
+        The paper argues CSI gathered in one frame stays valid for roughly
+        ``T_c / T_frame`` frames (about 4 at 50 km/h with 2.5 ms frames).
+        """
+        if frame_duration_s <= 0:
+            raise ValueError("frame_duration_s must be positive")
+        tc = self.coherence_time_s
+        if tc == float("inf"):
+            return float("inf")
+        return tc / frame_duration_s
+
+    def with_speed(self, speed_kmh: float) -> "DopplerModel":
+        """Return a copy of this model at a different mobile speed."""
+        return DopplerModel(speed_kmh=speed_kmh, carrier_hz=self.carrier_hz)

@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+The CLI exposes the three things a user most often wants without writing
+Python:
+
+* ``run`` — simulate one scenario and print its metrics;
+* ``compare`` — run several protocols on the same workload and print the
+  side-by-side table;
+* ``capacity`` — search for the voice capacity of a protocol at the 1 % loss
+  threshold;
+* ``experiments`` — list the registered paper artefacts and which benchmark
+  regenerates each.
+
+Invoke as ``python -m repro <command> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.capacity import voice_capacity
+from repro.analysis.experiments import EXPERIMENTS
+from repro.analysis.tables import format_comparison_table, format_kv_table
+from repro.config import SimulationParameters
+from repro.mac.registry import available_protocols
+from repro.sim.runner import run_protocol_comparison, run_simulation
+from repro.sim.scenario import Scenario
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CHARISMA channel-adaptive uplink MAC — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate one scenario")
+    _add_scenario_arguments(run_parser)
+
+    compare_parser = sub.add_parser("compare", help="compare several protocols")
+    _add_scenario_arguments(compare_parser, include_protocol=False)
+    compare_parser.add_argument(
+        "--protocols", nargs="+", default=list(available_protocols()),
+        choices=available_protocols(), help="protocols to compare",
+    )
+
+    capacity_parser = sub.add_parser(
+        "capacity", help="voice capacity at the 1%% loss threshold"
+    )
+    capacity_parser.add_argument("--protocol", default="charisma",
+                                 choices=available_protocols())
+    capacity_parser.add_argument("--n-data", type=int, default=0)
+    capacity_parser.add_argument("--queue", action="store_true")
+    capacity_parser.add_argument("--lower", type=int, default=10)
+    capacity_parser.add_argument("--upper", type=int, default=200)
+    capacity_parser.add_argument("--step", type=int, default=20)
+    capacity_parser.add_argument("--duration", type=float, default=4.0)
+    capacity_parser.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("experiments", help="list the registered paper artefacts")
+    return parser
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser,
+                            include_protocol: bool = True) -> None:
+    if include_protocol:
+        parser.add_argument("--protocol", default="charisma",
+                            choices=available_protocols())
+    parser.add_argument("--n-voice", type=int, default=60)
+    parser.add_argument("--n-data", type=int, default=10)
+    parser.add_argument("--queue", action="store_true",
+                        help="enable the base-station request queue")
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="measured simulation time in seconds")
+    parser.add_argument("--warmup", type=float, default=1.5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--speed", type=float, default=None,
+                        help="mobile speed in km/h (default: Table 1 value)")
+
+
+def _scenario_from_args(args: argparse.Namespace, protocol: Optional[str] = None) -> Scenario:
+    return Scenario(
+        protocol=protocol or args.protocol,
+        n_voice=args.n_voice,
+        n_data=args.n_data,
+        use_request_queue=args.queue,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        seed=args.seed,
+        mobile_speed_kmh=args.speed,
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    params = SimulationParameters()
+    scenario = _scenario_from_args(args)
+    result = run_simulation(scenario, params)
+    print(format_kv_table(result.summary(), title=f"Results for {scenario.label()}"))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    params = SimulationParameters()
+    base = _scenario_from_args(args, protocol=args.protocols[0])
+    sweeps = run_protocol_comparison(
+        args.protocols, [args.n_voice], parameter="n_voice",
+        base_scenario=base, params=params,
+    )
+    for metric in ("voice_loss_rate", "data_throughput_per_frame", "data_delay_s"):
+        print(format_comparison_table(sweeps, metric, title=f"[{metric}]"))
+        print()
+    return 0
+
+
+def _command_capacity(args: argparse.Namespace) -> int:
+    params = SimulationParameters()
+    estimate = voice_capacity(
+        args.protocol, params, n_data=args.n_data,
+        use_request_queue=args.queue,
+        lower=args.lower, upper=args.upper, step=args.step,
+        duration_s=args.duration, seed=args.seed,
+    )
+    print(f"protocol          : {estimate.protocol}")
+    print(f"loss threshold    : {estimate.threshold_value:.2%}")
+    print(f"voice capacity    : {estimate.capacity} users")
+    print(f"simulations spent : {estimate.n_probes}")
+    return 0
+
+
+def _command_experiments(_: argparse.Namespace) -> int:
+    print(f"{'key':<16} {'paper artefact':<38} benchmark")
+    print(f"{'-'*16} {'-'*38} {'-'*40}")
+    for key, experiment in EXPERIMENTS.items():
+        print(f"{key:<16} {experiment.paper_artifact:<38} {experiment.bench_target}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "compare": _command_compare,
+        "capacity": _command_capacity,
+        "experiments": _command_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""CSI-ranked information-slot allocator (paper Section 4.3, Fig. 8b).
+
+After the request phase the base station holds a pool of pending requests —
+new ones, backlogged ones, and the auto-generated requests of voice
+reservation holders.  The allocator walks that pool in decreasing priority
+order and hands out the ``N_i`` information slots of the frame:
+
+* a voice request receives one slot (one 20 ms voice packet per period);
+* a data request receives as many slots as it needs to drain its buffer at
+  the mode its estimated CSI supports, bounded by what remains;
+* a request whose estimated CSI is in *outage* (below the adaptation range)
+  is deferred — granting it would almost certainly waste the slot — unless
+  it is a voice request about to miss its deadline, in which case fairness
+  wins and the slot is granted at the most robust mode anyway.
+
+Requests left over (no slots, or deferred) are returned so the protocol can
+queue them (with-queue variant) or drop them (without-queue variant).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.channel.manager import ChannelSnapshot
+from repro.mac.requests import Allocation, Request
+from repro.phy.abicm import AdaptiveModem
+from repro.traffic.terminal import Terminal
+
+__all__ = ["AllocationDecision", "CSIRankedAllocator"]
+
+
+@dataclass
+class AllocationDecision:
+    """Result of one frame's slot-allocation pass.
+
+    Attributes
+    ----------
+    allocations:
+        Slot grants, in the order they were made (highest priority first).
+    unserved:
+        Requests that received no slots (out of capacity).
+    deferred:
+        Requests skipped because their channel was in outage and their
+        deadline allowed waiting for a better channel state.
+    slots_used:
+        Total information slots granted.
+    """
+
+    allocations: List[Allocation] = field(default_factory=list)
+    unserved: List[Request] = field(default_factory=list)
+    deferred: List[Request] = field(default_factory=list)
+    slots_used: int = 0
+
+    @property
+    def leftovers(self) -> List[Request]:
+        """Requests that remain pending after this frame (unserved + deferred)."""
+        return self.unserved + self.deferred
+
+
+class CSIRankedAllocator:
+    """Allocates information slots to prioritised requests.
+
+    Parameters
+    ----------
+    modem:
+        The adaptive modem (provides packets-per-slot at an estimated CSI).
+    n_info_slots:
+        Information slots available per frame (``N_i``).
+    defer_deadline_margin:
+        A voice request in outage is still granted a slot once its deadline
+        is within this many frames (the "fairness" escape hatch); with the
+        default of 2 the request gets one last-chance transmission before the
+        packet would be dropped.
+    """
+
+    def __init__(
+        self,
+        modem: AdaptiveModem,
+        n_info_slots: int,
+        defer_deadline_margin: int = 2,
+    ) -> None:
+        if n_info_slots < 1:
+            raise ValueError("n_info_slots must be at least 1")
+        if defer_deadline_margin < 0:
+            raise ValueError("defer_deadline_margin must be non-negative")
+        self._modem = modem
+        self._n_slots = int(n_info_slots)
+        self._margin = int(defer_deadline_margin)
+
+    @property
+    def n_info_slots(self) -> int:
+        """Information slots available per frame."""
+        return self._n_slots
+
+    @property
+    def defer_deadline_margin(self) -> int:
+        """Frames-to-deadline below which outage voice requests are served anyway."""
+        return self._margin
+
+    # ------------------------------------------------------------------ API
+    def allocate(
+        self,
+        ranked_requests: Sequence[Request],
+        terminals_by_id: Dict[int, Terminal],
+        snapshot: ChannelSnapshot,
+        frame_index: int,
+    ) -> AllocationDecision:
+        """Grant the frame's information slots to the ranked requests."""
+        decision = AllocationDecision()
+        slots_left = self._n_slots
+        for request in ranked_requests:
+            terminal = terminals_by_id.get(request.terminal_id)
+            if terminal is None or not terminal.has_pending_packets:
+                continue
+            if slots_left <= 0:
+                decision.unserved.append(request)
+                continue
+
+            per_slot, throughput = self._capacity_from_csi(request)
+            if per_slot == 0:
+                if self._must_serve_despite_outage(request, frame_index):
+                    per_slot, throughput = 1, self._modem.mode_table[0].throughput
+                else:
+                    decision.deferred.append(request)
+                    continue
+
+            n_slots = self._slots_for(request, terminal, per_slot, slots_left)
+            decision.allocations.append(
+                Allocation(
+                    terminal_id=terminal.terminal_id,
+                    n_slots=n_slots,
+                    packet_capacity=per_slot * n_slots,
+                    throughput=throughput,
+                )
+            )
+            slots_left -= n_slots
+            decision.slots_used += n_slots
+        return decision
+
+    # ------------------------------------------------------------ internals
+    def _capacity_from_csi(self, request: Request) -> Tuple[int, Optional[float]]:
+        """Packets per slot (0 in outage) at the request's *estimated* CSI."""
+        if request.csi is None:
+            # No estimate: be conservative and treat as the most robust mode.
+            lowest = self._modem.mode_table[0]
+            return lowest.packets_per_slot(
+                self._modem.mode_table.reference_throughput
+            ), lowest.throughput
+        mode = self._modem.select_mode(request.csi.amplitude)
+        if mode is None:
+            return 0, None
+        return (
+            mode.packets_per_slot(self._modem.mode_table.reference_throughput),
+            mode.throughput,
+        )
+
+    def _must_serve_despite_outage(self, request: Request, frame_index: int) -> bool:
+        if not request.kind.is_voice:
+            return False
+        remaining = request.frames_to_deadline(frame_index)
+        return remaining is not None and remaining <= self._margin
+
+    def _slots_for(
+        self, request: Request, terminal: Terminal, per_slot: int, slots_left: int
+    ) -> int:
+        if request.kind.is_voice:
+            return 1
+        needed = math.ceil(terminal.buffer_occupancy / max(1, per_slot))
+        return max(1, min(slots_left, needed))

@@ -1,0 +1,191 @@
+"""CHARISMA: CHannel Adaptive Reservation-based ISochronous Multiple Access.
+
+This is the paper's proposed protocol (Section 4).  It is a dynamic-TDMA
+protocol whose distinctive feature is that the base station *first gathers*
+all contention requests of the frame (plus the backlog and the auto-generated
+requests of voice reservation holders) and only *then* assigns the
+information slots — ranked by a priority metric that combines each request's
+estimated CSI (through the throughput the adaptive PHY would deliver), its
+deadline or waiting time, and its service class.  Users in deep fades are
+deferred while their deadlines allow, so information slots are never spent on
+transmissions that the channel would almost certainly destroy; users close to
+their deadline are served regardless, for fairness.
+
+Frame procedure (uplink, Fig. 4a / Section 4.3)
+-----------------------------------------------
+1. *Request phase*: contention in ``N_r`` minislots, gated by the permission
+   probabilities; each successful request carries pilot symbols from which
+   the base station estimates the sender's CSI.
+2. *CSI polling*: up to ``N_b`` backlogged requests with stale estimates are
+   polled and their CSI refreshed (Section 4.4).
+3. *Allocation phase*: all pending requests are ranked by the priority
+   metric (equation (2)) and the ``N_i`` information slots are granted by the
+   CSI-ranked allocator.  Voice requests that get served acquire a
+   reservation — the base station auto-generates their subsequent per-period
+   requests until the talkspurt ends.
+4. Requests that survived contention but obtained no slots are stored in the
+   base-station request queue (with-queue variant) or discarded so the
+   device contends again (without-queue variant).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.manager import ChannelSnapshot
+from repro.config import SimulationParameters
+from repro.core.allocator import CSIRankedAllocator
+from repro.core.csi_polling import CSIPoller
+from repro.core.priority import PriorityCalculator
+from repro.mac.base import MACProtocol
+from repro.mac.contention import run_contention
+from repro.mac.frames import FrameStructure
+from repro.mac.requests import Acknowledgement, FrameOutcome, Request
+from repro.phy.abicm import AdaptiveModem
+from repro.phy.csi import CSIEstimator
+from repro.traffic.terminal import Terminal
+
+__all__ = ["CharismaProtocol"]
+
+
+class CharismaProtocol(MACProtocol):
+    """The channel-adaptive, CSI-scheduled uplink access protocol."""
+
+    name = "charisma"
+    display_name = "CHARISMA"
+    uses_adaptive_phy = True
+    uses_csi_scheduling = True
+    supports_request_queue = True
+
+    def __init__(
+        self,
+        params: SimulationParameters,
+        modem: AdaptiveModem,
+        rng: np.random.Generator,
+        use_request_queue: bool = False,
+        csi_estimator: Optional[CSIEstimator] = None,
+        enable_csi_polling: bool = True,
+    ) -> None:
+        if not modem.is_adaptive:
+            raise ValueError("CHARISMA requires the adaptive physical layer")
+        super().__init__(params, modem, rng, use_request_queue=use_request_queue)
+        self.csi_estimator = csi_estimator or CSIEstimator(
+            n_pilot_symbols=params.pilot_symbols_per_request,
+            mean_snr_db=params.mean_snr_db,
+            validity_frames=params.csi_validity_frames,
+            rng=rng,
+        )
+        self.priority_calculator = PriorityCalculator(params.priority, modem)
+        self.allocator = CSIRankedAllocator(modem, params.n_info_slots)
+        self.enable_csi_polling = bool(enable_csi_polling)
+        self.csi_poller = CSIPoller(self.csi_estimator, params.n_pilot_slots)
+
+    # ------------------------------------------------------------ interface
+    def _build_frame_structure(self) -> FrameStructure:
+        return FrameStructure(
+            name=self.display_name,
+            request_minislots=self.params.n_request_slots,
+            info_slots=self.params.n_info_slots,
+            pilot_minislots=self.params.n_pilot_slots,
+            dynamic=False,
+            minislots_per_info_slot=self.params.drma_minislots_per_info_slot,
+        )
+
+    def run_frame(
+        self,
+        frame_index: int,
+        terminals: Sequence[Terminal],
+        snapshot: ChannelSnapshot,
+    ) -> FrameOutcome:
+        self.release_finished_reservations(terminals)
+        self.prune_queue(frame_index, terminals)
+        by_id = {t.terminal_id: t for t in terminals}
+        outcome = FrameOutcome(frame_index)
+
+        # ----------------------------------------------------- request phase
+        candidates = self.contention_candidates(terminals)
+        contention = run_contention(
+            candidates, self.frame_structure.request_minislots, self.permission, self.rng
+        )
+        outcome.contention_attempts = contention.attempts
+        outcome.contention_collisions = contention.collisions
+        outcome.idle_request_slots = contention.idle_slots
+
+        new_requests: List[Request] = []
+        for slot, winner in enumerate(contention.winners):
+            outcome.acknowledgements.append(
+                Acknowledgement(winner.terminal_id, slot, frame_index)
+            )
+            csi = self.csi_estimator.estimate(
+                snapshot.amplitude_of(winner.terminal_id), frame_index
+            )
+            new_requests.append(self.make_request(winner, frame_index, csi=csi))
+
+        # Auto-generated requests of voice reservation holders: their ongoing
+        # per-period transmissions double as pilots, so the base station has a
+        # current estimate of their channel.
+        reservation_requests: List[Request] = []
+        for terminal in self.reservations.reserved_terminals(terminals):
+            csi = self.csi_estimator.estimate(
+                snapshot.amplitude_of(terminal.terminal_id), frame_index
+            )
+            reservation_requests.append(
+                self.make_request(terminal, frame_index, csi=csi, is_reservation=True)
+            )
+
+        # Backlog from previous frames (with-queue variant only).
+        backlog: List[Request] = (
+            self.request_queue.pop_all() if self.request_queue is not None else []
+        )
+        self._refresh_voice_deadlines(backlog, by_id, frame_index)
+        if backlog and self.enable_csi_polling:
+            self.csi_poller.refresh(
+                backlog,
+                snapshot,
+                frame_index,
+                priority_key=lambda r: self.priority_calculator.priority(r, frame_index),
+            )
+
+        # -------------------------------------------------- allocation phase
+        pending = reservation_requests + new_requests + backlog
+        ranked = self.priority_calculator.rank(pending, frame_index)
+        decision = self.allocator.allocate(ranked, by_id, snapshot, frame_index)
+        outcome.allocations.extend(decision.allocations)
+
+        # Newly served voice requests acquire a reservation.
+        allocated_ids = {a.terminal_id for a in decision.allocations}
+        for request in pending:
+            if (
+                request.kind.is_voice
+                and not request.is_reservation
+                and request.terminal_id in allocated_ids
+            ):
+                self.reservations.grant(request.terminal_id, frame_index)
+
+        # Unserved / deferred requests go back to the queue (or are dropped).
+        self.queue_unserved(decision.leftovers)
+        outcome.queued_requests = self.queued_count()
+        return outcome
+
+    # ------------------------------------------------------------ internals
+    def _refresh_voice_deadlines(
+        self, requests: List[Request], by_id, frame_index: int
+    ) -> None:
+        """Update backlogged voice requests to their terminal's current deadline.
+
+        A queued voice request may outlive the packet it was originally made
+        for (that packet could have been dropped and a new one generated);
+        the priority metric must therefore look at the current head-of-line
+        packet's deadline, not the stale one recorded at arrival time.
+        """
+        for request in requests:
+            if not request.kind.is_voice:
+                continue
+            terminal = by_id.get(request.terminal_id)
+            if terminal is None:
+                continue
+            remaining = terminal.head_deadline_frames(frame_index)
+            if remaining is not None:
+                request.deadline_frame = frame_index + remaining

@@ -1,0 +1,96 @@
+"""CSI refresh mechanism for backlogged requests (paper Section 4.4, Fig. 10).
+
+A request that waits at the base station for more than a couple of frames
+carries a stale CSI estimate.  At the beginning of each frame the base
+station short-lists up to ``N_b`` backlog requests whose estimates have
+expired — chosen by priority — and broadcasts a CSI polling packet listing
+their IDs; the listed devices transmit pilot symbols in the pilot-symbol
+subframe, and the base station refreshes their estimates, which then remain
+valid for another couple of frames.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.channel.manager import ChannelSnapshot
+from repro.mac.requests import Request
+from repro.phy.csi import CSIEstimator
+
+__all__ = ["CSIPoller"]
+
+
+class CSIPoller:
+    """Refreshes stale CSI estimates of backlogged requests via polling.
+
+    Parameters
+    ----------
+    estimator:
+        The pilot-symbol CSI estimator shared with the request phase.
+    n_pilot_slots:
+        Number of pilot-symbol minislots per frame (``N_b``), i.e. how many
+        backlog requests can be refreshed per frame.
+    """
+
+    def __init__(self, estimator: CSIEstimator, n_pilot_slots: int) -> None:
+        if n_pilot_slots < 1:
+            raise ValueError("n_pilot_slots must be at least 1")
+        self._estimator = estimator
+        self._n_pilot_slots = int(n_pilot_slots)
+        self._polls_sent = 0
+
+    @property
+    def n_pilot_slots(self) -> int:
+        """Polling capacity per frame."""
+        return self._n_pilot_slots
+
+    @property
+    def polls_sent(self) -> int:
+        """Total number of poll responses processed so far."""
+        return self._polls_sent
+
+    def stale_requests(self, requests: Sequence[Request], frame_index: int) -> List[Request]:
+        """Backlog requests whose CSI estimate has expired."""
+        return [
+            r for r in requests
+            if r.csi is None or r.csi.is_stale(frame_index)
+        ]
+
+    def refresh(
+        self,
+        requests: Sequence[Request],
+        snapshot: ChannelSnapshot,
+        frame_index: int,
+        priority_key: Callable[[Request], float] | None = None,
+    ) -> int:
+        """Refresh up to ``N_b`` stale requests' CSI estimates in place.
+
+        Parameters
+        ----------
+        requests:
+            The backlog (plus any other pending requests) to consider.
+        snapshot:
+            Current true channel state, from which the polled devices' pilot
+            transmissions are observed.
+        frame_index:
+            Current frame (stamped onto the fresh estimates).
+        priority_key:
+            Optional scoring function used to pick which stale requests get
+            the limited polling slots (highest score first); FIFO order is
+            used when omitted.
+
+        Returns
+        -------
+        int
+            Number of requests whose estimate was refreshed.
+        """
+        stale = self.stale_requests(requests, frame_index)
+        if priority_key is not None:
+            stale = sorted(stale, key=priority_key, reverse=True)
+        refreshed = 0
+        for request in stale[: self._n_pilot_slots]:
+            true_amplitude = snapshot.amplitude_of(request.terminal_id)
+            request.csi = self._estimator.estimate(true_amplitude, frame_index)
+            refreshed += 1
+            self._polls_sent += 1
+        return refreshed

@@ -1,0 +1,269 @@
+"""Abstract base class and shared machinery for uplink MAC protocols.
+
+Every protocol in the study — the five baselines and CHARISMA — is a
+:class:`MACProtocol`.  The simulation engine drives it with one call per
+2.5 ms TDMA frame::
+
+    outcome = protocol.run_frame(frame_index, terminals, channel_snapshot)
+
+and then executes the returned :class:`~repro.mac.requests.FrameOutcome`
+(transmitting packets through the PHY error model and updating terminal
+statistics).  The base class provides the machinery all protocols share:
+
+* permission-probability gated contention candidates,
+* the voice reservation table ("a slot every 20 ms until the talkspurt
+  ends"),
+* the optional base-station request queue,
+* translation of a channel state into an information-slot packet capacity
+  via the protocol's modem (adaptive or fixed-rate).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import ClassVar, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.channel.manager import ChannelSnapshot
+from repro.config import SimulationParameters
+from repro.mac.frames import FrameStructure
+from repro.mac.request_queue import RequestQueue
+from repro.mac.requests import Allocation, FrameOutcome, Request
+from repro.mac.reservation import ReservationTable
+from repro.phy.abicm import AdaptiveModem
+from repro.phy.fixed import FixedRateModem
+from repro.traffic.packets import TrafficKind
+from repro.traffic.permission import PermissionPolicy
+from repro.traffic.terminal import Terminal
+
+__all__ = ["MACProtocol", "Modem"]
+
+Modem = Union[AdaptiveModem, FixedRateModem]
+
+
+class MACProtocol(abc.ABC):
+    """Common behaviour of all uplink access-control protocols.
+
+    Parameters
+    ----------
+    params:
+        Simulation parameters (Table 1).
+    modem:
+        The physical layer the protocol runs on.  CHARISMA and D-TDMA/VR use
+        an :class:`~repro.phy.abicm.AdaptiveModem`; the other baselines a
+        :class:`~repro.phy.fixed.FixedRateModem`.
+    rng:
+        Random generator dedicated to MAC decisions (contention draws,
+        auction ids, ...), independent of the channel and error streams.
+    use_request_queue:
+        Whether the base station keeps the optional request queue of
+        Section 4.5.  Ignored for protocols that do not support one (RMAV).
+    """
+
+    #: Short machine-readable identifier (registry key).
+    name: ClassVar[str] = "abstract"
+    #: Human-readable protocol name used in result tables.
+    display_name: ClassVar[str] = "abstract"
+    #: Whether the protocol runs on the variable-throughput adaptive PHY.
+    uses_adaptive_phy: ClassVar[bool] = False
+    #: Whether the protocol feeds CSI into its scheduling decisions.
+    uses_csi_scheduling: ClassVar[bool] = False
+    #: Whether the optional base-station request queue is meaningful.
+    supports_request_queue: ClassVar[bool] = True
+
+    def __init__(
+        self,
+        params: SimulationParameters,
+        modem: Modem,
+        rng: np.random.Generator,
+        use_request_queue: bool = False,
+    ) -> None:
+        self.params = params
+        self.modem = modem
+        self.rng = rng
+        self.permission = PermissionPolicy(
+            params.voice_permission_probability,
+            params.data_permission_probability,
+            rng,
+        )
+        self.reservations = ReservationTable()
+        self.use_request_queue = bool(use_request_queue) and self.supports_request_queue
+        self.request_queue: Optional[RequestQueue] = (
+            RequestQueue(params.request_queue_capacity) if self.use_request_queue else None
+        )
+        self.frame_structure = self._build_frame_structure()
+
+    # ----------------------------------------------------------- interface
+    @abc.abstractmethod
+    def _build_frame_structure(self) -> FrameStructure:
+        """Return the protocol's uplink frame layout."""
+
+    @abc.abstractmethod
+    def run_frame(
+        self,
+        frame_index: int,
+        terminals: Sequence[Terminal],
+        snapshot: ChannelSnapshot,
+    ) -> FrameOutcome:
+        """Run the request and allocation phases of one frame."""
+
+    # ------------------------------------------------------------- helpers
+    def contention_candidates(self, terminals: Sequence[Terminal]) -> List[Terminal]:
+        """Terminals that would transmit a request this frame.
+
+        * a voice terminal contends while it is in a talkspurt, has packets
+          buffered and holds no reservation;
+        * a data terminal contends while it has packets buffered;
+        * terminals whose earlier request is still queued at the base station
+          do not contend again (they are waiting for the announcement).
+        """
+        candidates: List[Terminal] = []
+        for terminal in terminals:
+            if not terminal.has_pending_packets:
+                continue
+            if self.request_queue is not None and self.request_queue.contains_terminal(
+                terminal.terminal_id
+            ):
+                continue
+            if terminal.is_voice:
+                in_talkspurt = getattr(terminal, "in_talkspurt", False)
+                if in_talkspurt and not self.reservations.has(terminal.terminal_id):
+                    candidates.append(terminal)
+            else:
+                candidates.append(terminal)
+        return candidates
+
+    def release_finished_reservations(self, terminals: Sequence[Terminal]) -> int:
+        """Release voice reservations whose talkspurt has ended."""
+        return self.reservations.release_ended_talkspurts(terminals)
+
+    def make_request(
+        self,
+        terminal: Terminal,
+        frame_index: int,
+        csi=None,
+        is_reservation: bool = False,
+    ) -> Request:
+        """Build the base-station record of a received (or auto) request."""
+        deadline = None
+        if terminal.is_voice:
+            remaining = terminal.head_deadline_frames(frame_index)
+            if remaining is not None:
+                deadline = frame_index + remaining
+        return Request(
+            terminal_id=terminal.terminal_id,
+            kind=terminal.kind,
+            arrival_frame=frame_index,
+            desired_packets=max(1, terminal.buffer_occupancy),
+            csi=csi,
+            deadline_frame=deadline,
+            is_reservation=is_reservation,
+        )
+
+    def slot_capacity(self, amplitude: float) -> Tuple[int, Optional[float]]:
+        """Packets one information slot carries at the given channel state.
+
+        Returns ``(packets, throughput)`` where ``throughput`` is the
+        announced transmission mode (``None`` on the fixed-rate PHY).  On the
+        adaptive PHY an outage channel still yields a capacity of one packet
+        at the most robust mode — transmitting is allowed, it is just likely
+        to fail — because the non-CSI-aware protocols (D-TDMA/VR) do exactly
+        that.  CSI-aware allocation (CHARISMA) avoids granting such slots in
+        the first place.
+        """
+        if not self.modem.is_adaptive:
+            return 1, None
+        mode = self.modem.select_mode(float(amplitude))
+        if mode is None:
+            lowest = self.modem.mode_table[0]
+            return 1, lowest.throughput
+        return mode.packets_per_slot(self.modem.mode_table.reference_throughput), mode.throughput
+
+    def build_allocation(
+        self,
+        terminal: Terminal,
+        amplitude: float,
+        n_slots: int,
+    ) -> Allocation:
+        """Create an :class:`Allocation` of ``n_slots`` for ``terminal``."""
+        per_slot, throughput = self.slot_capacity(amplitude)
+        return Allocation(
+            terminal_id=terminal.terminal_id,
+            n_slots=n_slots,
+            packet_capacity=per_slot * n_slots,
+            throughput=throughput,
+        )
+
+    def slots_needed_for_data(
+        self, terminal: Terminal, amplitude: float, slots_available: int
+    ) -> int:
+        """Slots a data grant should span to drain the terminal's buffer."""
+        if slots_available <= 0:
+            return 0
+        per_slot, _ = self.slot_capacity(amplitude)
+        needed = math.ceil(terminal.buffer_occupancy / max(1, per_slot))
+        return max(1, min(slots_available, needed))
+
+    def allocate_reserved_voice(
+        self,
+        terminals: Sequence[Terminal],
+        snapshot: ChannelSnapshot,
+        slots_available: int,
+        allocations: List[Allocation],
+    ) -> int:
+        """Serve reservation-holding voice terminals first (one slot each).
+
+        This is the behaviour of every baseline protocol: a reserved voice
+        user owns a slot per voice-packet period, independent of its channel
+        state.  Returns the number of slots consumed.
+        """
+        used = 0
+        for terminal in self.reservations.reserved_terminals(terminals):
+            if used >= slots_available:
+                break
+            amplitude = snapshot.amplitude_of(terminal.terminal_id)
+            allocations.append(self.build_allocation(terminal, amplitude, 1))
+            used += 1
+        return used
+
+    def queue_unserved(self, requests: Sequence[Request]) -> int:
+        """Store unserved requests in the base-station queue, if enabled."""
+        if self.request_queue is None:
+            return 0
+        return self.request_queue.extend(
+            r for r in requests if not r.is_reservation
+        )
+
+    def prune_queue(self, frame_index: int, terminals: Sequence[Terminal]) -> None:
+        """Drop queued requests that are no longer actionable.
+
+        Expired voice requests are discarded (their packets have been dropped
+        at the device); requests of terminals whose buffer has emptied (e.g.
+        the talkspurt ended or the burst was already served) are removed.
+        """
+        if self.request_queue is None:
+            return
+        self.request_queue.drop_expired(frame_index)
+        by_id = {t.terminal_id: t for t in terminals}
+        for request in list(self.request_queue):
+            terminal = by_id.get(request.terminal_id)
+            if terminal is None or not terminal.has_pending_packets:
+                self.request_queue.remove_terminal(request.terminal_id)
+
+    def queued_count(self) -> int:
+        """Number of requests currently queued at the base station."""
+        return len(self.request_queue) if self.request_queue is not None else 0
+
+    # ------------------------------------------------------------ metadata
+    def describe(self) -> dict:
+        """Summary row used in result tables and documentation."""
+        return {
+            "name": self.name,
+            "display_name": self.display_name,
+            "adaptive_phy": self.uses_adaptive_phy,
+            "csi_scheduling": self.uses_csi_scheduling,
+            "request_queue": self.use_request_queue,
+            "frame": self.frame_structure.describe(),
+        }

@@ -1,0 +1,100 @@
+"""Slotted request-contention resolution.
+
+All protocols except RAMA gather requests through slotted ALOHA-style
+contention: in each request minislot every still-unserved contender
+transmits with its class's permission probability; a minislot with exactly
+one transmission yields a successful request (acknowledged immediately on the
+downlink), a minislot with two or more transmissions is a collision and all
+of them fail, an empty minislot is idle.  Capture is not modelled, matching
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.traffic.permission import PermissionPolicy
+from repro.traffic.terminal import Terminal
+
+__all__ = ["ContentionResult", "run_contention"]
+
+
+@dataclass
+class ContentionResult:
+    """Outcome of the request phase of one frame.
+
+    Attributes
+    ----------
+    winners:
+        Terminals whose request was successfully received, in the order the
+        minislots resolved them (this order is the FCFS order used by the
+        baseline protocols).
+    attempts:
+        Total number of request transmissions (every transmission costs the
+        sender energy, successful or not).
+    collisions:
+        Number of minislots wasted by collisions.
+    idle_slots:
+        Number of minislots in which nobody transmitted.
+    """
+
+    winners: List[Terminal] = field(default_factory=list)
+    attempts: int = 0
+    collisions: int = 0
+    idle_slots: int = 0
+
+    @property
+    def n_winners(self) -> int:
+        """Number of successful requests."""
+        return len(self.winners)
+
+
+def run_contention(
+    candidates: Sequence[Terminal],
+    n_minislots: int,
+    permission: PermissionPolicy,
+    rng: np.random.Generator,
+) -> ContentionResult:
+    """Run slotted contention over ``n_minislots`` request minislots.
+
+    Parameters
+    ----------
+    candidates:
+        Terminals that currently have a request to make.  A terminal stops
+        contending for the rest of the frame as soon as its request succeeds
+        (it then waits for the allocation announcement).
+    n_minislots:
+        Number of request minislots in this frame.
+    permission:
+        The ``p_v`` / ``p_d`` gating policy.
+    rng:
+        Random generator (used only through ``permission`` draws; kept as an
+        explicit argument so callers can reason about stream usage).
+
+    Returns
+    -------
+    ContentionResult
+        Winners in resolution order plus contention statistics.
+    """
+    if n_minislots < 0:
+        raise ValueError("n_minislots must be non-negative")
+    remaining = list(candidates)
+    result = ContentionResult()
+    for _ in range(n_minislots):
+        if not remaining:
+            result.idle_slots += 1
+            continue
+        transmitters = [t for t in remaining if permission.permits(t.kind)]
+        result.attempts += len(transmitters)
+        if len(transmitters) == 1:
+            winner = transmitters[0]
+            result.winners.append(winner)
+            remaining.remove(winner)
+        elif len(transmitters) == 0:
+            result.idle_slots += 1
+        else:
+            result.collisions += 1
+    return result

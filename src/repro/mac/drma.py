@@ -1,0 +1,137 @@
+"""DRMA: Dynamic Reservation Multiple Access (Section 3.3).
+
+DRMA has no dedicated request subframe at all: the frame consists of ``N_k``
+information slots only.  Before each information slot the base station
+announces whether the slot is already assigned; an *unassigned* slot is
+converted on the fly into ``N_x`` request minislots in which active users
+contend.  A successful request is granted an information slot (if one
+remains) in the current frame; voice users keep their slot as a reservation,
+data users must request again for further packets.
+
+Because users can only contend when idle slots exist, the request load
+self-throttles: at saturation there are no idle slots, hence no contention
+and no collision cascade — DRMA degrades gracefully at high load, at the
+price of announcement overhead and of "distributed queueing" (requests wait
+at the users when the frame is full), which is also why adding a
+base-station request queue helps it very little (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Sequence
+
+from repro.channel.manager import ChannelSnapshot
+from repro.mac.base import MACProtocol
+from repro.mac.contention import run_contention
+from repro.mac.frames import FrameStructure
+from repro.mac.requests import Acknowledgement, FrameOutcome, Request
+from repro.traffic.terminal import Terminal
+
+__all__ = ["DRMAProtocol"]
+
+
+class DRMAProtocol(MACProtocol):
+    """Dynamic frame: idle information slots become request minislots."""
+
+    name = "drma"
+    display_name = "DRMA"
+    uses_adaptive_phy = False
+    uses_csi_scheduling = False
+    supports_request_queue = True
+
+    # ------------------------------------------------------------ interface
+    def _build_frame_structure(self) -> FrameStructure:
+        # DRMA has no dedicated request subframe, but the per-slot assignment
+        # announcements on the downlink consume roughly the bandwidth the
+        # request subframe would have; the information-slot budget therefore
+        # stays the same as the other protocols' and the comparison isolates
+        # the access policy (the paper likewise stresses DRMA's announcement
+        # overhead as the price of its dynamic structure).
+        return FrameStructure(
+            name=self.display_name,
+            request_minislots=0,
+            info_slots=self.params.n_info_slots,
+            dynamic=True,
+            minislots_per_info_slot=self.params.drma_minislots_per_info_slot,
+        )
+
+    def run_frame(
+        self,
+        frame_index: int,
+        terminals: Sequence[Terminal],
+        snapshot: ChannelSnapshot,
+    ) -> FrameOutcome:
+        self.release_finished_reservations(terminals)
+        self.prune_queue(frame_index, terminals)
+        by_id = {t.terminal_id: t for t in terminals}
+        outcome = FrameOutcome(frame_index)
+
+        # Service order within the frame: reservation holders, then requests
+        # queued at the base station (if enabled), then requests that succeed
+        # in converted slots later in this same frame.
+        to_serve: Deque[Request] = deque()
+        for terminal in self.reservations.reserved_terminals(terminals):
+            to_serve.append(
+                self.make_request(terminal, frame_index, is_reservation=True)
+            )
+        if self.request_queue is not None:
+            to_serve.extend(self.request_queue.pop_all())
+
+        served_ids = {r.terminal_id for r in to_serve}
+        remaining_candidates = [
+            t for t in self.contention_candidates(terminals)
+            if t.terminal_id not in served_ids
+        ]
+
+        request_slot_counter = 0
+        for _ in range(self.frame_structure.info_slots):
+            request = self._next_serviceable(to_serve, by_id)
+            if request is not None:
+                terminal = by_id[request.terminal_id]
+                amplitude = snapshot.amplitude_of(terminal.terminal_id)
+                outcome.allocations.append(
+                    self.build_allocation(terminal, amplitude, 1)
+                )
+                if terminal.is_voice and not request.is_reservation:
+                    self.reservations.grant(terminal.terminal_id, frame_index)
+                continue
+
+            # Idle information slot: convert it into N_x request minislots.
+            contention = run_contention(
+                remaining_candidates,
+                self.params.drma_minislots_per_info_slot,
+                self.permission,
+                self.rng,
+            )
+            outcome.contention_attempts += contention.attempts
+            outcome.contention_collisions += contention.collisions
+            outcome.idle_request_slots += contention.idle_slots
+            for winner in contention.winners:
+                outcome.acknowledgements.append(
+                    Acknowledgement(winner.terminal_id, request_slot_counter, frame_index)
+                )
+                request_slot_counter += 1
+                to_serve.append(self.make_request(winner, frame_index))
+                # A voice winner is about to obtain a reservation and stops
+                # contending; a data winner only gets a single slot per
+                # request, so if it has more packets than that it keeps
+                # contending in later converted slots of the same frame.
+                if winner.is_voice or winner.buffer_occupancy <= 1:
+                    remaining_candidates.remove(winner)
+
+        # Requests that succeeded too late in the frame to get a slot.
+        leftovers = [r for r in to_serve if not r.is_reservation]
+        self.queue_unserved(leftovers)
+        outcome.queued_requests = self.queued_count()
+        return outcome
+
+    # ------------------------------------------------------------ internals
+    def _next_serviceable(self, to_serve: Deque[Request], by_id) -> Request | None:
+        """Pop the next pending request whose terminal still has packets."""
+        while to_serve:
+            request = to_serve.popleft()
+            terminal = by_id.get(request.terminal_id)
+            if terminal is not None and terminal.has_pending_packets:
+                return request
+        return None

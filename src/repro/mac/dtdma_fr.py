@@ -1,0 +1,144 @@
+"""D-TDMA/FR: dynamic TDMA with a fixed-rate physical layer (Section 3.4).
+
+The classic improved-PRMA design: the frame is statically split into ``N_r``
+request minislots and ``N_i`` information slots.  Requests are gathered by
+slotted contention and served first-come-first-served, voice before data;
+whenever a request succeeds an information slot (if any remains) is assigned
+immediately.  A voice user that obtains a slot keeps one slot per 20 ms
+voice-packet period until its talkspurt ends; data users must contend again
+for every burst instalment.  The physical layer delivers a constant one
+packet per slot irrespective of the channel state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.channel.manager import ChannelSnapshot
+from repro.mac.base import MACProtocol
+from repro.mac.contention import run_contention
+from repro.mac.frames import FrameStructure
+from repro.mac.requests import Acknowledgement, FrameOutcome, Request
+from repro.traffic.terminal import Terminal
+
+__all__ = ["DTDMAFRProtocol"]
+
+
+class DTDMAFRProtocol(MACProtocol):
+    """Dynamic TDMA, fixed rate: static frame, FCFS assignment."""
+
+    name = "dtdma_fr"
+    display_name = "D-TDMA/FR"
+    uses_adaptive_phy = False
+    uses_csi_scheduling = False
+    supports_request_queue = True
+
+    # ------------------------------------------------------------ interface
+    def _build_frame_structure(self) -> FrameStructure:
+        return FrameStructure(
+            name=self.display_name,
+            request_minislots=self.params.n_request_slots,
+            info_slots=self.params.n_info_slots,
+            dynamic=False,
+            minislots_per_info_slot=self.params.drma_minislots_per_info_slot,
+        )
+
+    def run_frame(
+        self,
+        frame_index: int,
+        terminals: Sequence[Terminal],
+        snapshot: ChannelSnapshot,
+    ) -> FrameOutcome:
+        self.release_finished_reservations(terminals)
+        self.prune_queue(frame_index, terminals)
+        by_id = {t.terminal_id: t for t in terminals}
+        outcome = FrameOutcome(frame_index)
+        slots_left = self.frame_structure.info_slots
+
+        # Phase 0: reservation holders transmit without contention.
+        used = self.allocate_reserved_voice(
+            terminals, snapshot, slots_left, outcome.allocations
+        )
+        slots_left -= used
+
+        # Phase 1: request contention over the static request subframe.
+        candidates = self.contention_candidates(terminals)
+        contention = run_contention(
+            candidates, self.frame_structure.request_minislots, self.permission, self.rng
+        )
+        outcome.contention_attempts = contention.attempts
+        outcome.contention_collisions = contention.collisions
+        outcome.idle_request_slots = contention.idle_slots
+        for slot, winner in enumerate(contention.winners):
+            outcome.acknowledgements.append(
+                Acknowledgement(winner.terminal_id, slot, frame_index)
+            )
+        new_requests = [self.make_request(t, frame_index) for t in contention.winners]
+
+        # Phase 2: FCFS service — queued requests first, then this frame's,
+        # voice before data within each group.
+        backlog = self.request_queue.pop_all() if self.request_queue is not None else []
+        pending = backlog + new_requests
+        voice_requests = [r for r in pending if r.kind.is_voice]
+        data_requests = [r for r in pending if r.kind.is_data]
+
+        unserved: List[Request] = []
+        slots_left = self._serve_voice(
+            voice_requests, by_id, snapshot, frame_index, slots_left,
+            outcome, unserved,
+        )
+        slots_left = self._serve_data(
+            data_requests, by_id, snapshot, slots_left, outcome, unserved
+        )
+
+        self.queue_unserved(unserved)
+        outcome.queued_requests = self.queued_count()
+        return outcome
+
+    # -------------------------------------------------------------- service
+    def _serve_voice(
+        self,
+        requests: List[Request],
+        by_id,
+        snapshot: ChannelSnapshot,
+        frame_index: int,
+        slots_left: int,
+        outcome: FrameOutcome,
+        unserved: List[Request],
+    ) -> int:
+        for request in requests:
+            terminal = by_id.get(request.terminal_id)
+            if terminal is None or not terminal.has_pending_packets:
+                continue
+            if slots_left < 1:
+                unserved.append(request)
+                continue
+            amplitude = snapshot.amplitude_of(terminal.terminal_id)
+            outcome.allocations.append(self.build_allocation(terminal, amplitude, 1))
+            slots_left -= 1
+            self.reservations.grant(terminal.terminal_id, frame_index)
+        return slots_left
+
+    def _serve_data(
+        self,
+        requests: List[Request],
+        by_id,
+        snapshot: ChannelSnapshot,
+        slots_left: int,
+        outcome: FrameOutcome,
+        unserved: List[Request],
+    ) -> int:
+        for request in requests:
+            terminal = by_id.get(request.terminal_id)
+            if terminal is None or not terminal.has_pending_packets:
+                continue
+            if slots_left < 1:
+                unserved.append(request)
+                continue
+            amplitude = snapshot.amplitude_of(terminal.terminal_id)
+            n_slots = self.slots_needed_for_data(terminal, amplitude, slots_left)
+            outcome.allocations.append(
+                self.build_allocation(terminal, amplitude, n_slots)
+            )
+            slots_left -= n_slots
+        return slots_left

@@ -1,0 +1,90 @@
+"""TDMA frame-structure descriptors.
+
+Each protocol partitions the 2.5 ms uplink frame differently (Figs. 2 and 4
+of the paper).  :class:`FrameStructure` captures that partition in units of
+*minislots* and *information slots* so the protocols and the documentation
+benchmarks share a single description of where the bandwidth goes.
+
+A request/auction/pilot minislot is smaller than an information slot; the
+``minislots_per_info_slot`` exchange rate (3 by default, matching DRMA's
+``N_x``) is used when a protocol converts capacity between the two kinds
+(RMAV reclaiming unused request capacity, DRMA converting idle information
+slots into request minislots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FrameStructure"]
+
+
+@dataclass(frozen=True)
+class FrameStructure:
+    """Static description of one protocol's uplink frame layout.
+
+    Attributes
+    ----------
+    name:
+        Protocol the structure belongs to.
+    request_minislots:
+        Minislots dedicated to request contention (or auction slots for RAMA,
+        or the single competitive slot for RMAV).
+    info_slots:
+        Full-size information slots available for packet transmission.
+    pilot_minislots:
+        Minislots of the pilot-symbol subframe (CHARISMA's CSI polling);
+        zero for the other protocols.
+    dynamic:
+        Whether the split between request and information capacity changes
+        frame by frame (RMAV, DRMA).
+    minislots_per_info_slot:
+        Exchange rate used when converting between slot kinds.
+    """
+
+    name: str
+    request_minislots: int
+    info_slots: int
+    pilot_minislots: int = 0
+    dynamic: bool = False
+    minislots_per_info_slot: int = 3
+
+    def __post_init__(self) -> None:
+        if self.request_minislots < 0 or self.info_slots < 0 or self.pilot_minislots < 0:
+            raise ValueError("slot counts must be non-negative")
+        if self.info_slots == 0 and self.request_minislots == 0:
+            raise ValueError("a frame must contain at least one slot")
+        if self.minislots_per_info_slot < 1:
+            raise ValueError("minislots_per_info_slot must be at least 1")
+
+    @property
+    def total_minislot_equivalent(self) -> int:
+        """Total frame capacity expressed in minislots."""
+        return (
+            self.request_minislots
+            + self.pilot_minislots
+            + self.info_slots * self.minislots_per_info_slot
+        )
+
+    def info_slots_from_minislots(self, n_minislots: int) -> int:
+        """How many whole information slots ``n_minislots`` could carry."""
+        if n_minislots < 0:
+            raise ValueError("n_minislots must be non-negative")
+        return n_minislots // self.minislots_per_info_slot
+
+    def minislots_from_info_slots(self, n_info_slots: int) -> int:
+        """How many request minislots ``n_info_slots`` convert into."""
+        if n_info_slots < 0:
+            raise ValueError("n_info_slots must be non-negative")
+        return n_info_slots * self.minislots_per_info_slot
+
+    def describe(self) -> dict:
+        """Row used by the frame-structure documentation benchmark."""
+        return {
+            "protocol": self.name,
+            "request_minislots": self.request_minislots,
+            "info_slots": self.info_slots,
+            "pilot_minislots": self.pilot_minislots,
+            "dynamic": self.dynamic,
+            "minislot_equivalent": self.total_minislot_equivalent,
+        }

@@ -1,0 +1,103 @@
+"""Base-station request queue.
+
+Section 4.5 of the paper: every protocol except RMAV can optionally keep a
+*request queue* at the base station, storing requests that survived the
+contention but were not allocated information slots in their frame.  Such
+requests are reconsidered in later frames instead of forcing the mobile
+device to contend again.  Queued voice requests whose deadline has already
+expired are discarded (the corresponding packet is dropped at the device).
+
+The queue preserves arrival order (FIFO); CHARISMA re-ranks its contents by
+the CSI/urgency priority metric every frame, the FCFS baselines serve it in
+order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from repro.mac.requests import Request
+
+__all__ = ["RequestQueue"]
+
+
+class RequestQueue:
+    """Bounded FIFO of pending requests held at the base station.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of stored requests; arrivals beyond the capacity are
+        rejected (the device will simply contend again later), which bounds
+        the base station's state as a real implementation would.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._capacity = int(capacity)
+        self._queue: Deque[Request] = deque()
+
+    # ------------------------------------------------------------------ API
+    @property
+    def capacity(self) -> int:
+        """Maximum number of stored requests."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self):
+        return iter(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the queue has reached its capacity."""
+        return len(self._queue) >= self._capacity
+
+    def contains_terminal(self, terminal_id: int) -> bool:
+        """Whether a request from the given terminal is already queued."""
+        return any(r.terminal_id == terminal_id for r in self._queue)
+
+    def push(self, request: Request) -> bool:
+        """Queue a request; returns ``False`` if the queue is full."""
+        if self.is_full:
+            return False
+        self._queue.append(request)
+        return True
+
+    def extend(self, requests: Iterable[Request]) -> int:
+        """Queue several requests; returns how many were accepted."""
+        accepted = 0
+        for request in requests:
+            if not self.push(request):
+                break
+            accepted += 1
+        return accepted
+
+    def pop_all(self) -> List[Request]:
+        """Remove and return every queued request in FIFO order."""
+        items = list(self._queue)
+        self._queue.clear()
+        return items
+
+    def peek_all(self) -> List[Request]:
+        """Return the queued requests (FIFO order) without removing them."""
+        return list(self._queue)
+
+    def remove_terminal(self, terminal_id: int) -> int:
+        """Remove any queued requests of the given terminal."""
+        before = len(self._queue)
+        self._queue = deque(r for r in self._queue if r.terminal_id != terminal_id)
+        return before - len(self._queue)
+
+    def drop_expired(self, current_frame: int) -> int:
+        """Discard queued voice requests whose deadline has passed."""
+        before = len(self._queue)
+        self._queue = deque(r for r in self._queue if not r.is_expired(current_frame))
+        return before - len(self._queue)
+
+    def clear(self) -> None:
+        """Empty the queue."""
+        self._queue.clear()

@@ -1,0 +1,160 @@
+"""Request, acknowledgement and announcement records exchanged with the base station.
+
+The uplink request packet of the paper (Fig. 9a) carries the mobile device
+ID, the request type (voice or data), the packet deadline, the number of
+information packets the device wishes to transmit, and pilot symbols from
+which the base station estimates the sender's CSI.  The downlink
+acknowledgement carries the successful request's ID, and the announcement
+carries the slot allocation schedule plus the transmission mode to use.
+
+These records are plain data: all decision making lives in the protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.phy.csi import CSIEstimate
+from repro.traffic.packets import TrafficKind
+
+__all__ = ["Request", "Acknowledgement", "Allocation", "FrameOutcome"]
+
+
+@dataclass
+class Request:
+    """A successfully received transmission request held at the base station.
+
+    Attributes
+    ----------
+    terminal_id:
+        The requesting mobile device.
+    kind:
+        Voice or data request.
+    arrival_frame:
+        Frame in which the request was successfully received (or auto-
+        generated, for voice reservations).
+    desired_packets:
+        Number of information packets the device wishes to transmit.
+    csi:
+        The base station's CSI estimate for the device, if any (adaptive
+        protocols only).
+    deadline_frame:
+        Deadline of the head-of-line voice packet; ``None`` for data.
+    is_reservation:
+        ``True`` for the periodic requests the base station auto-generates on
+        behalf of voice users holding a reservation.
+    """
+
+    terminal_id: int
+    kind: TrafficKind
+    arrival_frame: int
+    desired_packets: int = 1
+    csi: Optional[CSIEstimate] = None
+    deadline_frame: Optional[int] = None
+    is_reservation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.terminal_id < 0:
+            raise ValueError("terminal_id must be non-negative")
+        if self.arrival_frame < 0:
+            raise ValueError("arrival_frame must be non-negative")
+        if self.desired_packets < 1:
+            raise ValueError("desired_packets must be at least 1")
+
+    def waiting_frames(self, current_frame: int) -> int:
+        """Frames elapsed since the request was received."""
+        return max(0, current_frame - self.arrival_frame)
+
+    def frames_to_deadline(self, current_frame: int) -> Optional[int]:
+        """Frames remaining before the associated packet deadline."""
+        if self.deadline_frame is None:
+            return None
+        return max(0, self.deadline_frame - current_frame)
+
+    def is_expired(self, current_frame: int) -> bool:
+        """Whether the associated voice deadline has already passed."""
+        return self.deadline_frame is not None and current_frame >= self.deadline_frame
+
+
+@dataclass(frozen=True)
+class Acknowledgement:
+    """Downlink acknowledgement of a successfully received request."""
+
+    terminal_id: int
+    request_slot: int
+    frame_index: int
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One entry of the downlink announcement: a slot grant to a terminal.
+
+    Attributes
+    ----------
+    terminal_id:
+        The granted mobile device.
+    n_slots:
+        Number of information slots granted in this frame.
+    packet_capacity:
+        Total number of packets those slots can carry at the announced mode.
+    throughput:
+        Normalised throughput of the announced transmission mode, or ``None``
+        when the protocol runs on the fixed-rate PHY.
+    """
+
+    terminal_id: int
+    n_slots: int
+    packet_capacity: int
+    throughput: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.terminal_id < 0:
+            raise ValueError("terminal_id must be non-negative")
+        if self.n_slots < 1:
+            raise ValueError("n_slots must be at least 1")
+        if self.packet_capacity < 1:
+            raise ValueError("packet_capacity must be at least 1")
+        if self.throughput is not None and self.throughput <= 0:
+            raise ValueError("throughput must be positive when given")
+
+
+@dataclass
+class FrameOutcome:
+    """Everything a protocol decided in one frame, consumed by the engine.
+
+    Attributes
+    ----------
+    frame_index:
+        The frame this outcome belongs to.
+    allocations:
+        Slot grants to be transmitted in this frame's information subframe.
+    acknowledgements:
+        Requests successfully received in the request phase.
+    contention_attempts:
+        Number of request transmissions attempted by mobile devices.
+    contention_collisions:
+        Number of request minislots wasted by collisions.
+    idle_request_slots:
+        Number of request minislots in which nobody transmitted.
+    queued_requests:
+        Number of requests sitting in the base-station queue after this frame.
+    """
+
+    frame_index: int
+    allocations: List[Allocation] = field(default_factory=list)
+    acknowledgements: List[Acknowledgement] = field(default_factory=list)
+    contention_attempts: int = 0
+    contention_collisions: int = 0
+    idle_request_slots: int = 0
+    queued_requests: int = 0
+
+    @property
+    def n_allocated_slots(self) -> int:
+        """Total information slots granted in this frame."""
+        return sum(a.n_slots for a in self.allocations)
+
+    @property
+    def n_successful_requests(self) -> int:
+        """Number of requests acknowledged in this frame."""
+        return len(self.acknowledgements)

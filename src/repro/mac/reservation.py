@@ -1,0 +1,91 @@
+"""Voice reservation bookkeeping.
+
+Every protocol in the paper grants voice users a *reservation*: once a voice
+request has been served, the user keeps receiving a transmission opportunity
+every 20 ms voice-packet period — without further contention — until the
+current talkspurt ends.  Data users never get reservations.
+
+:class:`ReservationTable` is the base station's view of which voice terminals
+currently hold a reservation.  Protocols call :meth:`grant` when they first
+serve a voice request, :meth:`release_ended_talkspurts` once per frame, and
+:meth:`reserved_terminals` to find the reservation holders that need a slot
+in the current frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.traffic.terminal import Terminal
+
+__all__ = ["ReservationTable"]
+
+
+class ReservationTable:
+    """Tracks which voice terminals currently hold an uplink reservation."""
+
+    def __init__(self) -> None:
+        self._granted_frame: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ API
+    def __len__(self) -> int:
+        return len(self._granted_frame)
+
+    def __contains__(self, terminal_id: int) -> bool:
+        return terminal_id in self._granted_frame
+
+    def holders(self) -> List[int]:
+        """Terminal ids currently holding a reservation (ascending)."""
+        return sorted(self._granted_frame)
+
+    def has(self, terminal_id: int) -> bool:
+        """Whether the given terminal holds a reservation."""
+        return terminal_id in self._granted_frame
+
+    def grant(self, terminal_id: int, frame_index: int) -> None:
+        """Grant a reservation to a voice terminal (idempotent)."""
+        if terminal_id < 0:
+            raise ValueError("terminal_id must be non-negative")
+        if frame_index < 0:
+            raise ValueError("frame_index must be non-negative")
+        self._granted_frame.setdefault(terminal_id, frame_index)
+
+    def release(self, terminal_id: int) -> None:
+        """Release a reservation (no-op if not held)."""
+        self._granted_frame.pop(terminal_id, None)
+
+    def granted_at(self, terminal_id: int) -> int:
+        """Frame at which the reservation was granted."""
+        return self._granted_frame[terminal_id]
+
+    def release_ended_talkspurts(self, terminals: Iterable[Terminal]) -> int:
+        """Release reservations of voice terminals whose talkspurt has ended.
+
+        A reservation is also released if the terminal has drained its buffer
+        and left the talkspurt state — the paper's "until the current
+        talkspurt terminates" rule.  Returns the number of reservations
+        released.
+        """
+        released = 0
+        for terminal in terminals:
+            if not terminal.is_voice:
+                continue
+            if terminal.terminal_id not in self._granted_frame:
+                continue
+            in_talkspurt = getattr(terminal, "in_talkspurt", False)
+            if not in_talkspurt and not terminal.has_pending_packets:
+                self.release(terminal.terminal_id)
+                released += 1
+        return released
+
+    def reserved_terminals(self, terminals: Iterable[Terminal]) -> List[Terminal]:
+        """Reservation holders among ``terminals`` that have packets to send."""
+        return [
+            t
+            for t in terminals
+            if t.is_voice and t.terminal_id in self._granted_frame and t.has_pending_packets
+        ]
+
+    def clear(self) -> None:
+        """Drop all reservations (used between independent runs)."""
+        self._granted_frame.clear()

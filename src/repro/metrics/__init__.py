@@ -1,0 +1,35 @@
+"""Performance metrics of the uplink access protocols.
+
+The paper evaluates every protocol on three metrics (Section 5):
+
+* **voice packet loss rate** ``P_loss`` (equation (3)): the fraction of voice
+  packets that never arrive intact at the base station, combining packets
+  *dropped* at the mobile device because their 20 ms deadline expired and
+  packets *corrupted* by transmission errors;
+* **data throughput**: the average number of data packets successfully
+  received at the base station per TDMA frame;
+* **data delay**: the average time a data packet waits in the device buffer
+  until the beginning of its successful transmission.
+
+:class:`~repro.metrics.collector.MetricsCollector` accumulates these (plus
+contention/allocation statistics) during a run;
+:mod:`repro.metrics.stats` provides the batch statistics used to attach
+confidence intervals to sweep results.
+"""
+
+from repro.metrics.collector import MacStats, MetricsCollector
+from repro.metrics.data import DataMetrics
+from repro.metrics.energy import EnergyModel, EnergyReport
+from repro.metrics.stats import RunningStatistics, batch_means_confidence_interval
+from repro.metrics.voice import VoiceMetrics
+
+__all__ = [
+    "DataMetrics",
+    "EnergyModel",
+    "EnergyReport",
+    "MacStats",
+    "MetricsCollector",
+    "RunningStatistics",
+    "VoiceMetrics",
+    "batch_means_confidence_interval",
+]

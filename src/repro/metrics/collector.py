@@ -1,0 +1,146 @@
+"""Per-run metrics collection.
+
+:class:`MetricsCollector` is owned by the simulation engine.  It accumulates
+per-frame observations (delivered data packets, slot usage, contention
+outcomes) during the measured portion of a run and, at the end, aggregates
+the per-terminal counters into the :class:`~repro.metrics.voice.VoiceMetrics`
+and :class:`~repro.metrics.data.DataMetrics` the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.config import SimulationParameters
+from repro.mac.requests import FrameOutcome
+from repro.metrics.data import DataMetrics
+from repro.metrics.voice import VoiceMetrics
+from repro.traffic.terminal import Terminal
+
+__all__ = ["MacStats", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class MacStats:
+    """Aggregate MAC-layer statistics of one run.
+
+    Attributes
+    ----------
+    n_frames:
+        Number of measured frames.
+    contention_attempts:
+        Total request transmissions (each costs the sender energy).
+    contention_collisions:
+        Request minislots wasted by collisions.
+    idle_request_slots:
+        Request minislots in which nobody transmitted.
+    allocated_slots:
+        Information slots granted over the run.
+    info_slots_per_frame:
+        Information slots available per frame (for utilisation figures).
+    mean_queue_length:
+        Average base-station request-queue occupancy (0 without a queue).
+    """
+
+    n_frames: int
+    contention_attempts: int
+    contention_collisions: int
+    idle_request_slots: int
+    allocated_slots: int
+    info_slots_per_frame: int
+    mean_queue_length: float
+
+    @property
+    def slot_utilisation(self) -> float:
+        """Fraction of available information slots actually granted."""
+        total = self.n_frames * self.info_slots_per_frame
+        if total == 0:
+            return 0.0
+        return self.allocated_slots / total
+
+    @property
+    def collision_rate(self) -> float:
+        """Collisions per measured frame."""
+        if self.n_frames == 0:
+            return 0.0
+        return self.contention_collisions / self.n_frames
+
+
+class MetricsCollector:
+    """Accumulates per-frame observations and produces the run's metrics."""
+
+    def __init__(self, params: SimulationParameters, info_slots_per_frame: int) -> None:
+        self._params = params
+        self._info_slots_per_frame = int(info_slots_per_frame)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget everything collected so far (used at the end of warm-up)."""
+        self._n_frames = 0
+        self._attempts = 0
+        self._collisions = 0
+        self._idle_slots = 0
+        self._allocated_slots = 0
+        self._queue_length_total = 0
+        self._data_delivered_per_frame: List[int] = []
+        self._voice_loss_events_per_frame: List[int] = []
+
+    # ------------------------------------------------------------------ API
+    @property
+    def n_frames(self) -> int:
+        """Number of frames recorded since the last reset."""
+        return self._n_frames
+
+    @property
+    def data_delivered_per_frame(self) -> List[int]:
+        """Per-frame delivered data packets (for batch-means statistics)."""
+        return list(self._data_delivered_per_frame)
+
+    @property
+    def voice_loss_events_per_frame(self) -> List[int]:
+        """Per-frame voice losses, dropping plus errors (for statistics)."""
+        return list(self._voice_loss_events_per_frame)
+
+    def record_frame(
+        self,
+        outcome: FrameOutcome,
+        data_delivered: int,
+        voice_losses: int,
+    ) -> None:
+        """Record one measured frame."""
+        if data_delivered < 0 or voice_losses < 0:
+            raise ValueError("per-frame counters must be non-negative")
+        self._n_frames += 1
+        self._attempts += outcome.contention_attempts
+        self._collisions += outcome.contention_collisions
+        self._idle_slots += outcome.idle_request_slots
+        self._allocated_slots += outcome.n_allocated_slots
+        self._queue_length_total += outcome.queued_requests
+        self._data_delivered_per_frame.append(int(data_delivered))
+        self._voice_loss_events_per_frame.append(int(voice_losses))
+
+    def voice_metrics(self, terminals: Iterable[Terminal]) -> VoiceMetrics:
+        """Aggregate voice metrics from the terminal population."""
+        return VoiceMetrics.from_terminals(terminals)
+
+    def data_metrics(self, terminals: Iterable[Terminal]) -> DataMetrics:
+        """Aggregate data metrics from the terminal population."""
+        return DataMetrics.from_terminals(
+            terminals, self._n_frames, self._params.frame_duration_s
+        )
+
+    def mac_stats(self) -> MacStats:
+        """Aggregate MAC-layer statistics."""
+        mean_queue = (
+            self._queue_length_total / self._n_frames if self._n_frames else 0.0
+        )
+        return MacStats(
+            n_frames=self._n_frames,
+            contention_attempts=self._attempts,
+            contention_collisions=self._collisions,
+            idle_request_slots=self._idle_slots,
+            allocated_slots=self._allocated_slots,
+            info_slots_per_frame=self._info_slots_per_frame,
+            mean_queue_length=mean_queue,
+        )

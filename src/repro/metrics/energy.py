@@ -1,0 +1,121 @@
+"""Transmit-energy accounting (the paper's motivating observation 2).
+
+The introduction of the paper motivates channel-adaptive allocation not only
+by throughput but by energy: "when channel state is bad ... much of the
+mobile device's energy is wasted" on transmissions that the channel destroys
+or on heavy redundancy.  The simulation does not model battery chemistry, but
+every energy-relevant event is already counted — request transmissions
+(each costs one minislot of transmit energy), information-packet
+transmissions, and the subset of those that were wasted because the packet
+arrived corrupted (voice errors and data retransmissions).
+
+:class:`EnergyModel` turns those counters into a simple linear energy figure
+so protocols can be compared on *useful packets delivered per unit of
+transmit energy*, the quantity a battery-powered nomadic device ultimately
+cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import SimulationResult
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one simulation run (arbitrary energy units).
+
+    Attributes
+    ----------
+    request_energy:
+        Energy spent transmitting request/auction minislots.
+    packet_energy:
+        Energy spent transmitting information packets (successful or not).
+    wasted_packet_energy:
+        The part of ``packet_energy`` spent on packets that were corrupted by
+        the channel (voice errors and data retransmissions).
+    useful_packets:
+        Packets delivered error-free (voice + data).
+    """
+
+    request_energy: float
+    packet_energy: float
+    wasted_packet_energy: float
+    useful_packets: int
+
+    @property
+    def total_energy(self) -> float:
+        """Total transmit energy spent."""
+        return self.request_energy + self.packet_energy
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Fraction of the total energy spent on transmissions that failed."""
+        if self.total_energy == 0:
+            return 0.0
+        return self.wasted_packet_energy / self.total_energy
+
+    @property
+    def energy_per_useful_packet(self) -> float:
+        """Transmit energy per delivered packet (lower is better)."""
+        if self.useful_packets == 0:
+            return float("inf") if self.total_energy > 0 else 0.0
+        return self.total_energy / self.useful_packets
+
+
+class EnergyModel:
+    """Linear transmit-energy model on top of a finished simulation run.
+
+    Parameters
+    ----------
+    packet_energy_unit:
+        Energy of transmitting one information packet (the reference unit).
+    request_energy_unit:
+        Energy of transmitting one request minislot, as a fraction of a
+        packet transmission (requests are much shorter than packets).
+    """
+
+    def __init__(
+        self,
+        packet_energy_unit: float = 1.0,
+        request_energy_unit: float = 0.1,
+    ) -> None:
+        if packet_energy_unit <= 0:
+            raise ValueError("packet_energy_unit must be positive")
+        if request_energy_unit < 0:
+            raise ValueError("request_energy_unit must be non-negative")
+        self._packet_unit = float(packet_energy_unit)
+        self._request_unit = float(request_energy_unit)
+
+    @property
+    def packet_energy_unit(self) -> float:
+        """Energy of one information-packet transmission."""
+        return self._packet_unit
+
+    @property
+    def request_energy_unit(self) -> float:
+        """Energy of one request transmission."""
+        return self._request_unit
+
+    def report(self, result: SimulationResult) -> EnergyReport:
+        """Energy accounting for one simulation result."""
+        voice = result.voice
+        data = result.data
+        mac = result.mac
+        transmitted_packets = (
+            voice.delivered + voice.errored + data.delivered + data.retransmissions
+        )
+        wasted_packets = voice.errored + data.retransmissions
+        return EnergyReport(
+            request_energy=mac.contention_attempts * self._request_unit,
+            packet_energy=transmitted_packets * self._packet_unit,
+            wasted_packet_energy=wasted_packets * self._packet_unit,
+            useful_packets=voice.delivered + data.delivered,
+        )
+
+    def energy_per_useful_packet(self, result: SimulationResult) -> float:
+        """Convenience accessor for the headline efficiency figure."""
+        return self.report(result).energy_per_useful_packet

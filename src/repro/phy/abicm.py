@@ -1,0 +1,149 @@
+"""Adaptive (ABICM-style) variable-throughput modem.
+
+:class:`AdaptiveModem` is the object the MAC layer interacts with: given the
+channel state of a user it answers *which transmission mode would be used*,
+*how many packets one information slot would then carry*, and *what the
+instantaneous BER / packet success probability would be*.  It therefore
+realises the conceptual block diagram of Fig. 6 and the staircase of Fig. 7
+of the paper, operated in constant-BER mode.
+
+CSI convention
+--------------
+The MAC protocols reason about CSI as a composite *amplitude* ``c`` (the
+quantity estimated from pilot symbols).  The modem converts amplitudes to
+instantaneous SNR as ``snr_db = mean_snr_db + 20 log10(c)`` — the same
+convention used by :class:`repro.channel.manager.ChannelManager` — and then
+consults the mode table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.ber import ber_approximation, packet_success_probability, snr_db_to_linear
+from repro.phy.modes import OUTAGE_MODE_INDEX, ModeTable, TransmissionMode
+
+__all__ = ["AdaptiveModem"]
+
+
+class AdaptiveModem:
+    """Variable-throughput channel-adaptive modem (paper Section 4.2).
+
+    Parameters
+    ----------
+    mode_table:
+        The 6-mode table with constant-BER thresholds.
+    mean_snr_db:
+        Average received SNR at unit composite channel amplitude; converts
+        CSI amplitudes to instantaneous SNR.
+    packet_size_bits:
+        Packet length used for packet-level success probabilities.
+    """
+
+    def __init__(
+        self,
+        mode_table: ModeTable,
+        mean_snr_db: float = 18.0,
+        packet_size_bits: int = 160,
+    ) -> None:
+        if packet_size_bits < 1:
+            raise ValueError("packet_size_bits must be at least 1")
+        self._modes = mode_table
+        self._mean_snr_db = float(mean_snr_db)
+        self._packet_bits = int(packet_size_bits)
+
+    # ------------------------------------------------------------------ API
+    @property
+    def mode_table(self) -> ModeTable:
+        """The underlying mode table."""
+        return self._modes
+
+    @property
+    def mean_snr_db(self) -> float:
+        """Average SNR at unit amplitude."""
+        return self._mean_snr_db
+
+    @property
+    def packet_size_bits(self) -> int:
+        """Packet length in bits."""
+        return self._packet_bits
+
+    @property
+    def is_adaptive(self) -> bool:
+        """Adaptive modems report ``True``; the fixed-rate modem ``False``."""
+        return True
+
+    @property
+    def max_packets_per_slot(self) -> int:
+        """Upper bound on packets carried by a single information slot."""
+        return self._modes.max_packets_per_slot
+
+    # ------------------------------------------------------------- mappings
+    def snr_db_from_amplitude(self, amplitude) -> np.ndarray:
+        """Convert composite CSI amplitude(s) to instantaneous SNR in dB."""
+        amp = np.asarray(amplitude, dtype=float)
+        with np.errstate(divide="ignore"):
+            amp_db = 20.0 * np.log10(amp)
+        result = self._mean_snr_db + amp_db
+        if np.isscalar(amplitude):
+            return float(result)
+        return result
+
+    def mode_index(self, amplitude) -> np.ndarray:
+        """Mode index per amplitude; :data:`OUTAGE_MODE_INDEX` in outage."""
+        return self._modes.mode_index_for_snr(self.snr_db_from_amplitude(amplitude))
+
+    def select_mode(self, amplitude: float) -> Optional[TransmissionMode]:
+        """Highest sustainable mode for the given amplitude (None in outage)."""
+        return self._modes.mode_for_snr(float(self.snr_db_from_amplitude(float(amplitude))))
+
+    def throughput(self, amplitude) -> np.ndarray:
+        """Normalised throughput delivered at the given amplitude(s).
+
+        This is the quantity ``f(CSI)`` consumed by the CHARISMA priority
+        metric: zero in outage, up to the top mode's throughput in excellent
+        conditions.
+        """
+        return self._modes.throughput_for_snr(self.snr_db_from_amplitude(amplitude))
+
+    def packets_per_slot(self, amplitude) -> np.ndarray:
+        """Packets one information slot carries at the given amplitude(s)."""
+        return self._modes.packets_per_slot_for_snr(self.snr_db_from_amplitude(amplitude))
+
+    def instantaneous_ber(
+        self, amplitude: float, throughput: Optional[float] = None
+    ) -> float:
+        """BER experienced when transmitting at the given channel amplitude.
+
+        By default the mode the modem would *currently* select is used; pass
+        ``throughput`` to evaluate the BER of a previously announced mode
+        instead (this is how the engine models a mode chosen from a stale CSI
+        estimate being used on the channel as it actually is at transmission
+        time).  In outage the most robust mode is (forcedly) used, so the
+        returned BER exceeds the target — the dashed region of Fig. 7a.
+        """
+        snr_db = float(self.snr_db_from_amplitude(float(amplitude)))
+        if throughput is None:
+            mode = self._modes.mode_for_snr(snr_db)
+            throughput = mode.throughput if mode is not None else self._modes[0].throughput
+        return float(ber_approximation(throughput, float(snr_db_to_linear(snr_db))))
+
+    def packet_success_probability(
+        self, amplitude: float, throughput: Optional[float] = None
+    ) -> float:
+        """Probability an entire packet is received without error."""
+        return float(
+            packet_success_probability(
+                self.instantaneous_ber(amplitude, throughput), self._packet_bits
+            )
+        )
+
+    def in_outage(self, amplitude) -> np.ndarray:
+        """True where the amplitude falls below the adaptation range."""
+        idx = self.mode_index(amplitude)
+        result = idx == OUTAGE_MODE_INDEX
+        if np.isscalar(amplitude):
+            return bool(result)
+        return result

@@ -1,0 +1,115 @@
+"""Bit-error-rate approximations for the adaptive physical layer.
+
+The ABICM scheme of the paper is characterised, for MAC purposes, by the
+mapping between instantaneous SNR, spectral efficiency (normalised
+throughput) and bit-error rate.  We use the classic exponential
+approximation for coded/uncoded M-QAM over an AWGN-per-symbol channel
+(Chung & Goldsmith)::
+
+    BER(eta, gamma) ~ 0.2 * exp( -1.5 * gamma / (2**eta - 1) )
+
+where ``gamma`` is the *linear* instantaneous SNR and ``eta`` the number of
+information bits per symbol.  The approximation is monotone in both
+arguments and analytically invertible, which makes it ideal for the
+constant-BER threshold design of :mod:`repro.phy.thresholds`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "BER_COEFFICIENT",
+    "BER_SNR_FACTOR",
+    "ber_approximation",
+    "required_snr_linear",
+    "required_snr_db",
+    "snr_db_to_linear",
+    "snr_linear_to_db",
+    "packet_success_probability",
+]
+
+#: Multiplicative constant of the exponential BER approximation.
+BER_COEFFICIENT: float = 0.2
+
+#: SNR scaling constant of the exponential BER approximation.
+BER_SNR_FACTOR: float = 1.5
+
+
+def snr_db_to_linear(snr_db):
+    """Convert an SNR in dB to linear scale (vectorised)."""
+    return np.power(10.0, np.asarray(snr_db, dtype=float) / 10.0)
+
+
+def snr_linear_to_db(snr_linear):
+    """Convert a linear SNR to dB (vectorised; zero maps to ``-inf``)."""
+    snr = np.asarray(snr_linear, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(snr)
+
+
+def ber_approximation(throughput: float, snr_linear):
+    """Approximate BER for a mode with ``throughput`` bits/symbol at ``snr_linear``.
+
+    Parameters
+    ----------
+    throughput:
+        Normalised throughput ``eta`` (information bits per symbol), > 0.
+    snr_linear:
+        Instantaneous linear SNR (scalar or array), >= 0.
+
+    Returns
+    -------
+    float or numpy.ndarray
+        The approximate bit-error rate, clipped to the physically meaningful
+        interval ``[0, 0.5]``.
+    """
+    if throughput <= 0:
+        raise ValueError("throughput must be positive")
+    snr = np.asarray(snr_linear, dtype=float)
+    if np.any(snr < 0):
+        raise ValueError("snr_linear must be non-negative")
+    ber = BER_COEFFICIENT * np.exp(-BER_SNR_FACTOR * snr / (2.0**throughput - 1.0))
+    ber = np.clip(ber, 0.0, 0.5)
+    if np.isscalar(snr_linear):
+        return float(ber)
+    return ber
+
+
+def required_snr_linear(throughput: float, target_ber: float) -> float:
+    """Minimum linear SNR at which ``throughput`` sustains ``target_ber``.
+
+    Inverts :func:`ber_approximation`.  Raises if the target is not
+    achievable under the approximation (i.e. ``target_ber >= 0.2``, where the
+    required SNR would be non-positive).
+    """
+    if throughput <= 0:
+        raise ValueError("throughput must be positive")
+    if not 0.0 < target_ber < BER_COEFFICIENT:
+        raise ValueError(
+            f"target_ber must lie in (0, {BER_COEFFICIENT}) for the exponential "
+            f"approximation, got {target_ber}"
+        )
+    return -(2.0**throughput - 1.0) * math.log(target_ber / BER_COEFFICIENT) / BER_SNR_FACTOR
+
+
+def required_snr_db(throughput: float, target_ber: float) -> float:
+    """Minimum SNR in dB at which ``throughput`` sustains ``target_ber``."""
+    return float(snr_linear_to_db(required_snr_linear(throughput, target_ber)))
+
+
+def packet_success_probability(ber, packet_bits: int):
+    """Probability that a ``packet_bits``-bit packet is received error-free.
+
+    Assumes independent bit errors after interleaving:
+    ``P_success = (1 - BER)**L``.
+    """
+    if packet_bits < 1:
+        raise ValueError("packet_bits must be at least 1")
+    ber_arr = np.clip(np.asarray(ber, dtype=float), 0.0, 1.0)
+    prob = np.power(1.0 - ber_arr, packet_bits)
+    if np.isscalar(ber):
+        return float(prob)
+    return prob

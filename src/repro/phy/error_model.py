@@ -1,0 +1,80 @@
+"""Packet-level transmission error model.
+
+The paper's loss accounting distinguishes *packet dropping* (a voice packet
+missing its deadline at the sender) from *packet transmission error* (a
+transmitted packet corrupted by the channel).  :class:`PacketErrorModel`
+produces the latter: given the modem in use and the transmitter's composite
+channel amplitude at transmission time, it decides stochastically whether
+each transmitted packet is received error-free.
+
+Both the adaptive and the fixed-rate modem expose
+``packet_success_probability(amplitude)``; the error model simply draws
+Bernoulli outcomes from a dedicated random stream so that error realisations
+are reproducible and independent of the traffic/contention randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.phy.abicm import AdaptiveModem
+from repro.phy.fixed import FixedRateModem
+
+__all__ = ["PacketErrorModel"]
+
+Modem = Union[AdaptiveModem, FixedRateModem]
+
+
+class PacketErrorModel:
+    """Bernoulli packet-error sampler on top of a modem's success probability.
+
+    Parameters
+    ----------
+    modem:
+        The physical layer in use (adaptive or fixed-rate).
+    rng:
+        Random generator dedicated to channel-error draws.
+    """
+
+    def __init__(self, modem: Modem, rng: np.random.Generator) -> None:
+        self._modem = modem
+        self._rng = rng
+
+    @property
+    def modem(self) -> Modem:
+        """The modem whose success probabilities drive the error draws."""
+        return self._modem
+
+    def success_probability(
+        self, amplitude: float, throughput: float | None = None
+    ) -> float:
+        """Per-packet success probability at the given channel amplitude.
+
+        ``throughput`` overrides the mode the modem would pick from the
+        *current* amplitude — used when a previously announced mode is
+        transmitted over a channel that has since changed.
+        """
+        return self._modem.packet_success_probability(amplitude, throughput)
+
+    def transmit_packet(self, amplitude: float, throughput: float | None = None) -> bool:
+        """Simulate one packet transmission; ``True`` if received error-free."""
+        return bool(self._rng.random() < self.success_probability(amplitude, throughput))
+
+    def transmit_packets(
+        self, amplitude: float, n_packets: int, throughput: float | None = None
+    ) -> int:
+        """Simulate ``n_packets`` transmissions in the same slot/channel state.
+
+        Returns the number of packets received without error.  All packets in
+        the same information slot see the same channel state (the coherence
+        time far exceeds a slot duration), hence a single success probability
+        and a binomial draw.
+        """
+        if n_packets < 0:
+            raise ValueError("n_packets must be non-negative")
+        if n_packets == 0:
+            return 0
+        p = self.success_probability(amplitude, throughput)
+        return int(self._rng.binomial(n_packets, p))

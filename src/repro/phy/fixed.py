@@ -1,0 +1,156 @@
+"""Fixed-throughput (non-adaptive) modem.
+
+D-TDMA/FR, RAMA, RMAV and DRMA are evaluated in the paper on top of a
+conventional fixed-throughput physical layer: every information slot carries
+exactly one packet at the reference rate, with a channel encoder dimensioned
+for the *average* channel.  When a user's instantaneous channel drops below
+the encoder's design point the transmitted packet is likely lost — this is
+precisely the wasteful behaviour CHARISMA avoids.
+
+:class:`FixedRateModem` mirrors the :class:`~repro.phy.abicm.AdaptiveModem`
+interface so the simulation engine can treat both uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.ber import (
+    ber_approximation,
+    packet_success_probability,
+    required_snr_db,
+    snr_db_to_linear,
+)
+from repro.phy.modes import ModeTable, TransmissionMode
+
+__all__ = ["FixedRateModem"]
+
+
+class FixedRateModem:
+    """Constant-throughput modem used by the non-adaptive baseline protocols.
+
+    Parameters
+    ----------
+    throughput:
+        Normalised throughput of the single transmission mode (the reference
+        rate: one packet per information slot).
+    target_ber:
+        Design-point BER; the corresponding SNR is the mode's nominal
+        operating threshold (used only for reporting — transmissions are
+        attempted regardless of the channel, unlike the adaptive modem).
+    mean_snr_db:
+        Average received SNR at unit composite amplitude.
+    packet_size_bits:
+        Packet length for packet-level success probabilities.
+    """
+
+    def __init__(
+        self,
+        throughput: float = 1.0,
+        target_ber: float = 1e-3,
+        mean_snr_db: float = 18.0,
+        packet_size_bits: int = 160,
+    ) -> None:
+        if throughput <= 0:
+            raise ValueError("throughput must be positive")
+        if packet_size_bits < 1:
+            raise ValueError("packet_size_bits must be at least 1")
+        self._throughput = float(throughput)
+        self._target_ber = float(target_ber)
+        self._mean_snr_db = float(mean_snr_db)
+        self._packet_bits = int(packet_size_bits)
+        self._mode = TransmissionMode(
+            index=0,
+            throughput=self._throughput,
+            snr_threshold_db=required_snr_db(self._throughput, self._target_ber),
+        )
+
+    # ------------------------------------------------------------------ API
+    @property
+    def is_adaptive(self) -> bool:
+        """Fixed-rate modems report ``False``."""
+        return False
+
+    @property
+    def mean_snr_db(self) -> float:
+        """Average SNR at unit amplitude."""
+        return self._mean_snr_db
+
+    @property
+    def packet_size_bits(self) -> int:
+        """Packet length in bits."""
+        return self._packet_bits
+
+    @property
+    def nominal_mode(self) -> TransmissionMode:
+        """The single transmission mode of this modem."""
+        return self._mode
+
+    @property
+    def max_packets_per_slot(self) -> int:
+        """A fixed-rate information slot always carries exactly one packet."""
+        return 1
+
+    @property
+    def mode_table(self) -> Optional[ModeTable]:
+        """Fixed-rate modems have no adaptation table."""
+        return None
+
+    # ------------------------------------------------------------- mappings
+    def snr_db_from_amplitude(self, amplitude) -> np.ndarray:
+        """Convert composite CSI amplitude(s) to instantaneous SNR in dB."""
+        amp = np.asarray(amplitude, dtype=float)
+        with np.errstate(divide="ignore"):
+            amp_db = 20.0 * np.log10(amp)
+        result = self._mean_snr_db + amp_db
+        if np.isscalar(amplitude):
+            return float(result)
+        return result
+
+    def select_mode(self, amplitude: float) -> TransmissionMode:
+        """The fixed mode is always selected, whatever the channel."""
+        return self._mode
+
+    def throughput(self, amplitude) -> np.ndarray:
+        """Constant normalised throughput regardless of the channel."""
+        amp = np.asarray(amplitude, dtype=float)
+        result = np.full_like(amp, self._throughput, dtype=float)
+        if np.isscalar(amplitude):
+            return float(self._throughput)
+        return result
+
+    def packets_per_slot(self, amplitude) -> np.ndarray:
+        """Always one packet per information slot."""
+        amp = np.asarray(amplitude, dtype=float)
+        result = np.ones_like(amp, dtype=int)
+        if np.isscalar(amplitude):
+            return 1
+        return result
+
+    def instantaneous_ber(
+        self, amplitude: float, throughput: Optional[float] = None
+    ) -> float:
+        """BER at the fixed rate (or an explicit override) for the given amplitude."""
+        snr_db = float(self.snr_db_from_amplitude(float(amplitude)))
+        rate = self._throughput if throughput is None else float(throughput)
+        return float(ber_approximation(rate, float(snr_db_to_linear(snr_db))))
+
+    def packet_success_probability(
+        self, amplitude: float, throughput: Optional[float] = None
+    ) -> float:
+        """Probability an entire packet is received without error."""
+        return float(
+            packet_success_probability(
+                self.instantaneous_ber(amplitude, throughput), self._packet_bits
+            )
+        )
+
+    def in_outage(self, amplitude) -> np.ndarray:
+        """Whether the instantaneous channel is below the design threshold."""
+        snr = self.snr_db_from_amplitude(amplitude)
+        result = np.asarray(snr) < self._mode.snr_threshold_db
+        if np.isscalar(amplitude):
+            return bool(result)
+        return result

@@ -1,0 +1,202 @@
+"""Transmission-mode table of the 6-mode adaptive physical layer.
+
+The paper's ABICM scheme offers six transmission modes with normalised
+throughput (information bits per modulation symbol) ranging from 1/2 to 5.
+Mode ``q`` is selected whenever the estimated CSI falls inside the adaptation
+interval ``[gamma_{q}, gamma_{q+1})``; below the lowest threshold even mode 0
+cannot maintain the target BER and the link is in *outage* (Fig. 7a).
+
+:class:`ModeTable` holds the ordered list of :class:`TransmissionMode`
+entries together with their constant-BER SNR thresholds and provides
+vectorised mode lookup for the simulation engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.phy.ber import required_snr_db
+from repro.phy.thresholds import constant_ber_thresholds_db
+
+__all__ = ["TransmissionMode", "ModeTable", "OUTAGE_MODE_INDEX"]
+
+#: Sentinel mode index returned when the channel is below the lowest
+#: adaptation threshold (the paper's "adaptation range exceeded" situation).
+OUTAGE_MODE_INDEX: int = -1
+
+
+@dataclass(frozen=True)
+class TransmissionMode:
+    """One entry of the adaptive-PHY mode table.
+
+    Attributes
+    ----------
+    index:
+        Mode number ``q`` (0 = most robust / lowest throughput).
+    throughput:
+        Normalised throughput in information bits per symbol.
+    snr_threshold_db:
+        Minimum instantaneous SNR (dB) at which the mode still satisfies the
+        target BER — the lower edge of its adaptation interval.
+    """
+
+    index: int
+    throughput: float
+    snr_threshold_db: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("index must be non-negative")
+        if self.throughput <= 0:
+            raise ValueError("throughput must be positive")
+
+    def packets_per_slot(self, reference_throughput: float) -> int:
+        """Number of packets a slot in this mode carries.
+
+        The reference throughput corresponds to one packet per slot; higher
+        modes proportionally pack more packets.  The result is floored to an
+        integer but never below one — a granted slot always carries at least
+        one packet, mirroring the paper's mode-0 "very low throughput" case
+        where a packet simply occupies the whole slot with heavy redundancy.
+        """
+        if reference_throughput <= 0:
+            raise ValueError("reference_throughput must be positive")
+        return max(1, int(np.floor(self.throughput / reference_throughput + 1e-9)))
+
+
+class ModeTable:
+    """Ordered collection of the adaptive-PHY transmission modes.
+
+    Parameters
+    ----------
+    throughputs:
+        Ascending normalised throughputs of the modes (paper: ``(0.5, 1, 2,
+        3, 4, 5)``).
+    target_ber:
+        Target bit-error rate of the constant-BER operation.
+    reference_throughput:
+        Throughput equivalent to one packet per information slot.
+    """
+
+    def __init__(
+        self,
+        throughputs: Sequence[float] = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0),
+        target_ber: float = 1e-3,
+        reference_throughput: float = 1.0,
+    ) -> None:
+        throughputs = tuple(float(t) for t in throughputs)
+        if len(throughputs) < 2:
+            raise ValueError("a mode table needs at least two modes")
+        if list(throughputs) != sorted(throughputs):
+            raise ValueError("throughputs must be sorted ascending")
+        if len(set(throughputs)) != len(throughputs):
+            raise ValueError("throughputs must be distinct")
+        if reference_throughput <= 0:
+            raise ValueError("reference_throughput must be positive")
+        self._target_ber = float(target_ber)
+        self._reference = float(reference_throughput)
+        thresholds = constant_ber_thresholds_db(throughputs, target_ber)
+        self._modes: Tuple[TransmissionMode, ...] = tuple(
+            TransmissionMode(index=i, throughput=t, snr_threshold_db=thr)
+            for i, (t, thr) in enumerate(zip(throughputs, thresholds))
+        )
+        self._thresholds_db = np.asarray(thresholds, dtype=float)
+
+    # ------------------------------------------------------------------ API
+    @property
+    def target_ber(self) -> float:
+        """Target BER of the constant-BER threshold design."""
+        return self._target_ber
+
+    @property
+    def reference_throughput(self) -> float:
+        """Throughput equivalent to one packet per information slot."""
+        return self._reference
+
+    @property
+    def thresholds_db(self) -> np.ndarray:
+        """Lower SNR thresholds (dB) of each mode, ascending."""
+        return self._thresholds_db.copy()
+
+    @property
+    def outage_threshold_db(self) -> float:
+        """SNR below which even the most robust mode violates the target BER."""
+        return float(self._thresholds_db[0])
+
+    @property
+    def max_throughput(self) -> float:
+        """Throughput of the highest mode."""
+        return self._modes[-1].throughput
+
+    @property
+    def max_packets_per_slot(self) -> int:
+        """Packets per slot delivered by the highest mode."""
+        return self._modes[-1].packets_per_slot(self._reference)
+
+    def __len__(self) -> int:
+        return len(self._modes)
+
+    def __iter__(self) -> Iterator[TransmissionMode]:
+        return iter(self._modes)
+
+    def __getitem__(self, index: int) -> TransmissionMode:
+        return self._modes[index]
+
+    def mode_index_for_snr(self, snr_db) -> np.ndarray:
+        """Vectorised mode lookup.
+
+        Returns, for each SNR value, the index of the highest mode whose
+        threshold does not exceed it, or :data:`OUTAGE_MODE_INDEX` when the
+        SNR is below the lowest threshold.
+        """
+        snr = np.asarray(snr_db, dtype=float)
+        # searchsorted gives the count of thresholds <= snr; subtract one.
+        idx = np.searchsorted(self._thresholds_db, snr, side="right") - 1
+        return idx.astype(int)
+
+    def mode_for_snr(self, snr_db: float) -> Optional[TransmissionMode]:
+        """Scalar mode lookup; ``None`` when the link is in outage."""
+        idx = int(self.mode_index_for_snr(float(snr_db)))
+        if idx == OUTAGE_MODE_INDEX:
+            return None
+        return self._modes[idx]
+
+    def throughput_for_snr(self, snr_db) -> np.ndarray:
+        """Vectorised normalised throughput (0 in outage) — Fig. 7b staircase."""
+        snr = np.asarray(snr_db, dtype=float)
+        idx = self.mode_index_for_snr(snr)
+        throughputs = np.concatenate(([0.0], [m.throughput for m in self._modes]))
+        result = throughputs[idx + 1]
+        if np.isscalar(snr_db):
+            return float(result)
+        return result
+
+    def packets_per_slot_for_snr(self, snr_db) -> np.ndarray:
+        """Vectorised packets-per-slot (0 in outage)."""
+        snr = np.asarray(snr_db, dtype=float)
+        idx = self.mode_index_for_snr(snr)
+        per_mode = np.concatenate(
+            ([0], [m.packets_per_slot(self._reference) for m in self._modes])
+        )
+        result = per_mode[idx + 1]
+        if np.isscalar(snr_db):
+            return int(result)
+        return result
+
+    def describe(self) -> list[dict]:
+        """Mode table rows for documentation / the Fig. 7 benchmark."""
+        return [
+            {
+                "mode": m.index,
+                "throughput_bits_per_symbol": m.throughput,
+                "snr_threshold_db": round(m.snr_threshold_db, 3),
+                "packets_per_slot": m.packets_per_slot(self._reference),
+                "required_snr_check_db": round(
+                    required_snr_db(m.throughput, self._target_ber), 3
+                ),
+            }
+            for m in self._modes
+        ]

@@ -1,0 +1,49 @@
+"""Constant-BER adaptation-threshold design.
+
+The paper operates the ABICM adaptive PHY in *constant BER mode*: "the
+adaptation thresholds are set optimally to maintain a target transmission
+error level over a range of CSI values."  Under the exponential BER
+approximation of :mod:`repro.phy.ber` the optimal threshold of mode ``q`` is
+simply the SNR at which its BER equals the target — above that point the mode
+is safe, below it the next more robust mode must be used.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.phy.ber import required_snr_db
+
+__all__ = ["constant_ber_thresholds_db"]
+
+
+def constant_ber_thresholds_db(
+    throughputs: Sequence[float], target_ber: float
+) -> List[float]:
+    """Lower SNR threshold (dB) of each mode for constant-BER operation.
+
+    Parameters
+    ----------
+    throughputs:
+        Ascending normalised throughputs of the modes.
+    target_ber:
+        Target bit-error rate, in ``(0, 0.2)``.
+
+    Returns
+    -------
+    list of float
+        Strictly increasing SNR thresholds, one per mode.  The first entry is
+        also the outage threshold: below it no mode can maintain the target.
+    """
+    if len(throughputs) == 0:
+        raise ValueError("at least one mode throughput is required")
+    ordered = list(throughputs)
+    if ordered != sorted(ordered):
+        raise ValueError("throughputs must be sorted ascending")
+    thresholds = [required_snr_db(eta, target_ber) for eta in ordered]
+    # Monotonicity is guaranteed analytically (2**eta - 1 is increasing); the
+    # assertion documents the invariant relied upon by ModeTable.searchsorted.
+    for lower, upper in zip(thresholds, thresholds[1:]):
+        if not upper > lower:
+            raise ValueError("mode thresholds must be strictly increasing")
+    return thresholds

@@ -1,0 +1,185 @@
+"""A small discrete-event simulation kernel.
+
+The TDMA system itself is frame-synchronous and is driven by the dedicated
+engine in :mod:`repro.sim.engine`, but several parts of the model are most
+naturally expressed as asynchronous events (burst arrivals, talkspurt
+boundaries, experiment orchestration), and the original paper's platform —
+like the SimPy-based setups such studies typically use — is an event-driven
+simulator.  This module provides that substrate from scratch: a binary-heap
+event calendar with deterministic tie-breaking, one-shot and periodic events,
+and a simple simulator facade.
+
+The kernel is deliberately free of any wireless-specific logic so that it is
+reusable (and testable) on its own.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Event", "EventQueue", "DiscreteEventSimulator"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """One scheduled occurrence in the event calendar.
+
+    Events order by time, then by insertion sequence (FIFO among
+    simultaneous events), which keeps runs deterministic.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """Binary-heap event calendar with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no live events remain."""
+        return len(self) == 0
+
+    def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute ``time``; returns the event."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time=float(time), sequence=next(self._counter),
+                      callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (lazy deletion)."""
+        self._cancelled.add(event.sequence)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.sequence in self._cancelled:
+                self._cancelled.discard(event.sequence)
+                continue
+            return event
+        raise IndexError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].sequence in self._cancelled:
+            event = heapq.heappop(self._heap)
+            self._cancelled.discard(event.sequence)
+        return self._heap[0].time if self._heap else None
+
+
+class DiscreteEventSimulator:
+    """Minimal event-driven simulator: schedule callbacks, run the clock."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ API
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    label: str = "") -> Event:
+        """Schedule a callback at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past (now={self._now}, requested={time})"
+            )
+        return self._queue.push(time, callback, label)
+
+    def schedule_in(self, delay: float, callback: Callable[[], None],
+                    label: str = "") -> Event:
+        """Schedule a callback ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self._queue.push(self._now + delay, callback, label)
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        label: str = "",
+        start_offset: Optional[float] = None,
+    ) -> None:
+        """Schedule ``callback`` periodically.
+
+        The first firing happens ``start_offset`` time units from now, or one
+        full ``interval`` from now when no offset is given; subsequent
+        firings follow every ``interval``.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if start_offset is None:
+            start_offset = interval
+        if start_offset < 0:
+            raise ValueError("start_offset must be non-negative")
+
+        def fire() -> None:
+            callback()
+            self.schedule_in(interval, fire, label=label)
+
+        self.schedule_in(start_offset, fire, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self._queue.cancel(event)
+
+    def step(self) -> bool:
+        """Execute the next event; returns ``False`` when none remain."""
+        if self._queue.is_empty:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        event.callback()
+        self._events_processed += 1
+        return True
+
+    def run_until(self, end_time: float) -> None:
+        """Run events until the clock would pass ``end_time``."""
+        if end_time < self._now:
+            raise ValueError("end_time must not be in the past")
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+        self._now = end_time
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the calendar is empty (or ``max_events`` were processed)."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break

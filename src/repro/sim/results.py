@@ -1,0 +1,110 @@
+"""Result containers produced by the simulation runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.collector import MacStats
+from repro.metrics.data import DataMetrics
+from repro.metrics.voice import VoiceMetrics
+from repro.sim.scenario import Scenario
+
+__all__ = ["SimulationResult", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything measured in one simulation run.
+
+    Attributes
+    ----------
+    scenario:
+        The scenario that was simulated.
+    voice:
+        Aggregated voice metrics (packet loss decomposition).
+    data:
+        Aggregated data metrics (throughput, delay).
+    mac:
+        MAC-layer statistics (contention, slot utilisation, queue length).
+    """
+
+    scenario: Scenario
+    voice: VoiceMetrics
+    data: DataMetrics
+    mac: MacStats
+
+    @property
+    def voice_loss_rate(self) -> float:
+        """Convenience accessor for the headline voice metric."""
+        return self.voice.loss_rate
+
+    @property
+    def data_throughput(self) -> float:
+        """Convenience accessor: delivered data packets per frame."""
+        return self.data.throughput_packets_per_frame
+
+    @property
+    def data_delay_s(self) -> float:
+        """Convenience accessor: mean data access delay in seconds."""
+        return self.data.mean_delay_s
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary used by tables, sweeps and EXPERIMENTS.md."""
+        return {
+            "protocol": self.scenario.protocol,
+            "n_voice": self.scenario.n_voice,
+            "n_data": self.scenario.n_data,
+            "request_queue": self.scenario.use_request_queue,
+            "seed": self.scenario.seed,
+            "voice_loss_rate": self.voice.loss_rate,
+            "voice_dropping_rate": self.voice.dropping_rate,
+            "voice_error_rate": self.voice.error_rate,
+            "data_throughput_per_frame": self.data.throughput_packets_per_frame,
+            "data_delay_s": self.data.mean_delay_s,
+            "slot_utilisation": self.mac.slot_utilisation,
+            "collision_rate": self.mac.collision_rate,
+            "mean_queue_length": self.mac.mean_queue_length,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Results of a one-dimensional parameter sweep for one protocol.
+
+    Attributes
+    ----------
+    protocol:
+        Protocol registry name.
+    parameter:
+        Name of the swept quantity (e.g. ``"n_voice"``).
+    values:
+        The swept values, in order.
+    results:
+        One :class:`SimulationResult` per swept value.
+    """
+
+    protocol: str
+    parameter: str
+    values: List[float] = field(default_factory=list)
+    results: List[SimulationResult] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.results):
+            raise ValueError("values and results must have the same length")
+
+    def series(self, metric: str) -> List[float]:
+        """Extract one metric across the sweep (by summary key)."""
+        return [float(r.summary()[metric]) for r in self.results]
+
+    def crossing_value(self, metric: str, threshold: float) -> Optional[float]:
+        """First swept value at which ``metric`` exceeds ``threshold``.
+
+        Used for capacity read-offs such as "number of voice users supported
+        at the 1 % packet loss threshold".  Returns ``None`` if the metric
+        stays below the threshold over the whole sweep.
+        """
+        for value, metric_value in zip(self.values, self.series(metric)):
+            if metric_value > threshold:
+                return value
+        return None

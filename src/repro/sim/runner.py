@@ -1,0 +1,126 @@
+"""High-level entry points: run one scenario, or sweep many.
+
+``run_simulation`` is the single-call API used by the examples and the
+benchmark harness.  ``run_sweep`` evaluates one protocol across a range of
+population sizes (the x-axis of the paper's Figs. 11-13) and
+``run_protocol_comparison`` produces the multi-protocol family of curves of
+one sub-figure.  Sweeps can optionally fan out across processes — each run is
+completely independent, which makes this an embarrassingly parallel workload.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import SimulationParameters
+from repro.sim.engine import UplinkSimulationEngine
+from repro.sim.results import SimulationResult, SweepResult
+from repro.sim.scenario import Scenario
+
+__all__ = ["run_simulation", "run_many", "run_sweep", "run_protocol_comparison"]
+
+
+def run_simulation(
+    scenario: Scenario,
+    params: Optional[SimulationParameters] = None,
+) -> SimulationResult:
+    """Simulate one scenario and return its metrics."""
+    engine = UplinkSimulationEngine(scenario, params)
+    return engine.run()
+
+
+def _run_one(args) -> SimulationResult:
+    scenario, params = args
+    return run_simulation(scenario, params)
+
+
+def run_many(
+    scenarios: Sequence[Scenario],
+    params: Optional[SimulationParameters] = None,
+    n_workers: int = 1,
+) -> List[SimulationResult]:
+    """Run several independent scenarios, optionally in parallel processes.
+
+    Parameters
+    ----------
+    scenarios:
+        The runs to execute.
+    params:
+        Shared simulation parameters.
+    n_workers:
+        Number of worker processes; 1 (the default) runs sequentially in the
+        current process, which is preferable for small batches because each
+        worker re-imports the package.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+    jobs = [(scenario, params) for scenario in scenarios]
+    if n_workers == 1 or len(jobs) <= 1:
+        return [_run_one(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(_run_one, jobs))
+
+
+def run_sweep(
+    protocol: str,
+    values: Iterable[int],
+    parameter: str = "n_voice",
+    base_scenario: Optional[Scenario] = None,
+    params: Optional[SimulationParameters] = None,
+    n_workers: int = 1,
+) -> SweepResult:
+    """Sweep a population-size parameter for one protocol.
+
+    Parameters
+    ----------
+    protocol:
+        Protocol registry name.
+    values:
+        The swept values (e.g. numbers of voice users).
+    parameter:
+        Scenario field to sweep: ``"n_voice"`` or ``"n_data"``.
+    base_scenario:
+        Template scenario providing everything except the swept field; a
+        sensible default is used when omitted.
+    params:
+        Shared simulation parameters.
+    n_workers:
+        Worker processes for the independent runs.
+    """
+    if parameter not in ("n_voice", "n_data"):
+        raise ValueError("parameter must be 'n_voice' or 'n_data'")
+    if base_scenario is None:
+        base_scenario = Scenario(protocol=protocol, n_voice=0, n_data=0)
+    values = [int(v) for v in values]
+    scenarios = [
+        base_scenario.with_overrides(**{parameter: value, "protocol": protocol})
+        for value in values
+    ]
+    results = run_many(scenarios, params, n_workers=n_workers)
+    return SweepResult(
+        protocol=protocol, parameter=parameter, values=list(values), results=results
+    )
+
+
+def run_protocol_comparison(
+    protocols: Sequence[str],
+    values: Iterable[int],
+    parameter: str = "n_voice",
+    base_scenario: Optional[Scenario] = None,
+    params: Optional[SimulationParameters] = None,
+    n_workers: int = 1,
+) -> Dict[str, SweepResult]:
+    """Run the same sweep for several protocols (one paper sub-figure)."""
+    values = [int(v) for v in values]
+    return {
+        protocol: run_sweep(
+            protocol,
+            values,
+            parameter=parameter,
+            base_scenario=base_scenario,
+            params=params,
+            n_workers=n_workers,
+        )
+        for protocol in protocols
+    }

@@ -1,0 +1,84 @@
+"""Scenario descriptions: what a single simulation run looks like."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.config import SimulationParameters
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell, one protocol, one traffic mix, one seed.
+
+    Attributes
+    ----------
+    protocol:
+        Registry name of the protocol under test (``"charisma"``,
+        ``"dtdma_vr"``, ``"dtdma_fr"``, ``"drma"``, ``"rama"``, ``"rmav"``).
+    n_voice:
+        Number of voice terminals in the cell.
+    n_data:
+        Number of data terminals in the cell.
+    use_request_queue:
+        Whether the base station keeps the optional request queue.
+    duration_s:
+        Measured simulation time (after warm-up), in seconds.
+    warmup_s:
+        Warm-up period whose statistics are discarded, in seconds.
+    seed:
+        Master seed of the run's random streams.
+    mobile_speed_kmh:
+        Optional override of the population's mobile speed (the Section 5.3.3
+        speed ablation); ``None`` keeps the parameter default.
+    """
+
+    protocol: str
+    n_voice: int
+    n_data: int
+    use_request_queue: bool = False
+    duration_s: float = 10.0
+    warmup_s: float = 1.0
+    seed: int = 0
+    mobile_speed_kmh: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.protocol:
+            raise ValueError("protocol name must not be empty")
+        if self.n_voice < 0 or self.n_data < 0:
+            raise ValueError("population sizes must be non-negative")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.warmup_s < 0:
+            raise ValueError("warmup_s must be non-negative")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.mobile_speed_kmh is not None and self.mobile_speed_kmh < 0:
+            raise ValueError("mobile_speed_kmh must be non-negative")
+
+    @property
+    def n_terminals(self) -> int:
+        """Total number of terminals in the cell."""
+        return self.n_voice + self.n_data
+
+    def measured_frames(self, params: SimulationParameters) -> int:
+        """Number of measured frames implied by ``duration_s``."""
+        return max(1, int(round(self.duration_s / params.frame_duration_s)))
+
+    def warmup_frames(self, params: SimulationParameters) -> int:
+        """Number of warm-up frames implied by ``warmup_s``."""
+        return int(round(self.warmup_s / params.frame_duration_s))
+
+    def with_overrides(self, **overrides) -> "Scenario":
+        """Copy of the scenario with some fields replaced."""
+        return replace(self, **overrides)
+
+    def label(self) -> str:
+        """Compact human-readable identifier used in tables and logs."""
+        queue = "queue" if self.use_request_queue else "noqueue"
+        return (
+            f"{self.protocol}[Nv={self.n_voice},Nd={self.n_data},{queue},seed={self.seed}]"
+        )

@@ -1,0 +1,50 @@
+"""Traffic substrate: voice/data sources, packets, terminals and contention gating.
+
+The paper's system model (Section 2) has exactly two request types:
+
+* **voice** — an on/off source alternating between exponentially distributed
+  talkspurts (mean 1.0 s) and silences (mean 1.35 s); during a talkspurt one
+  delay-sensitive packet is produced every 20 ms and must be transmitted
+  within 20 ms or be dropped;
+* **data** — file transfers arriving as bursts with exponentially distributed
+  inter-arrival times (mean 1 s) and exponentially distributed sizes (mean
+  100 packets); data packets are delay-insensitive and are never dropped at
+  the sender, only delayed (and retransmitted on channel error).
+
+Requests are submitted in contention minislots gated by permission
+probabilities ``p_v`` / ``p_d``.
+
+Public classes
+--------------
+:class:`~repro.traffic.packets.Packet` and :class:`~repro.traffic.packets.TrafficKind`
+    The unit of transmission and its service class.
+:class:`~repro.traffic.voice.VoiceSource` / :class:`~repro.traffic.data.DataSource`
+    Frame-synchronous packet generators.
+:class:`~repro.traffic.terminal.Terminal`, ``VoiceTerminal``, ``DataTerminal``
+    A mobile device: source + transmit buffer + per-terminal statistics.
+:class:`~repro.traffic.permission.PermissionPolicy`
+    The ``p_v`` / ``p_d`` gating of request transmissions.
+:func:`~repro.traffic.generator.build_population`
+    Factory creating the mixed voice/data terminal population of a scenario.
+"""
+
+from repro.traffic.data import DataSource
+from repro.traffic.generator import build_population
+from repro.traffic.packets import Packet, TrafficKind
+from repro.traffic.permission import PermissionPolicy
+from repro.traffic.terminal import DataTerminal, Terminal, TerminalStats, VoiceTerminal
+from repro.traffic.voice import VoiceActivity, VoiceSource
+
+__all__ = [
+    "DataSource",
+    "DataTerminal",
+    "Packet",
+    "PermissionPolicy",
+    "Terminal",
+    "TerminalStats",
+    "TrafficKind",
+    "VoiceActivity",
+    "VoiceSource",
+    "VoiceTerminal",
+    "build_population",
+]

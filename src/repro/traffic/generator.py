@@ -1,0 +1,41 @@
+"""Population factory for mixed voice/data scenarios."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.config import SimulationParameters
+from repro.traffic.terminal import DataTerminal, Terminal, VoiceTerminal
+
+__all__ = ["build_population"]
+
+
+def build_population(
+    params: SimulationParameters,
+    n_voice: int,
+    n_data: int,
+    rng: np.random.Generator,
+) -> List[Terminal]:
+    """Create the terminal population of a scenario.
+
+    Voice terminals occupy indices ``0 .. n_voice-1`` and data terminals the
+    following ``n_data`` indices, so a terminal's id doubles as its row in the
+    :class:`~repro.channel.manager.ChannelManager`.
+
+    Every voice terminal starts in a *silence* period of random (exponential)
+    length.  Starting part of the population mid-talkspurt would make all of
+    those calls contend for a reservation in the very first frames — a
+    synchronised cold-start burst that no contention-based protocol (nor a
+    real cell, where calls begin at random times) ever faces — so instead the
+    population ramps up naturally during the warm-up period as silences end.
+    """
+    if n_voice < 0 or n_data < 0:
+        raise ValueError("population sizes must be non-negative")
+    terminals: List[Terminal] = []
+    for i in range(n_voice):
+        terminals.append(VoiceTerminal(i, params, rng, start_silent=True))
+    for j in range(n_data):
+        terminals.append(DataTerminal(n_voice + j, params, rng))
+    return terminals

@@ -1,0 +1,272 @@
+"""Mobile-device terminals: traffic source + transmit buffer + statistics.
+
+A :class:`Terminal` is the per-user state the simulation engine and the MAC
+protocols interact with.  It owns the traffic source, the uplink transmit
+buffer, and the per-terminal counters from which the paper's three metrics
+(voice packet loss rate, data throughput, data delay) are later aggregated.
+
+The division of responsibilities is:
+
+* the **terminal** generates packets at frame boundaries, drops expired voice
+  packets, hands packets over for transmission and records the outcomes;
+* the **MAC protocol** decides when the terminal contends, whether it holds a
+  reservation, and how many packets it may transmit in a frame;
+* the **engine** wires the two together with the channel and the PHY error
+  model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.config import SimulationParameters
+from repro.traffic.data import DataSource
+from repro.traffic.packets import Packet, TrafficKind
+from repro.traffic.voice import VoiceSource
+
+__all__ = ["TerminalStats", "Terminal", "VoiceTerminal", "DataTerminal"]
+
+
+@dataclass
+class TerminalStats:
+    """Per-terminal transmission and loss counters.
+
+    Voice packets that miss their deadline are *dropped*; transmitted voice
+    packets corrupted by the channel are *errored* — the paper's packet loss
+    rate (equation (3)) combines both.  Data packets are never dropped; a
+    corrupted data packet is retransmitted, and its access delay keeps
+    growing until the first error-free transmission.
+    """
+
+    voice_generated: int = 0
+    voice_delivered: int = 0
+    voice_errored: int = 0
+    voice_dropped: int = 0
+    data_generated: int = 0
+    data_delivered: int = 0
+    data_retransmissions: int = 0
+    data_delay_frames: List[int] = field(default_factory=list)
+
+    @property
+    def voice_lost(self) -> int:
+        """Voice packets lost to either deadline expiry or channel error."""
+        return self.voice_dropped + self.voice_errored
+
+    @property
+    def mean_data_delay_frames(self) -> float:
+        """Mean access delay of delivered data packets, in frames."""
+        if not self.data_delay_frames:
+            return 0.0
+        return float(np.mean(self.data_delay_frames))
+
+
+class Terminal:
+    """Base class for a mobile device.
+
+    Parameters
+    ----------
+    terminal_id:
+        Index of this device within the population (also its channel index).
+    kind:
+        Service class of the device (voice or data).
+    params:
+        Shared simulation parameters.
+    """
+
+    def __init__(
+        self,
+        terminal_id: int,
+        kind: TrafficKind,
+        params: SimulationParameters,
+    ) -> None:
+        if terminal_id < 0:
+            raise ValueError("terminal_id must be non-negative")
+        self._id = int(terminal_id)
+        self._kind = kind
+        self._params = params
+        self._buffer: Deque[Packet] = deque()
+        self.stats = TerminalStats()
+
+    # ------------------------------------------------------------------ API
+    @property
+    def terminal_id(self) -> int:
+        """Population index of this device."""
+        return self._id
+
+    @property
+    def kind(self) -> TrafficKind:
+        """Service class of this device."""
+        return self._kind
+
+    @property
+    def is_voice(self) -> bool:
+        """Whether this is a voice device."""
+        return self._kind.is_voice
+
+    @property
+    def is_data(self) -> bool:
+        """Whether this is a data device."""
+        return self._kind.is_data
+
+    @property
+    def buffer_occupancy(self) -> int:
+        """Number of packets awaiting transmission."""
+        return len(self._buffer)
+
+    @property
+    def has_pending_packets(self) -> bool:
+        """Whether at least one packet awaits transmission."""
+        return bool(self._buffer)
+
+    def peek_packets(self, n: int) -> List[Packet]:
+        """Return (without removing) the first ``n`` buffered packets."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return list(self._buffer)[:n]
+
+    def head_deadline_frames(self, current_frame: int) -> Optional[int]:
+        """Frames to the head-of-line packet's deadline (None if no deadline)."""
+        if not self._buffer:
+            return None
+        return self._buffer[0].frames_to_deadline(current_frame)
+
+    def head_waiting_frames(self, current_frame: int) -> int:
+        """Frames the head-of-line packet has been waiting (0 if empty)."""
+        if not self._buffer:
+            return 0
+        return self._buffer[0].waiting_frames(current_frame)
+
+    # -------------------------------------------------------------- traffic
+    def advance_frame(self, frame_index: int) -> int:
+        """Generate traffic for this frame; return the number of new packets."""
+        packets = self._generate(frame_index)
+        self._buffer.extend(packets)
+        self._record_generated(len(packets))
+        return len(packets)
+
+    def drop_expired(self, current_frame: int) -> int:
+        """Drop buffered voice packets whose deadline has passed."""
+        dropped = 0
+        while self._buffer and self._buffer[0].is_expired(current_frame):
+            self._buffer.popleft()
+            dropped += 1
+        if dropped:
+            self.stats.voice_dropped += dropped
+        return dropped
+
+    # --------------------------------------------------------- transmission
+    def transmit(
+        self,
+        max_packets: int,
+        n_delivered: int,
+        current_frame: int,
+    ) -> int:
+        """Record the outcome of a transmission opportunity.
+
+        The engine grants the terminal a slot able to carry up to
+        ``max_packets`` packets and has already drawn how many of the
+        actually-transmitted packets survived the channel (``n_delivered``).
+
+        * Voice: transmitted-but-corrupted packets are lost (the 20 ms delay
+          bound leaves no room for ARQ) and counted as errored.
+        * Data: corrupted packets stay at the head of the buffer for
+          retransmission; each successful packet records its access delay.
+
+        Returns the number of packets actually taken out of the buffer
+        (i.e. transmitted, successfully or not, for voice; delivered, for
+        data).
+        """
+        if max_packets < 0:
+            raise ValueError("max_packets must be non-negative")
+        n_transmitted = min(max_packets, len(self._buffer))
+        if n_delivered < 0 or n_delivered > n_transmitted:
+            raise ValueError("n_delivered must lie in [0, n_transmitted]")
+        if n_transmitted == 0:
+            return 0
+
+        if self._kind.is_voice:
+            for _ in range(n_transmitted):
+                self._buffer.popleft()
+            self.stats.voice_delivered += n_delivered
+            self.stats.voice_errored += n_transmitted - n_delivered
+            return n_transmitted
+
+        # Data: only delivered packets leave the buffer; the rest will be
+        # retransmitted in a later grant.
+        for _ in range(n_delivered):
+            packet = self._buffer.popleft()
+            self.stats.data_delivered += 1
+            self.stats.data_delay_frames.append(packet.waiting_frames(current_frame))
+        self.stats.data_retransmissions += n_transmitted - n_delivered
+        return n_delivered
+
+    # ------------------------------------------------------------ internals
+    def _generate(self, frame_index: int) -> List[Packet]:
+        raise NotImplementedError
+
+    def _record_generated(self, count: int) -> None:
+        raise NotImplementedError
+
+
+class VoiceTerminal(Terminal):
+    """A mobile device carrying a voice call."""
+
+    def __init__(
+        self,
+        terminal_id: int,
+        params: SimulationParameters,
+        rng: np.random.Generator,
+        start_silent: bool = True,
+    ) -> None:
+        super().__init__(terminal_id, TrafficKind.VOICE, params)
+        self._source = VoiceSource(
+            params, rng, terminal_id=terminal_id, start_silent=start_silent
+        )
+
+    @property
+    def source(self) -> VoiceSource:
+        """The underlying on/off voice source."""
+        return self._source
+
+    @property
+    def in_talkspurt(self) -> bool:
+        """Whether the device is currently in a talkspurt."""
+        return self._source.in_talkspurt
+
+    def talkspurt_started(self) -> bool:
+        """Whether a new talkspurt began at the latest frame boundary."""
+        return self._source.talkspurt_started()
+
+    def _generate(self, frame_index: int) -> List[Packet]:
+        return self._source.advance_frame(frame_index)
+
+    def _record_generated(self, count: int) -> None:
+        self.stats.voice_generated += count
+
+
+class DataTerminal(Terminal):
+    """A mobile device performing bursty file transfers."""
+
+    def __init__(
+        self,
+        terminal_id: int,
+        params: SimulationParameters,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(terminal_id, TrafficKind.DATA, params)
+        self._source = DataSource(params, rng, terminal_id=terminal_id)
+
+    @property
+    def source(self) -> DataSource:
+        """The underlying bursty data source."""
+        return self._source
+
+    def _generate(self, frame_index: int) -> List[Packet]:
+        return self._source.advance_frame(frame_index)
+
+    def _record_generated(self, count: int) -> None:
+        self.stats.data_generated += count

@@ -1,0 +1,143 @@
+"""Voice source model (on/off talkspurt--silence process).
+
+Section 2 of the paper: the voice source continuously toggles between a
+*talkspurt* state and a *silence* state, whose durations are exponentially
+distributed with means ``t_t = 1.0 s`` and ``t_s = 1.35 s`` respectively
+(after Gruber & Strawczynski's subjective study).  State changes happen only
+at frame boundaries.  During a talkspurt the 8 kbit/s speech codec emits one
+160-bit packet every 20 ms; each packet must be delivered within 20 ms or the
+mobile device drops it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import SimulationParameters
+from repro.traffic.packets import Packet, TrafficKind
+
+__all__ = ["VoiceActivity", "VoiceSource"]
+
+
+class VoiceActivity(enum.Enum):
+    """Current state of the on/off voice source."""
+
+    TALKSPURT = "talkspurt"
+    SILENCE = "silence"
+
+
+class VoiceSource:
+    """Frame-synchronous on/off voice packet generator.
+
+    Parameters
+    ----------
+    params:
+        Simulation parameters (talkspurt/silence means, frame timing).
+    rng:
+        Random generator for the exponential state durations.
+    terminal_id:
+        Identifier stamped onto generated packets.
+    start_silent:
+        If ``True`` (default) the source starts in a silence period of random
+        remaining length; otherwise it starts in a talkspurt.  The initial
+        state is drawn from the stationary distribution by
+        :func:`repro.traffic.generator.build_population`.
+    """
+
+    def __init__(
+        self,
+        params: SimulationParameters,
+        rng: np.random.Generator,
+        terminal_id: int = 0,
+        start_silent: bool = True,
+    ) -> None:
+        self._params = params
+        self._rng = rng
+        self._terminal_id = int(terminal_id)
+        self._state = VoiceActivity.SILENCE if start_silent else VoiceActivity.TALKSPURT
+        self._frames_left = self._draw_duration_frames(self._state)
+        self._frames_per_packet = params.frames_per_voice_period
+        self._deadline_frames = params.voice_deadline_frames
+        self._frames_since_packet = 0
+        self._talkspurt_just_started = False
+        self._pending_initial_talkspurt = not start_silent
+        self._generated = 0
+
+    # ------------------------------------------------------------------ API
+    @property
+    def activity(self) -> VoiceActivity:
+        """Current on/off state."""
+        return self._state
+
+    @property
+    def in_talkspurt(self) -> bool:
+        """Whether the source is currently in a talkspurt."""
+        return self._state is VoiceActivity.TALKSPURT
+
+    @property
+    def packets_generated(self) -> int:
+        """Total number of voice packets generated so far."""
+        return self._generated
+
+    @property
+    def activity_factor(self) -> float:
+        """Stationary probability of being in a talkspurt (~0.426)."""
+        tt, ts = self._params.mean_talkspurt_s, self._params.mean_silence_s
+        return tt / (tt + ts)
+
+    def talkspurt_started(self) -> bool:
+        """Whether a new talkspurt began at the most recent frame boundary.
+
+        This is the event that triggers the transmission of a new voice
+        request in every protocol.
+        """
+        return self._talkspurt_just_started
+
+    def advance_frame(self, frame_index: int) -> List[Packet]:
+        """Advance one frame; return any packets generated at this boundary."""
+        if frame_index < 0:
+            raise ValueError("frame_index must be non-negative")
+        self._talkspurt_just_started = self._pending_initial_talkspurt
+        self._pending_initial_talkspurt = False
+        self._maybe_toggle_state()
+
+        packets: List[Packet] = []
+        if self._state is VoiceActivity.TALKSPURT:
+            if self._frames_since_packet % self._frames_per_packet == 0:
+                packets.append(
+                    Packet(
+                        kind=TrafficKind.VOICE,
+                        terminal_id=self._terminal_id,
+                        created_frame=frame_index,
+                        deadline_frame=frame_index + self._deadline_frames,
+                    )
+                )
+                self._generated += 1
+            self._frames_since_packet += 1
+        return packets
+
+    # ------------------------------------------------------------ internals
+    def _maybe_toggle_state(self) -> None:
+        if self._frames_left > 0:
+            self._frames_left -= 1
+            return
+        if self._state is VoiceActivity.SILENCE:
+            self._state = VoiceActivity.TALKSPURT
+            self._talkspurt_just_started = True
+            self._frames_since_packet = 0
+        else:
+            self._state = VoiceActivity.SILENCE
+        self._frames_left = self._draw_duration_frames(self._state)
+
+    def _draw_duration_frames(self, state: VoiceActivity) -> int:
+        mean_s = (
+            self._params.mean_talkspurt_s
+            if state is VoiceActivity.TALKSPURT
+            else self._params.mean_silence_s
+        )
+        duration_s = self._rng.exponential(mean_s)
+        frames = int(round(duration_s / self._params.frame_duration_s))
+        return max(1, frames)

@@ -1,0 +1,160 @@
+"""Tests for the analysis layer: capacity search, tables, experiment registry."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    CapacityEstimate,
+    _bracket_and_bisect,
+    data_qos_capacity,
+    voice_capacity,
+)
+from repro.analysis.experiments import (
+    ALL_PROTOCOLS,
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+)
+from repro.analysis.tables import (
+    format_comparison_table,
+    format_kv_table,
+    format_sweep_table,
+)
+from repro.config import SimulationParameters
+from repro.sim.runner import run_sweep
+from repro.sim.scenario import Scenario
+
+PARAMS = SimulationParameters()
+FAST = dict(duration_s=0.5, warmup_s=0.25)
+
+
+class TestBracketAndBisect:
+    def _evaluate_threshold(self, limit):
+        def evaluate(n):
+            return float(n), n <= limit
+        return evaluate
+
+    def test_finds_exact_limit(self):
+        capacity, probes = _bracket_and_bisect(self._evaluate_threshold(37), 10, 100, 20)
+        assert capacity == 37
+        assert len(probes) >= 3
+
+    def test_all_pass_returns_highest_probe(self):
+        capacity, _ = _bracket_and_bisect(self._evaluate_threshold(1000), 10, 50, 20)
+        assert capacity == 50
+
+    def test_all_fail_returns_zero(self):
+        capacity, _ = _bracket_and_bisect(self._evaluate_threshold(0), 10, 100, 20)
+        assert capacity == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _bracket_and_bisect(self._evaluate_threshold(5), -1, 10, 5)
+        with pytest.raises(ValueError):
+            _bracket_and_bisect(self._evaluate_threshold(5), 0, 10, 0)
+
+
+class TestCapacitySearches:
+    def test_voice_capacity_small_search(self):
+        estimate = voice_capacity(
+            "charisma", PARAMS, lower=4, upper=12, step=8,
+            duration_s=0.5, warmup_s=0.25, seed=1,
+        )
+        assert isinstance(estimate, CapacityEstimate)
+        assert estimate.capacity >= 4
+        assert estimate.n_probes >= 1
+        assert estimate.threshold_value == PARAMS.voice_loss_threshold
+
+    def test_data_capacity_small_search(self):
+        estimate = data_qos_capacity(
+            "charisma", PARAMS, lower=2, upper=6, step=4,
+            duration_s=0.5, warmup_s=0.25, seed=1,
+        )
+        assert estimate.capacity >= 0
+        assert estimate.protocol == "charisma"
+
+
+class TestTables:
+    def _sweep(self, protocol="charisma"):
+        base = Scenario(protocol=protocol, n_voice=0, n_data=0, **FAST)
+        return run_sweep(protocol, [2, 4], parameter="n_voice",
+                         base_scenario=base, params=PARAMS)
+
+    def test_kv_table(self):
+        text = format_kv_table({"a": 1, "bb": 2.5}, title="Params")
+        assert "Params" in text and "bb" in text
+
+    def test_sweep_table_contains_values(self):
+        text = format_sweep_table(self._sweep(), title="sweep")
+        assert "n_voice" in text
+        assert "voice_loss_rate" in text
+        assert " 2" in text and " 4" in text
+
+    def test_comparison_table(self):
+        sweeps = {"charisma": self._sweep("charisma"), "rama": self._sweep("rama")}
+        text = format_comparison_table(sweeps, "voice_loss_rate", title="cmp")
+        assert "charisma" in text and "rama" in text
+
+    def test_comparison_table_mismatched_values_rejected(self):
+        base = Scenario(protocol="rama", n_voice=0, n_data=0, **FAST)
+        other = run_sweep("rama", [3], parameter="n_voice",
+                          base_scenario=base, params=PARAMS)
+        with pytest.raises(ValueError):
+            format_comparison_table({"charisma": self._sweep(), "rama": other},
+                                    "voice_loss_rate")
+
+    def test_empty_comparison(self):
+        assert format_comparison_table({}, "voice_loss_rate", title="t") == "t"
+
+
+class TestExperimentRegistry:
+    def test_every_figure_and_table_registered(self):
+        keys = list_experiments()
+        assert "table1" in keys and "fig5" in keys and "fig7" in keys
+        for figure in (11, 12, 13):
+            for sub in "abcdef":
+                assert f"fig{figure}{sub}" in keys
+        assert "capacity_voice" in keys and "speed_ablation" in keys
+        assert len(keys) == 25
+
+    def test_lookup_and_describe(self):
+        experiment = get_experiment("fig11a")
+        row = experiment.describe()
+        assert row["paper_artifact"] == "Figure 11(a)"
+        assert row["kind"] == "voice_sweep"
+        assert row["bench_target"].endswith("fig11_voice_loss.py")
+        assert tuple(row["protocols"]) == ALL_PROTOCOLS
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99z")
+
+    def test_base_scenario_applies_fixed_fields(self):
+        experiment = get_experiment("fig11d")
+        scenario = experiment.base_scenario(seed=3)
+        assert scenario.n_data == 10
+        assert scenario.use_request_queue is True
+        assert scenario.seed == 3
+
+    def test_sweep_experiment_runs_scaled_down(self):
+        experiment = get_experiment("fig11a")
+        sweeps = experiment.run(
+            PARAMS, values=[2, 4], duration_s=0.5, seed=1,
+        )
+        assert set(sweeps) == set(ALL_PROTOCOLS)
+        assert sweeps["charisma"].values == [2, 4]
+
+    def test_speed_sweep_runs(self):
+        experiment = get_experiment("speed_ablation")
+        sweeps = experiment.run(PARAMS, values=[10, 80], duration_s=0.5, seed=1)
+        assert list(sweeps) == ["charisma"]
+        assert sweeps["charisma"].values == [10.0, 80.0]
+
+    def test_non_sweep_experiment_refuses_run(self):
+        with pytest.raises(ValueError):
+            get_experiment("table1").run(PARAMS)
+
+    def test_every_experiment_has_bench_and_modules(self):
+        for key, experiment in EXPERIMENTS.items():
+            assert experiment.bench_target, key
+            assert experiment.modules, key
+            assert experiment.expected_shape, key

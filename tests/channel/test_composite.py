@@ -1,0 +1,79 @@
+"""Tests for the composite channel and dB helpers."""
+
+import numpy as np
+import pytest
+
+from repro.channel.composite import CompositeChannel, amplitude_to_db, db_to_amplitude
+from repro.channel.doppler import DopplerModel
+
+
+class TestDbHelpers:
+    def test_roundtrip(self):
+        assert db_to_amplitude(amplitude_to_db(0.37)) == pytest.approx(0.37)
+
+    def test_unity_is_zero_db(self):
+        assert amplitude_to_db(1.0) == pytest.approx(0.0)
+
+    def test_zero_amplitude_is_minus_infinity(self):
+        assert amplitude_to_db(0.0) == float("-inf")
+
+    def test_db_to_amplitude_examples(self):
+        assert db_to_amplitude(20.0) == pytest.approx(10.0)
+        assert db_to_amplitude(-20.0) == pytest.approx(0.1)
+
+
+class TestCompositeChannel:
+    def _make(self, seed=0, **kw):
+        return CompositeChannel(
+            DopplerModel(speed_kmh=50.0),
+            rng=np.random.default_rng(seed),
+            **kw,
+        )
+
+    def test_amplitude_is_product_of_components(self):
+        chan = self._make(seed=1)
+        chan.advance()
+        assert chan.amplitude == pytest.approx(
+            chan.fast_fading.envelope * chan.shadowing.gain
+        )
+
+    def test_amplitude_positive(self):
+        chan = self._make(seed=2)
+        trace = chan.trace(500)
+        assert np.all(trace > 0.0)
+
+    def test_snr_tracks_amplitude(self):
+        chan = self._make(seed=3, mean_snr_db=20.0)
+        chan.advance()
+        expected = 20.0 + chan.amplitude_db
+        assert chan.snr_db == pytest.approx(expected)
+
+    def test_mean_power_roughly_shadowing_scaled(self):
+        """With 0 dB mean shadowing the average composite power stays near the
+        log-normal power correction factor exp((sigma ln10/20)^2 / 2)^2."""
+        chan = self._make(seed=4, shadow_std_db=4.0, shadow_decorrelation_s=0.05)
+        trace = chan.trace(40000)
+        mean_power = np.mean(trace**2)
+        sigma_ln = 4.0 * np.log(10.0) / 20.0
+        expected = np.exp(2.0 * sigma_ln**2)  # E[c_l^2] for 0 dB-mean log-normal
+        assert mean_power == pytest.approx(expected, rel=0.25)
+
+    def test_reproducible(self):
+        a = self._make(seed=5).trace(64)
+        b = self._make(seed=5).trace(64)
+        np.testing.assert_allclose(a, b)
+
+    def test_reset_changes_state(self):
+        chan = self._make(seed=6)
+        before = chan.amplitude
+        chan.reset()
+        assert chan.amplitude != before
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            self._make().trace(-5)
+
+    def test_exposes_doppler(self):
+        chan = self._make()
+        assert chan.doppler.speed_kmh == 50.0
+        assert chan.mean_snr_db == 20.0

@@ -1,0 +1,109 @@
+"""Tests for Doppler spread and coherence-time helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.doppler import (
+    DEFAULT_CARRIER_HZ,
+    DopplerModel,
+    coherence_time,
+    doppler_spread,
+    speed_to_mps,
+)
+
+
+class TestSpeedConversion:
+    def test_50_kmh(self):
+        assert speed_to_mps(50.0) == pytest.approx(13.888, rel=1e-3)
+
+    def test_zero(self):
+        assert speed_to_mps(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            speed_to_mps(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1000.0))
+    def test_monotone_and_nonnegative(self, speed):
+        assert speed_to_mps(speed) >= 0.0
+
+
+class TestDopplerSpread:
+    def test_paper_operating_point(self):
+        """50 km/h at the default carrier reproduces the paper's ~100 Hz."""
+        fd = doppler_spread(50.0)
+        assert fd == pytest.approx(100.0, rel=0.02)
+
+    def test_scales_linearly_with_speed(self):
+        assert doppler_spread(100.0) == pytest.approx(2 * doppler_spread(50.0))
+
+    def test_scales_linearly_with_carrier(self):
+        assert doppler_spread(50.0, 2 * DEFAULT_CARRIER_HZ) == pytest.approx(
+            2 * doppler_spread(50.0, DEFAULT_CARRIER_HZ)
+        )
+
+    def test_zero_speed_gives_zero(self):
+        assert doppler_spread(0.0) == 0.0
+
+    def test_invalid_carrier_rejected(self):
+        with pytest.raises(ValueError):
+            doppler_spread(50.0, 0.0)
+
+
+class TestCoherenceTime:
+    def test_paper_operating_point(self):
+        """~100 Hz Doppler gives the paper's ~10 ms coherence time."""
+        assert coherence_time(100.0) == pytest.approx(0.010)
+
+    def test_zero_doppler_is_infinite(self):
+        assert coherence_time(0.0) == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            coherence_time(-1.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e4))
+    def test_inverse_relationship(self, fd):
+        assert coherence_time(fd) == pytest.approx(1.0 / fd)
+
+
+class TestDopplerModel:
+    def test_defaults_match_paper(self):
+        model = DopplerModel()
+        assert model.speed_kmh == 50.0
+        assert model.doppler_hz == pytest.approx(100.0, rel=0.02)
+        assert model.coherence_time_s == pytest.approx(0.010, rel=0.02)
+
+    def test_frames_per_coherence(self):
+        model = DopplerModel(speed_kmh=50.0)
+        # ~10 ms coherence / 2.5 ms frames ~ 4 frames.
+        assert model.frames_per_coherence(0.0025) == pytest.approx(4.0, rel=0.05)
+
+    def test_frames_per_coherence_static_user(self):
+        model = DopplerModel(speed_kmh=0.0)
+        assert model.frames_per_coherence(0.0025) == float("inf")
+
+    def test_frames_per_coherence_invalid_frame(self):
+        with pytest.raises(ValueError):
+            DopplerModel().frames_per_coherence(0.0)
+
+    def test_with_speed_copies_carrier(self):
+        base = DopplerModel(speed_kmh=50.0, carrier_hz=1.9e9)
+        fast = base.with_speed(80.0)
+        assert fast.speed_kmh == 80.0
+        assert fast.carrier_hz == 1.9e9
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError):
+            DopplerModel(speed_kmh=-5.0)
+
+    def test_invalid_carrier_rejected(self):
+        with pytest.raises(ValueError):
+            DopplerModel(carrier_hz=-1.0)
+
+    def test_higher_speed_shorter_coherence(self):
+        slow = DopplerModel(speed_kmh=10.0)
+        fast = DopplerModel(speed_kmh=80.0)
+        assert fast.coherence_time_s < slow.coherence_time_s

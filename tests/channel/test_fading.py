@@ -1,0 +1,173 @@
+"""Tests for the short-term fading samplers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.fading import JakesFading, RayleighFading, clarke_correlation
+
+
+class TestClarkeCorrelation:
+    def test_zero_lag_is_unity(self):
+        assert clarke_correlation(100.0, 0.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_decreases_initially_with_lag(self):
+        r1 = clarke_correlation(100.0, 0.001)
+        r2 = clarke_correlation(100.0, 0.003)
+        assert r1 > r2
+
+    def test_clamped_to_nonnegative(self):
+        # Far beyond the first Bessel zero the raw J0 goes negative; we clamp.
+        assert clarke_correlation(100.0, 1.0) >= 0.0
+
+    def test_clamped_below_one(self):
+        assert clarke_correlation(0.0, 0.0025) < 1.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            clarke_correlation(-1.0, 0.001)
+        with pytest.raises(ValueError):
+            clarke_correlation(100.0, -0.001)
+
+    @given(
+        st.floats(min_value=0.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=0.1),
+    )
+    def test_always_in_unit_interval(self, fd, dt):
+        rho = clarke_correlation(fd, dt)
+        assert 0.0 <= rho < 1.0
+
+
+class TestRayleighFading:
+    def _make(self, seed=0, fd=100.0, dt=0.0025, **kw):
+        return RayleighFading(fd, dt, np.random.default_rng(seed), **kw)
+
+    def test_envelope_positive(self):
+        fading = self._make()
+        for _ in range(100):
+            assert fading.advance() > 0.0
+
+    def test_mean_square_close_to_unity(self):
+        """The paper normalises E[c_s^2] = 1."""
+        fading = self._make(seed=1)
+        samples = fading.trace(20000)
+        assert np.mean(samples**2) == pytest.approx(1.0, rel=0.1)
+
+    def test_mean_square_scaling(self):
+        fading = self._make(seed=2, mean_square=4.0)
+        samples = fading.trace(20000)
+        assert np.mean(samples**2) == pytest.approx(4.0, rel=0.15)
+
+    def test_envelope_rayleigh_median(self):
+        """Median of a Rayleigh envelope with E[x^2]=1 is sigma*sqrt(2 ln 2)."""
+        fading = self._make(seed=3)
+        samples = fading.trace(40000)
+        expected_median = math.sqrt(0.5) * math.sqrt(2.0 * math.log(2.0))
+        assert np.median(samples) == pytest.approx(expected_median, rel=0.1)
+
+    def test_correlation_follows_clarke(self):
+        fading = self._make(seed=4, fd=100.0, dt=0.0025)
+        assert fading.correlation == pytest.approx(
+            clarke_correlation(100.0, 0.0025), abs=1e-12
+        )
+
+    def test_faster_doppler_decorelates_faster(self):
+        slow = self._make(seed=5, fd=20.0)
+        fast = self._make(seed=5, fd=200.0)
+        assert fast.correlation < slow.correlation
+
+    def test_reproducible_with_same_seed(self):
+        a = self._make(seed=7).trace(50)
+        b = self._make(seed=7).trace(50)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = self._make(seed=8).trace(50)
+        b = self._make(seed=9).trace(50)
+        assert not np.allclose(a, b)
+
+    def test_reset_redraws_state(self):
+        fading = self._make(seed=10)
+        before = fading.envelope
+        fading.reset()
+        # The probability of drawing the exact same complex gain is zero.
+        assert fading.envelope != pytest.approx(before, abs=0.0)
+
+    def test_custom_dt_advance(self):
+        fading = self._make(seed=11)
+        value = fading.advance(dt=0.010)
+        assert value > 0.0
+
+    def test_invalid_dt_rejected(self):
+        fading = self._make()
+        with pytest.raises(ValueError):
+            fading.advance(dt=0.0)
+
+    def test_invalid_constructor_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RayleighFading(100.0, 0.0, rng)
+        with pytest.raises(ValueError):
+            RayleighFading(100.0, 0.0025, rng, mean_square=0.0)
+
+    def test_trace_length(self):
+        fading = self._make()
+        assert fading.trace(17).shape == (17,)
+        assert fading.trace(0).shape == (0,)
+
+    def test_trace_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self._make().trace(-1)
+
+    def test_power_is_envelope_squared(self):
+        fading = self._make(seed=12)
+        assert fading.power == pytest.approx(fading.envelope**2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_envelope_never_negative_property(self, seed):
+        fading = self._make(seed=seed)
+        assert np.all(fading.trace(32) >= 0.0)
+
+
+class TestJakesFading:
+    def test_mean_square_close_to_unity(self):
+        gen = JakesFading(100.0, n_oscillators=32, rng=np.random.default_rng(0))
+        trace = gen.trace(duration_s=2.0, sample_interval_s=0.0005)
+        assert np.mean(trace**2) == pytest.approx(1.0, rel=0.2)
+
+    def test_trace_shape(self):
+        gen = JakesFading(100.0, rng=np.random.default_rng(1))
+        trace = gen.trace(duration_s=1.0, sample_interval_s=0.001)
+        assert trace.shape == (1000,)
+
+    def test_exhibits_deep_fades(self):
+        """A Rayleigh trace over many coherence times must dip well below its mean."""
+        gen = JakesFading(100.0, n_oscillators=32, rng=np.random.default_rng(2))
+        trace = gen.trace(duration_s=2.0, sample_interval_s=0.0005)
+        assert trace.min() < 0.2 * trace.mean()
+
+    def test_continuity(self):
+        """Adjacent samples (well inside the coherence time) stay close."""
+        gen = JakesFading(50.0, rng=np.random.default_rng(3))
+        trace = gen.trace(duration_s=0.5, sample_interval_s=1e-4)
+        steps = np.abs(np.diff(trace))
+        assert steps.max() < 0.5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            JakesFading(0.0)
+        with pytest.raises(ValueError):
+            JakesFading(100.0, n_oscillators=0)
+        with pytest.raises(ValueError):
+            JakesFading(100.0, mean_square=0.0)
+        with pytest.raises(ValueError):
+            JakesFading(100.0).trace(0.0, 0.001)
+
+    def test_envelope_at_accepts_array(self):
+        gen = JakesFading(100.0, rng=np.random.default_rng(4))
+        values = gen.envelope_at(np.array([0.0, 0.01, 0.02]))
+        assert values.shape == (3,)
+        assert np.all(values >= 0.0)

@@ -1,0 +1,93 @@
+"""Tests for the log-normal shadowing process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.shadowing import LogNormalShadowing
+
+
+def make(seed=0, **kw):
+    kw.setdefault("rng", np.random.default_rng(seed))
+    return LogNormalShadowing(**kw)
+
+
+class TestLogNormalShadowing:
+    def test_gain_positive(self):
+        shadow = make()
+        for _ in range(200):
+            assert shadow.advance() > 0.0
+
+    def test_db_statistics_match_parameters(self):
+        shadow = make(seed=1, mean_db=-3.0, std_db=6.0, decorrelation_time_s=0.05)
+        trace = shadow.trace_db(40000)
+        assert np.mean(trace) == pytest.approx(-3.0, abs=0.5)
+        assert np.std(trace) == pytest.approx(6.0, rel=0.12)
+
+    def test_zero_std_is_deterministic(self):
+        shadow = make(seed=2, mean_db=2.0, std_db=0.0)
+        trace = shadow.trace_db(100)
+        np.testing.assert_allclose(trace, 2.0)
+
+    def test_gain_is_db_conversion_of_level(self):
+        shadow = make(seed=3)
+        shadow.advance()
+        assert shadow.gain == pytest.approx(10.0 ** (shadow.level_db / 20.0))
+
+    def test_slow_decorrelation_high_persistence(self):
+        """With tau = 1 s and dt = 2.5 ms successive samples barely move."""
+        shadow = make(seed=4, std_db=6.0, decorrelation_time_s=1.0,
+                      sample_interval_s=0.0025)
+        trace = shadow.trace_db(2000)
+        steps = np.abs(np.diff(trace))
+        assert np.mean(steps) < 0.6  # dB per frame
+
+    def test_decorrelates_over_long_horizon(self):
+        shadow = make(seed=5, std_db=6.0, decorrelation_time_s=0.1,
+                      sample_interval_s=0.0025)
+        trace = shadow.trace_db(60000)
+        lag = int(1.0 / 0.0025)  # 1 second apart, 10 decorrelation times
+        x, y = trace[:-lag], trace[lag:]
+        corr = np.corrcoef(x, y)[0, 1]
+        assert abs(corr) < 0.15
+
+    def test_reproducible_with_same_seed(self):
+        a = make(seed=6).trace_db(64)
+        b = make(seed=6).trace_db(64)
+        np.testing.assert_allclose(a, b)
+
+    def test_reset_redraws(self):
+        shadow = make(seed=7, std_db=8.0)
+        before = shadow.level_db
+        shadow.reset()
+        assert shadow.level_db != before
+
+    def test_custom_dt(self):
+        shadow = make(seed=8)
+        assert shadow.advance(dt=1.0) > 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make(std_db=-1.0)
+        with pytest.raises(ValueError):
+            make(decorrelation_time_s=0.0)
+        with pytest.raises(ValueError):
+            make(sample_interval_s=0.0)
+        with pytest.raises(ValueError):
+            make().advance(dt=-1.0)
+        with pytest.raises(ValueError):
+            make().trace_db(-1)
+
+    def test_properties_expose_parameters(self):
+        shadow = make(mean_db=-2.0, std_db=5.0, decorrelation_time_s=0.7)
+        assert shadow.mean_db == -2.0
+        assert shadow.std_db == 5.0
+        assert shadow.decorrelation_time_s == 0.7
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=12.0))
+    def test_stationary_spread_bounded(self, std_db):
+        """dB trace stays within a generous multiple of the requested spread."""
+        shadow = make(seed=11, std_db=std_db, decorrelation_time_s=0.05)
+        trace = shadow.trace_db(2000)
+        assert np.all(np.abs(trace) < 8.0 * std_db + 1.0)

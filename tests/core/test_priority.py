@@ -1,0 +1,122 @@
+"""Tests for the CHARISMA priority metric."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import PriorityWeights, SimulationParameters
+from repro.core.priority import PriorityCalculator
+from repro.mac.registry import build_modem
+from repro.mac.requests import Request
+from repro.phy.csi import CSIEstimate
+from repro.traffic.packets import TrafficKind
+
+PARAMS = SimulationParameters()
+MODEM = build_modem("charisma", PARAMS)
+
+
+def calc(weights=None):
+    return PriorityCalculator(weights or PARAMS.priority, MODEM)
+
+
+def voice_request(csi_amplitude=1.0, deadline_frame=8, arrival=0):
+    csi = CSIEstimate(amplitude=csi_amplitude, frame_index=arrival)
+    return Request(terminal_id=0, kind=TrafficKind.VOICE, arrival_frame=arrival,
+                   csi=csi, deadline_frame=deadline_frame)
+
+
+def data_request(csi_amplitude=1.0, arrival=0):
+    csi = CSIEstimate(amplitude=csi_amplitude, frame_index=arrival)
+    return Request(terminal_id=1, kind=TrafficKind.DATA, arrival_frame=arrival, csi=csi)
+
+
+class TestChannelTerm:
+    def test_better_channel_higher_term(self):
+        c = calc()
+        assert c.channel_term(voice_request(3.0)) > c.channel_term(voice_request(0.3))
+
+    def test_outage_channel_gives_zero(self):
+        c = calc()
+        assert c.channel_term(voice_request(1e-4)) == 0.0
+
+    def test_missing_csi_gives_zero(self):
+        c = calc()
+        request = Request(terminal_id=0, kind=TrafficKind.DATA, arrival_frame=0)
+        assert c.channel_term(request) == 0.0
+
+    def test_bounded_by_top_mode(self):
+        c = calc()
+        assert c.channel_term(voice_request(100.0)) <= MODEM.mode_table.max_throughput
+
+
+class TestUrgencyTerm:
+    def test_voice_urgency_grows_towards_deadline(self):
+        c = calc()
+        request = voice_request(deadline_frame=8)
+        early = c.urgency_term(request, current_frame=0)
+        late = c.urgency_term(request, current_frame=7)
+        assert late > early
+
+    def test_voice_urgency_maximal_at_deadline(self):
+        c = calc()
+        request = voice_request(deadline_frame=8)
+        at_deadline = c.urgency_term(request, current_frame=8)
+        assert at_deadline == pytest.approx(PARAMS.priority.urgency_weight_voice)
+
+    def test_data_urgency_grows_with_waiting_time(self):
+        c = calc()
+        request = data_request(arrival=0)
+        assert c.urgency_term(request, 50) > c.urgency_term(request, 1)
+        assert c.urgency_term(request, 0) == pytest.approx(0.0)
+
+    def test_data_urgency_bounded(self):
+        c = calc()
+        request = data_request(arrival=0)
+        assert c.urgency_term(request, 10_000) <= PARAMS.priority.urgency_weight_data
+
+
+class TestPriority:
+    def test_voice_outranks_data_at_equal_channel(self):
+        c = calc()
+        assert c.priority(voice_request(1.0), 0) > c.priority(data_request(1.0), 0)
+
+    def test_good_channel_voice_outranks_bad_channel_voice(self):
+        c = calc()
+        good = voice_request(3.0, deadline_frame=8)
+        bad = voice_request(0.05, deadline_frame=8)
+        assert c.priority(good, 0) > c.priority(bad, 0)
+
+    def test_imminent_deadline_overcomes_channel_disadvantage(self):
+        """Fairness: a voice request about to expire outranks a fresh one in a
+        much better channel."""
+        c = calc()
+        urgent_bad_channel = voice_request(0.05, deadline_frame=1)
+        relaxed_good_channel = voice_request(3.0, deadline_frame=8)
+        assert c.priority(urgent_bad_channel, 0) > c.priority(relaxed_good_channel, 0)
+
+    def test_rank_orders_descending(self):
+        c = calc()
+        requests = [data_request(0.2), voice_request(1.0), data_request(3.0)]
+        ranked = c.rank(requests, 0)
+        priorities = [c.priority(r, 0) for r in ranked]
+        assert priorities == sorted(priorities, reverse=True)
+        assert ranked[0].kind.is_voice
+
+    def test_alpha_zero_disables_channel_preference(self):
+        weights = PriorityWeights(alpha_voice=0.0, alpha_data=0.0)
+        c = calc(weights)
+        good = data_request(3.0)
+        bad = data_request(0.05)
+        assert c.priority(good, 0) == pytest.approx(c.priority(bad, 0))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=5.0),
+        st.floats(min_value=0.01, max_value=5.0),
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_priority_monotone_in_channel_quality(self, amp_low, amp_high, frames_left):
+        lo, hi = sorted((amp_low, amp_high))
+        c = calc()
+        request_lo = voice_request(lo, deadline_frame=frames_left)
+        request_hi = voice_request(hi, deadline_frame=frames_left)
+        assert c.priority(request_hi, 0) >= c.priority(request_lo, 0)

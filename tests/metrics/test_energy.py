@@ -1,0 +1,80 @@
+"""Tests for the transmit-energy accounting."""
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.metrics.collector import MacStats
+from repro.metrics.data import DataMetrics
+from repro.metrics.energy import EnergyModel, EnergyReport
+from repro.metrics.voice import VoiceMetrics
+from repro.sim.runner import run_simulation
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import Scenario
+
+PARAMS = SimulationParameters()
+
+
+def make_result(voice_delivered=90, voice_errored=10, data_delivered=50,
+                retransmissions=5, attempts=200):
+    scenario = Scenario(protocol="charisma", n_voice=5, n_data=2)
+    voice = VoiceMetrics(generated=110, delivered=voice_delivered,
+                         errored=voice_errored, dropped=10)
+    data = DataMetrics(generated=80, delivered=data_delivered,
+                       retransmissions=retransmissions, delay_frames=[2, 4],
+                       n_frames=100, frame_duration_s=PARAMS.frame_duration_s)
+    mac = MacStats(n_frames=100, contention_attempts=attempts,
+                   contention_collisions=10, idle_request_slots=5,
+                   allocated_slots=150, info_slots_per_frame=8,
+                   mean_queue_length=0.1)
+    return SimulationResult(scenario=scenario, voice=voice, data=data, mac=mac)
+
+
+class TestEnergyReport:
+    def test_accounting(self):
+        model = EnergyModel(packet_energy_unit=1.0, request_energy_unit=0.1)
+        report = model.report(make_result())
+        assert report.request_energy == pytest.approx(20.0)
+        assert report.packet_energy == pytest.approx(90 + 10 + 50 + 5)
+        assert report.wasted_packet_energy == pytest.approx(15.0)
+        assert report.useful_packets == 140
+        assert report.total_energy == pytest.approx(175.0)
+        assert report.wasted_fraction == pytest.approx(15.0 / 175.0)
+        assert report.energy_per_useful_packet == pytest.approx(175.0 / 140.0)
+
+    def test_zero_useful_packets(self):
+        report = EnergyReport(request_energy=1.0, packet_energy=2.0,
+                              wasted_packet_energy=2.0, useful_packets=0)
+        assert report.energy_per_useful_packet == float("inf")
+        empty = EnergyReport(0.0, 0.0, 0.0, 0)
+        assert empty.energy_per_useful_packet == 0.0
+        assert empty.wasted_fraction == 0.0
+
+    def test_more_errors_cost_more_energy_per_packet(self):
+        model = EnergyModel()
+        clean = model.energy_per_useful_packet(make_result(voice_errored=0,
+                                                           retransmissions=0))
+        dirty = model.energy_per_useful_packet(make_result(voice_errored=30,
+                                                           retransmissions=20))
+        assert dirty > clean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(packet_energy_unit=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel(request_energy_unit=-0.1)
+
+
+class TestEnergyOnSimulations:
+    def test_charisma_at_least_as_efficient_as_fixed_rate(self):
+        """The paper's energy argument: avoiding doomed transmissions means
+        less energy per delivered packet for the channel-adaptive protocol."""
+        model = EnergyModel()
+        kwargs = dict(n_voice=40, n_data=5, duration_s=1.5, warmup_s=0.5, seed=2)
+        charisma = run_simulation(Scenario(protocol="charisma", **kwargs), PARAMS)
+        fixed = run_simulation(Scenario(protocol="dtdma_fr", **kwargs), PARAMS)
+        assert model.report(charisma).wasted_fraction <= (
+            model.report(fixed).wasted_fraction + 1e-9
+        )
+        assert model.energy_per_useful_packet(charisma) <= (
+            model.energy_per_useful_packet(fixed) * 1.05
+        )

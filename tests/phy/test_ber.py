@@ -1,0 +1,134 @@
+"""Tests for the BER approximation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.ber import (
+    BER_COEFFICIENT,
+    ber_approximation,
+    packet_success_probability,
+    required_snr_db,
+    required_snr_linear,
+    snr_db_to_linear,
+    snr_linear_to_db,
+)
+
+
+class TestSnrConversions:
+    def test_roundtrip(self):
+        assert snr_linear_to_db(snr_db_to_linear(13.0)) == pytest.approx(13.0)
+
+    def test_zero_db_is_unity(self):
+        assert snr_db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_vectorised(self):
+        out = snr_db_to_linear(np.array([0.0, 10.0, 20.0]))
+        np.testing.assert_allclose(out, [1.0, 10.0, 100.0])
+
+    def test_zero_linear_is_minus_inf_db(self):
+        assert snr_linear_to_db(0.0) == float("-inf")
+
+
+class TestBerApproximation:
+    def test_decreases_with_snr(self):
+        low = ber_approximation(1.0, 1.0)
+        high = ber_approximation(1.0, 100.0)
+        assert high < low
+
+    def test_increases_with_throughput(self):
+        robust = ber_approximation(0.5, 10.0)
+        aggressive = ber_approximation(5.0, 10.0)
+        assert aggressive > robust
+
+    def test_zero_snr_gives_coefficient(self):
+        assert ber_approximation(2.0, 0.0) == pytest.approx(BER_COEFFICIENT)
+
+    def test_clipped_to_half(self):
+        assert ber_approximation(1.0, 0.0) <= 0.5
+
+    def test_vectorised(self):
+        out = ber_approximation(1.0, np.array([1.0, 10.0, 100.0]))
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) < 0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ber_approximation(0.0, 10.0)
+        with pytest.raises(ValueError):
+            ber_approximation(1.0, -1.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=8.0),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_always_a_probability(self, eta, snr):
+        ber = ber_approximation(eta, snr)
+        assert 0.0 <= ber <= 0.5
+
+
+class TestRequiredSnr:
+    def test_inverts_ber(self):
+        """At the required SNR the BER equals the target."""
+        for eta in (0.5, 1.0, 3.0, 5.0):
+            gamma = required_snr_linear(eta, 1e-3)
+            assert ber_approximation(eta, gamma) == pytest.approx(1e-3, rel=1e-6)
+
+    def test_monotone_in_throughput(self):
+        snrs = [required_snr_db(eta, 1e-3) for eta in (0.5, 1.0, 2.0, 3.0, 4.0, 5.0)]
+        assert snrs == sorted(snrs)
+        assert snrs[0] < snrs[-1]
+
+    def test_stricter_target_needs_more_snr(self):
+        assert required_snr_db(2.0, 1e-4) > required_snr_db(2.0, 1e-2)
+
+    def test_paper_like_range(self):
+        """The 6-mode table at 1e-3 spans a plausible cellular SNR range."""
+        low = required_snr_db(0.5, 1e-3)
+        high = required_snr_db(5.0, 1e-3)
+        assert 0.0 < low < 5.0
+        assert 15.0 < high < 25.0
+
+    def test_invalid_targets(self):
+        with pytest.raises(ValueError):
+            required_snr_linear(1.0, 0.0)
+        with pytest.raises(ValueError):
+            required_snr_linear(1.0, 0.3)
+        with pytest.raises(ValueError):
+            required_snr_linear(0.0, 1e-3)
+
+    @given(
+        st.floats(min_value=0.25, max_value=6.0),
+        st.floats(min_value=1e-6, max_value=0.1),
+    )
+    def test_roundtrip_property(self, eta, target):
+        gamma = required_snr_linear(eta, target)
+        assert ber_approximation(eta, gamma) == pytest.approx(target, rel=1e-6)
+
+
+class TestPacketSuccess:
+    def test_zero_ber_always_succeeds(self):
+        assert packet_success_probability(0.0, 160) == 1.0
+
+    def test_decreases_with_packet_length(self):
+        assert packet_success_probability(1e-3, 320) < packet_success_probability(1e-3, 160)
+
+    def test_decreases_with_ber(self):
+        assert packet_success_probability(1e-2, 160) < packet_success_probability(1e-4, 160)
+
+    def test_known_value(self):
+        assert packet_success_probability(1e-3, 160) == pytest.approx((1 - 1e-3) ** 160)
+
+    def test_vectorised(self):
+        out = packet_success_probability(np.array([0.0, 1e-3, 0.5]), 100)
+        assert out.shape == (3,)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            packet_success_probability(1e-3, 0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=1, max_value=5000))
+    def test_always_a_probability(self, ber, bits):
+        p = packet_success_probability(ber, bits)
+        assert 0.0 <= p <= 1.0

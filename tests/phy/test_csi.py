@@ -1,0 +1,85 @@
+"""Tests for CSI estimation and staleness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.csi import CSIEstimate, CSIEstimator
+
+
+class TestCSIEstimate:
+    def test_fresh_then_stale(self):
+        est = CSIEstimate(amplitude=1.2, frame_index=10, validity_frames=2)
+        assert not est.is_stale(10)
+        assert not est.is_stale(11)
+        assert est.is_stale(12)
+
+    def test_age(self):
+        est = CSIEstimate(amplitude=0.5, frame_index=4)
+        assert est.age(9) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSIEstimate(amplitude=-0.1, frame_index=0)
+        with pytest.raises(ValueError):
+            CSIEstimate(amplitude=1.0, frame_index=0, validity_frames=0)
+
+
+class TestCSIEstimator:
+    def test_perfect_estimator_returns_truth(self):
+        est = CSIEstimator(perfect=True, rng=np.random.default_rng(0))
+        for amp in (0.1, 1.0, 2.5):
+            assert est.estimate(amp, 3).amplitude == pytest.approx(amp)
+
+    def test_noisy_estimate_close_to_truth(self):
+        est = CSIEstimator(n_pilot_symbols=16, mean_snr_db=18.0,
+                           rng=np.random.default_rng(1))
+        errors = [est.estimate(1.0, 0).amplitude - 1.0 for _ in range(2000)]
+        assert abs(np.mean(errors)) < 0.01
+        assert np.std(errors) == pytest.approx(est.estimation_std(1.0), rel=0.1)
+
+    def test_more_pilots_better_estimate(self):
+        few = CSIEstimator(n_pilot_symbols=2, rng=np.random.default_rng(2))
+        many = CSIEstimator(n_pilot_symbols=64, rng=np.random.default_rng(2))
+        assert many.estimation_std(1.0) < few.estimation_std(1.0)
+
+    def test_higher_snr_better_estimate(self):
+        low = CSIEstimator(mean_snr_db=5.0, rng=np.random.default_rng(3))
+        high = CSIEstimator(mean_snr_db=25.0, rng=np.random.default_rng(3))
+        assert high.estimation_std(1.0) < low.estimation_std(1.0)
+
+    def test_estimates_never_negative(self):
+        est = CSIEstimator(n_pilot_symbols=1, mean_snr_db=0.0,
+                           rng=np.random.default_rng(4))
+        for _ in range(500):
+            assert est.estimate(0.01, 0).amplitude >= 0.0
+
+    def test_frame_stamp_and_validity_propagated(self):
+        est = CSIEstimator(validity_frames=3, rng=np.random.default_rng(5))
+        record = est.estimate(1.0, 42)
+        assert record.frame_index == 42
+        assert record.validity_frames == 3
+        assert not record.is_stale(44)
+        assert record.is_stale(45)
+
+    def test_estimate_many(self):
+        est = CSIEstimator(rng=np.random.default_rng(6))
+        records = est.estimate_many(np.array([0.5, 1.0, 1.5]), 7)
+        assert len(records) == 3
+        assert all(r.frame_index == 7 for r in records)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSIEstimator(n_pilot_symbols=0)
+        with pytest.raises(ValueError):
+            CSIEstimator(validity_frames=0)
+        with pytest.raises(ValueError):
+            CSIEstimator().estimation_std(-1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=5.0), st.integers(min_value=0, max_value=1000))
+    def test_estimate_nonnegative_property(self, amp, frame):
+        est = CSIEstimator(rng=np.random.default_rng(7))
+        record = est.estimate(amp, frame)
+        assert record.amplitude >= 0.0
+        assert record.frame_index == frame

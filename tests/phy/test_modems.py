@@ -1,0 +1,193 @@
+"""Tests for the adaptive and fixed-rate modems and the packet error model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.abicm import AdaptiveModem
+from repro.phy.error_model import PacketErrorModel
+from repro.phy.fixed import FixedRateModem
+from repro.phy.modes import ModeTable
+
+
+def adaptive(mean_snr_db=18.0, target_ber=1e-3):
+    return AdaptiveModem(ModeTable(target_ber=target_ber), mean_snr_db=mean_snr_db)
+
+
+def fixed(mean_snr_db=18.0):
+    return FixedRateModem(mean_snr_db=mean_snr_db)
+
+
+class TestAdaptiveModem:
+    def test_is_adaptive(self):
+        assert adaptive().is_adaptive is True
+
+    def test_snr_conversion(self):
+        modem = adaptive(mean_snr_db=20.0)
+        assert modem.snr_db_from_amplitude(1.0) == pytest.approx(20.0)
+        assert modem.snr_db_from_amplitude(10.0) == pytest.approx(40.0)
+
+    def test_good_channel_high_mode(self):
+        modem = adaptive()
+        mode = modem.select_mode(3.0)
+        assert mode is not None and mode.index == 5
+
+    def test_deep_fade_outage(self):
+        modem = adaptive()
+        assert modem.select_mode(0.01) is None
+        assert modem.in_outage(0.01) is True
+
+    def test_throughput_monotone_in_amplitude(self):
+        modem = adaptive()
+        amps = np.linspace(0.01, 4.0, 300)
+        tput = modem.throughput(amps)
+        assert np.all(np.diff(tput) >= 0)
+
+    def test_throughput_used_by_priority_metric_is_bounded(self):
+        modem = adaptive()
+        amps = np.linspace(0.0 + 1e-6, 10.0, 100)
+        tput = modem.throughput(amps)
+        assert np.all(tput >= 0.0)
+        assert np.all(tput <= modem.mode_table.max_throughput)
+
+    def test_packets_per_slot_matches_mode(self):
+        modem = adaptive()
+        amp = 3.0
+        mode = modem.select_mode(amp)
+        assert modem.packets_per_slot(amp) == mode.packets_per_slot(1.0)
+
+    def test_ber_at_threshold_equals_target(self):
+        modem = adaptive(mean_snr_db=0.0)  # amplitude in dB == SNR in dB
+        table = modem.mode_table
+        for mode in table:
+            amplitude = 10.0 ** (mode.snr_threshold_db / 20.0)
+            assert modem.instantaneous_ber(amplitude) == pytest.approx(
+                table.target_ber, rel=1e-3
+            )
+
+    def test_ber_in_outage_exceeds_target(self):
+        modem = adaptive()
+        assert modem.instantaneous_ber(0.01) > modem.mode_table.target_ber
+
+    def test_constant_ber_within_adaptation_range(self):
+        """Within the adaptation range the BER never exceeds the target."""
+        modem = adaptive()
+        amps = np.linspace(0.05, 5.0, 500)
+        for amp in amps:
+            if not modem.in_outage(float(amp)):
+                assert modem.instantaneous_ber(float(amp)) <= modem.mode_table.target_ber * 1.0001
+
+    def test_packet_success_high_in_good_channel(self):
+        modem = adaptive()
+        assert modem.packet_success_probability(3.0) > 0.8
+
+    def test_packet_success_low_in_outage(self):
+        modem = adaptive()
+        assert modem.packet_success_probability(0.01) < 0.01
+
+    def test_vectorised_mode_index(self):
+        modem = adaptive()
+        idx = modem.mode_index(np.array([0.01, 1.0, 3.0]))
+        assert idx.shape == (3,)
+        assert idx[0] == -1 and idx[2] == 5
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(ValueError):
+            AdaptiveModem(ModeTable(), packet_size_bits=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=1e-3, max_value=10.0))
+    def test_throughput_zero_iff_outage(self, amp):
+        modem = adaptive()
+        tput = float(modem.throughput(amp))
+        assert (tput == 0.0) == bool(modem.in_outage(amp))
+
+
+class TestFixedRateModem:
+    def test_not_adaptive(self):
+        assert fixed().is_adaptive is False
+
+    def test_always_one_packet_per_slot(self):
+        modem = fixed()
+        assert modem.packets_per_slot(0.01) == 1
+        assert modem.packets_per_slot(5.0) == 1
+        assert modem.max_packets_per_slot == 1
+
+    def test_constant_throughput(self):
+        modem = fixed()
+        np.testing.assert_allclose(modem.throughput(np.array([0.1, 1.0, 5.0])), 1.0)
+
+    def test_ber_degrades_in_fade(self):
+        modem = fixed()
+        assert modem.instantaneous_ber(0.05) > modem.instantaneous_ber(1.0)
+
+    def test_success_probability_degrades_in_fade(self):
+        modem = fixed()
+        assert modem.packet_success_probability(0.05) < modem.packet_success_probability(2.0)
+
+    def test_outage_flag(self):
+        modem = fixed()
+        assert modem.in_outage(0.01) is True
+        assert modem.in_outage(3.0) is False
+
+    def test_mode_always_selected(self):
+        modem = fixed()
+        assert modem.select_mode(0.001).throughput == 1.0
+
+    def test_no_mode_table(self):
+        assert fixed().mode_table is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedRateModem(throughput=0.0)
+        with pytest.raises(ValueError):
+            FixedRateModem(packet_size_bits=0)
+
+    def test_adaptive_delivers_more_than_fixed_on_average(self):
+        """The paper notes D-TDMA/VR offers about twice the average throughput
+        of D-TDMA/FR; on a Rayleigh-distributed amplitude ensemble the adaptive
+        modem must deliver substantially more packets per slot than 1."""
+        rng = np.random.default_rng(0)
+        amps = rng.rayleigh(scale=np.sqrt(0.5), size=20000)
+        adaptive_mean = float(np.mean(adaptive().packets_per_slot(amps)))
+        assert adaptive_mean > 1.5
+
+
+class TestPacketErrorModel:
+    def test_transmit_packet_reproducible(self):
+        model_a = PacketErrorModel(fixed(), np.random.default_rng(1))
+        model_b = PacketErrorModel(fixed(), np.random.default_rng(1))
+        outcomes_a = [model_a.transmit_packet(1.0) for _ in range(50)]
+        outcomes_b = [model_b.transmit_packet(1.0) for _ in range(50)]
+        assert outcomes_a == outcomes_b
+
+    def test_good_channel_mostly_succeeds(self):
+        model = PacketErrorModel(adaptive(), np.random.default_rng(2))
+        successes = sum(model.transmit_packet(3.0) for _ in range(500))
+        assert successes > 400
+
+    def test_deep_fade_mostly_fails(self):
+        model = PacketErrorModel(adaptive(), np.random.default_rng(3))
+        successes = sum(model.transmit_packet(0.01) for _ in range(500))
+        assert successes < 50
+
+    def test_transmit_packets_bounded(self):
+        model = PacketErrorModel(adaptive(), np.random.default_rng(4))
+        delivered = model.transmit_packets(1.5, 5)
+        assert 0 <= delivered <= 5
+
+    def test_transmit_zero_packets(self):
+        model = PacketErrorModel(adaptive(), np.random.default_rng(5))
+        assert model.transmit_packets(1.0, 0) == 0
+
+    def test_negative_packets_rejected(self):
+        model = PacketErrorModel(adaptive(), np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            model.transmit_packets(1.0, -1)
+
+    def test_success_probability_passthrough(self):
+        modem = adaptive()
+        model = PacketErrorModel(modem, np.random.default_rng(7))
+        assert model.success_probability(1.0) == pytest.approx(
+            modem.packet_success_probability(1.0)
+        )

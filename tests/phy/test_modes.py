@@ -1,0 +1,147 @@
+"""Tests for the transmission-mode table and constant-BER thresholds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.ber import required_snr_db
+from repro.phy.modes import OUTAGE_MODE_INDEX, ModeTable, TransmissionMode
+from repro.phy.thresholds import constant_ber_thresholds_db
+
+
+class TestThresholds:
+    def test_strictly_increasing(self):
+        thr = constant_ber_thresholds_db((0.5, 1.0, 2.0, 3.0, 4.0, 5.0), 1e-3)
+        assert all(b > a for a, b in zip(thr, thr[1:]))
+
+    def test_matches_required_snr(self):
+        thr = constant_ber_thresholds_db((1.0, 2.0), 1e-3)
+        assert thr[0] == pytest.approx(required_snr_db(1.0, 1e-3))
+        assert thr[1] == pytest.approx(required_snr_db(2.0, 1e-3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            constant_ber_thresholds_db((), 1e-3)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            constant_ber_thresholds_db((2.0, 1.0), 1e-3)
+
+    @given(st.floats(min_value=1e-6, max_value=0.1))
+    def test_monotone_for_any_target(self, target):
+        thr = constant_ber_thresholds_db((0.5, 1.0, 2.0, 4.0), target)
+        assert all(b > a for a, b in zip(thr, thr[1:]))
+
+
+class TestTransmissionMode:
+    def test_packets_per_slot_scaling(self):
+        mode = TransmissionMode(index=3, throughput=3.0, snr_threshold_db=12.0)
+        assert mode.packets_per_slot(1.0) == 3
+        assert mode.packets_per_slot(0.5) == 6
+
+    def test_minimum_one_packet(self):
+        mode = TransmissionMode(index=0, throughput=0.5, snr_threshold_db=2.0)
+        assert mode.packets_per_slot(1.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransmissionMode(index=-1, throughput=1.0, snr_threshold_db=0.0)
+        with pytest.raises(ValueError):
+            TransmissionMode(index=0, throughput=0.0, snr_threshold_db=0.0)
+        mode = TransmissionMode(index=0, throughput=1.0, snr_threshold_db=0.0)
+        with pytest.raises(ValueError):
+            mode.packets_per_slot(0.0)
+
+
+class TestModeTable:
+    def _table(self, **kw):
+        return ModeTable(target_ber=1e-3, **kw)
+
+    def test_paper_table_has_six_modes(self):
+        table = self._table()
+        assert len(table) == 6
+        assert table.max_throughput == 5.0
+        assert table.max_packets_per_slot == 5
+
+    def test_iteration_and_indexing(self):
+        table = self._table()
+        modes = list(table)
+        assert modes[0].throughput == 0.5
+        assert table[5].throughput == 5.0
+
+    def test_mode_lookup_monotone(self):
+        table = self._table()
+        snrs = np.linspace(-10.0, 30.0, 200)
+        idx = table.mode_index_for_snr(snrs)
+        assert np.all(np.diff(idx) >= 0)
+
+    def test_outage_below_lowest_threshold(self):
+        table = self._table()
+        assert table.mode_for_snr(table.outage_threshold_db - 1.0) is None
+        idx = table.mode_index_for_snr(table.outage_threshold_db - 1.0)
+        assert int(idx) == OUTAGE_MODE_INDEX
+
+    def test_highest_mode_at_high_snr(self):
+        table = self._table()
+        mode = table.mode_for_snr(40.0)
+        assert mode is not None and mode.index == 5
+
+    def test_threshold_boundary_inclusive(self):
+        table = self._table()
+        thr = table.thresholds_db
+        mode = table.mode_for_snr(float(thr[2]))
+        assert mode is not None and mode.index == 2
+
+    def test_throughput_staircase(self):
+        """Fig. 7b: throughput rises from 0 (outage) to 5 in steps."""
+        table = self._table()
+        snrs = np.linspace(-10.0, 30.0, 400)
+        tput = table.throughput_for_snr(snrs)
+        assert tput[0] == 0.0
+        assert tput[-1] == 5.0
+        assert np.all(np.diff(tput) >= 0)
+        assert set(np.unique(tput)) <= {0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0}
+
+    def test_packets_per_slot_staircase(self):
+        table = self._table()
+        assert table.packets_per_slot_for_snr(-10.0) == 0
+        assert table.packets_per_slot_for_snr(40.0) == 5
+
+    def test_scalar_vs_vector_consistency(self):
+        table = self._table()
+        assert table.throughput_for_snr(10.0) == pytest.approx(
+            float(table.throughput_for_snr(np.array([10.0]))[0])
+        )
+
+    def test_describe_rows(self):
+        table = self._table()
+        rows = table.describe()
+        assert len(rows) == 6
+        assert rows[0]["mode"] == 0
+        assert rows[-1]["packets_per_slot"] == 5
+        for row in rows:
+            assert row["snr_threshold_db"] == pytest.approx(
+                row["required_snr_check_db"], abs=1e-3
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModeTable(throughputs=(1.0,))
+        with pytest.raises(ValueError):
+            ModeTable(throughputs=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            ModeTable(throughputs=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            ModeTable(reference_throughput=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=-30.0, max_value=50.0))
+    def test_lookup_consistent_with_thresholds(self, snr):
+        table = self._table()
+        mode = table.mode_for_snr(snr)
+        if mode is None:
+            assert snr < table.outage_threshold_db
+        else:
+            assert snr >= mode.snr_threshold_db
+            if mode.index < len(table) - 1:
+                assert snr < table[mode.index + 1].snr_threshold_db

@@ -1,0 +1,120 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.des import DiscreteEventSimulator, EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while len(queue):
+            queue.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous(self):
+        queue = EventQueue()
+        order = []
+        for i in range(5):
+            queue.push(1.0, lambda i=i: order.append(i))
+        while len(queue):
+            queue.pop().callback()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancel(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None, label="keep")
+        drop = queue.push(0.5, lambda: None, label="drop")
+        queue.cancel(drop)
+        assert len(queue) == 1
+        assert queue.pop() is keep
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(0.5, lambda: None)
+        queue.push(1.5, lambda: None)
+        queue.cancel(event)
+        assert queue.peek_time() == 1.5
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+
+class TestDiscreteEventSimulator:
+    def test_clock_advances_with_events(self):
+        sim = DiscreteEventSimulator()
+        times = []
+        sim.schedule_at(1.0, lambda: times.append(sim.now))
+        sim.schedule_at(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 2.5]
+        assert sim.now == 2.5
+        assert sim.events_processed == 2
+
+    def test_schedule_in_relative(self):
+        sim = DiscreteEventSimulator()
+        sim.schedule_at(1.0, lambda: sim.schedule_in(0.5, lambda: None, "later"))
+        sim.run()
+        assert sim.now == pytest.approx(1.5)
+
+    def test_cannot_schedule_in_past(self):
+        sim = DiscreteEventSimulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_in(-0.1, lambda: None)
+
+    def test_run_until_stops_at_horizon(self):
+        sim = DiscreteEventSimulator()
+        fired = []
+        sim.schedule_every(1.0, lambda: fired.append(sim.now))
+        sim.run_until(5.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert sim.now == 5.5
+        assert sim.pending_events >= 1
+
+    def test_periodic_with_offset(self):
+        sim = DiscreteEventSimulator()
+        fired = []
+        sim.schedule_every(2.0, lambda: fired.append(sim.now), start_offset=1.0)
+        sim.run_until(6.0)
+        assert fired == [1.0, 3.0, 5.0]
+
+    def test_cancel_pending_event(self):
+        sim = DiscreteEventSimulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda: fired.append("x"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_run_max_events(self):
+        sim = DiscreteEventSimulator()
+        sim.schedule_every(1.0, lambda: None)
+        sim.run(max_events=7)
+        assert sim.events_processed == 7
+
+    def test_run_until_validation(self):
+        sim = DiscreteEventSimulator()
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run_until(1.0)
+
+    def test_periodic_validation(self):
+        sim = DiscreteEventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule_every(0.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_every(1.0, lambda: None, start_offset=-1.0)

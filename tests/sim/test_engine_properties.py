@@ -1,0 +1,80 @@
+"""Property-based tests of whole-system invariants.
+
+These run very short end-to-end simulations over randomly drawn protocols,
+populations and seeds, and check the accounting invariants that must hold for
+*any* configuration — the kind of cross-cutting guarantees unit tests on
+individual modules cannot give.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import SimulationParameters
+from repro.mac.registry import available_protocols
+from repro.sim.runner import run_simulation
+from repro.sim.scenario import Scenario
+
+PARAMS = SimulationParameters()
+
+SCENARIO_STRATEGY = st.fixed_dictionaries(
+    {
+        "protocol": st.sampled_from(available_protocols()),
+        "n_voice": st.integers(min_value=0, max_value=20),
+        "n_data": st.integers(min_value=0, max_value=6),
+        "use_request_queue": st.booleans(),
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+
+def run_short(config: dict):
+    scenario = Scenario(duration_s=0.3, warmup_s=0.1, **config)
+    return scenario, run_simulation(scenario, PARAMS)
+
+
+class TestWholeSystemInvariants:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(SCENARIO_STRATEGY)
+    def test_accounting_invariants(self, config):
+        scenario, result = run_short(config)
+
+        voice, data, mac = result.voice, result.data, result.mac
+        # Rates and ratios are probabilities.
+        assert 0.0 <= voice.loss_rate <= 1.0
+        assert 0.0 <= voice.dropping_rate <= 1.0
+        assert 0.0 <= voice.error_rate <= 1.0
+        assert 0.0 <= mac.slot_utilisation <= 1.0
+        # Outcomes never exceed what was generated (allowing the few packets
+        # that were already buffered when the warm-up statistics were reset).
+        slack = scenario.n_voice + scenario.n_data
+        assert voice.delivered + voice.errored + voice.dropped <= voice.generated + slack
+        assert data.delivered <= data.generated + slack
+        # Delays are non-negative and only recorded for delivered packets.
+        assert all(d >= 0 for d in data.delay_frames)
+        assert len(data.delay_frames) == data.delivered
+        # The engine measured exactly the requested number of frames.
+        assert mac.n_frames == scenario.measured_frames(PARAMS)
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(SCENARIO_STRATEGY)
+    def test_runs_are_reproducible(self, config):
+        _, first = run_short(config)
+        _, second = run_short(config)
+        assert first.summary() == second.summary()
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=2**16), st.booleans())
+    def test_protocols_share_traffic_realisation(self, seed, use_queue):
+        """Common random numbers: with the same seed, every protocol sees the
+        same offered voice/data traffic (the generated-packet counts match)."""
+        generated = set()
+        for protocol in ("charisma", "dtdma_fr"):
+            queue = use_queue and protocol != "rmav"
+            _, result = run_short(
+                {"protocol": protocol, "n_voice": 6, "n_data": 2,
+                 "use_request_queue": queue, "seed": seed}
+            )
+            generated.add((result.voice.generated, result.data.generated))
+        assert len(generated) == 1

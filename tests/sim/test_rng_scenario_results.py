@@ -1,0 +1,132 @@
+"""Tests for random streams, scenario descriptions and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationParameters
+from repro.metrics.collector import MacStats
+from repro.metrics.data import DataMetrics
+from repro.metrics.voice import VoiceMetrics
+from repro.sim.results import SimulationResult, SweepResult
+from repro.sim.rng import STREAM_NAMES, RandomStreams
+from repro.sim.scenario import Scenario
+
+PARAMS = SimulationParameters()
+
+
+class TestRandomStreams:
+    def test_all_streams_present(self):
+        streams = RandomStreams(seed=7)
+        assert streams.names == STREAM_NAMES
+        for name in STREAM_NAMES:
+            assert isinstance(streams[name], np.random.Generator)
+
+    def test_attribute_access(self):
+        streams = RandomStreams(seed=7)
+        assert streams.channel is streams["channel"]
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(seed=3)["channel"].random(8)
+        b = RandomStreams(seed=3)["channel"].random(8)
+        np.testing.assert_allclose(a, b)
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(seed=3)
+        a = streams["channel"].random(8)
+        b = streams["traffic"].random(8)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1)["mac"].random(8)
+        b = RandomStreams(seed=2)["mac"].random(8)
+        assert not np.allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomStreams(seed=-1)
+        with pytest.raises(ValueError):
+            RandomStreams(seed=0, names=("a", "a"))
+        with pytest.raises(KeyError):
+            RandomStreams(seed=0)["nonexistent"]
+
+
+class TestScenario:
+    def test_frame_counts(self):
+        scenario = Scenario(protocol="charisma", n_voice=10, n_data=5,
+                            duration_s=2.0, warmup_s=0.5)
+        assert scenario.measured_frames(PARAMS) == 800
+        assert scenario.warmup_frames(PARAMS) == 200
+        assert scenario.n_terminals == 15
+
+    def test_with_overrides(self):
+        scenario = Scenario(protocol="charisma", n_voice=10, n_data=0)
+        other = scenario.with_overrides(n_voice=50, protocol="rama")
+        assert other.n_voice == 50 and other.protocol == "rama"
+        assert scenario.n_voice == 10
+
+    def test_label(self):
+        scenario = Scenario(protocol="drma", n_voice=4, n_data=2,
+                            use_request_queue=True, seed=9)
+        assert "drma" in scenario.label() and "queue" in scenario.label()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(protocol="", n_voice=1, n_data=0)
+        with pytest.raises(ValueError):
+            Scenario(protocol="charisma", n_voice=-1, n_data=0)
+        with pytest.raises(ValueError):
+            Scenario(protocol="charisma", n_voice=1, n_data=0, duration_s=0.0)
+        with pytest.raises(ValueError):
+            Scenario(protocol="charisma", n_voice=1, n_data=0, warmup_s=-1.0)
+        with pytest.raises(ValueError):
+            Scenario(protocol="charisma", n_voice=1, n_data=0, mobile_speed_kmh=-5.0)
+
+
+def _result(protocol="charisma", n_voice=10, loss=0.01, throughput=2.0, delay_frames=(4, 8)):
+    scenario = Scenario(protocol=protocol, n_voice=n_voice, n_data=2)
+    voice = VoiceMetrics(generated=1000, delivered=int(1000 * (1 - loss)),
+                         errored=int(1000 * loss / 2), dropped=int(1000 * loss / 2))
+    data = DataMetrics(generated=300, delivered=int(throughput * 100),
+                       retransmissions=3, delay_frames=list(delay_frames),
+                       n_frames=100, frame_duration_s=PARAMS.frame_duration_s)
+    mac = MacStats(n_frames=100, contention_attempts=50, contention_collisions=5,
+                   idle_request_slots=10, allocated_slots=300,
+                   info_slots_per_frame=8, mean_queue_length=0.5)
+    return SimulationResult(scenario=scenario, voice=voice, data=data, mac=mac)
+
+
+class TestSimulationResult:
+    def test_convenience_accessors(self):
+        result = _result(loss=0.02, throughput=3.0)
+        assert result.voice_loss_rate == pytest.approx(0.02)
+        assert result.data_throughput == pytest.approx(3.0)
+        assert result.data_delay_s == pytest.approx(6 * PARAMS.frame_duration_s)
+
+    def test_summary_keys(self):
+        summary = _result().summary()
+        for key in ("protocol", "n_voice", "voice_loss_rate",
+                    "data_throughput_per_frame", "data_delay_s", "slot_utilisation"):
+            assert key in summary
+
+
+class TestSweepResult:
+    def test_series_and_crossing(self):
+        values = [10, 20, 30, 40]
+        results = [_result(n_voice=v, loss=loss)
+                   for v, loss in zip(values, (0.001, 0.004, 0.02, 0.3))]
+        sweep = SweepResult(protocol="charisma", parameter="n_voice",
+                            values=values, results=results)
+        series = sweep.series("voice_loss_rate")
+        assert len(series) == 4 and series[0] < series[-1]
+        assert sweep.crossing_value("voice_loss_rate", 0.01) == 30
+
+    def test_crossing_none_when_below_threshold(self):
+        values = [10, 20]
+        results = [_result(n_voice=v, loss=0.001) for v in values]
+        sweep = SweepResult(protocol="charisma", parameter="n_voice",
+                            values=values, results=results)
+        assert sweep.crossing_value("voice_loss_rate", 0.01) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SweepResult(protocol="x", parameter="n_voice", values=[1], results=[])

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.protocol == "charisma"
+        assert args.n_voice == 60
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "bogus"])
+
+    def test_compare_protocol_list(self):
+        args = build_parser().parse_args(["compare", "--protocols", "charisma", "rama"])
+        assert args.protocols == ["charisma", "rama"]
+
+
+class TestCommands:
+    def test_experiments_lists_registry(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11a" in out and "table1" in out and "benchmarks/" in out
+
+    def test_run_small_scenario(self, capsys):
+        code = main([
+            "run", "--protocol", "charisma", "--n-voice", "4", "--n-data", "1",
+            "--duration", "0.5", "--warmup", "0.25", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "voice_loss_rate" in out
+        assert "data_throughput_per_frame" in out
+
+    def test_compare_two_protocols(self, capsys):
+        code = main([
+            "compare", "--protocols", "charisma", "dtdma_fr",
+            "--n-voice", "4", "--n-data", "1",
+            "--duration", "0.5", "--warmup", "0.25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "charisma" in out and "dtdma_fr" in out
+        assert "[voice_loss_rate]" in out
+
+    def test_capacity_small_search(self, capsys):
+        code = main([
+            "capacity", "--protocol", "charisma",
+            "--lower", "4", "--upper", "8", "--step", "4",
+            "--duration", "0.5", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "voice capacity" in out
+
+    def test_run_with_speed_override(self, capsys):
+        code = main([
+            "run", "--n-voice", "2", "--n-data", "0", "--duration", "0.5",
+            "--warmup", "0.25", "--speed", "80",
+        ])
+        assert code == 0

@@ -1,0 +1,104 @@
+"""Tests for the simulation parameters (Table 1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import PriorityWeights, SimulationParameters
+
+
+class TestPriorityWeights:
+    def test_defaults_valid(self):
+        weights = PriorityWeights()
+        assert 0 < weights.beta_voice < 1
+        assert 0 < weights.beta_data < 1
+        assert weights.voice_offset > 0
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityWeights(beta_voice=0.0)
+        with pytest.raises(ValueError):
+            PriorityWeights(beta_data=1.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityWeights(alpha_voice=-1.0)
+
+
+class TestSimulationParameters:
+    def test_defaults_match_paper(self):
+        p = SimulationParameters()
+        assert p.bandwidth_hz == 320_000.0
+        assert p.frame_duration_s == 0.0025
+        assert p.voice_bit_rate_bps == 8_000.0
+        assert p.voice_packet_period_s == 0.020
+        assert p.voice_deadline_s == 0.020
+        assert p.mean_talkspurt_s == 1.0
+        assert p.mean_silence_s == 1.35
+        assert p.mean_data_interarrival_s == 1.0
+        assert p.mean_data_burst_packets == 100.0
+        assert p.mode_throughputs == (0.5, 1.0, 2.0, 3.0, 4.0, 5.0)
+        assert p.mobile_speed_kmh == 50.0
+        assert p.rmav_pmax == 10
+
+    def test_derived_quantities(self):
+        p = SimulationParameters()
+        assert p.frames_per_voice_period == 8
+        assert p.voice_deadline_frames == 8
+        assert p.frames_per_second == pytest.approx(400.0)
+        assert p.n_modes == 6
+
+    def test_packet_size_consistent_with_voice_rate(self):
+        p = SimulationParameters()
+        expected_bits = p.voice_bit_rate_bps * p.voice_packet_period_s
+        assert p.packet_size_bits == pytest.approx(expected_bits)
+
+    def test_frozen(self):
+        p = SimulationParameters()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            p.bandwidth_hz = 1.0  # type: ignore[misc]
+
+    def test_with_overrides(self):
+        p = SimulationParameters().with_overrides(n_info_slots=8, mobile_speed_kmh=80.0)
+        assert p.n_info_slots == 8
+        assert p.mobile_speed_kmh == 80.0
+        # untouched fields retain defaults
+        assert p.n_request_slots == SimulationParameters().n_request_slots
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ValueError):
+            SimulationParameters().with_overrides(frame_duration_s=-1.0)
+
+    def test_invalid_permission_probability(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(voice_permission_probability=0.0)
+        with pytest.raises(ValueError):
+            SimulationParameters(data_permission_probability=1.5)
+
+    def test_invalid_loss_threshold(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(voice_loss_threshold=1.0)
+
+    def test_invalid_mode_table(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(mode_throughputs=(1.0,))
+        with pytest.raises(ValueError):
+            SimulationParameters(mode_throughputs=(2.0, 1.0))
+
+    def test_invalid_target_ber(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(target_ber=0.6)
+
+    def test_invalid_slot_counts(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(n_info_slots=0)
+        with pytest.raises(ValueError):
+            SimulationParameters(n_request_slots=0)
+
+    def test_describe_contains_headline_rows(self):
+        d = SimulationParameters().describe()
+        assert d["bandwidth_hz"] == 320_000.0
+        assert d["frame_duration_ms"] == pytest.approx(2.5)
+        assert d["voice_packet_period_ms"] == pytest.approx(20.0)
+        assert d["adaptive_modes"] == [0.5, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert "mean_talkspurt_s" in d and "mean_silence_s" in d

@@ -1,0 +1,59 @@
+"""Tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestLazyTopLevelApi:
+    def test_version_available(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_lazy_attributes_resolve(self):
+        assert repro.SimulationParameters is not None
+        assert repro.Scenario is not None
+        assert callable(repro.run_simulation)
+        assert callable(repro.run_sweep)
+        assert callable(repro.create_protocol)
+        assert repro.SimulationResult is not None
+
+    def test_available_protocols_exposed(self):
+        assert "charisma" in repro.available_protocols()
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_symbol
+
+    def test_lazy_attribute_cached(self):
+        first = repro.SimulationParameters
+        second = repro.SimulationParameters
+        assert first is second
+
+    def test_end_to_end_through_public_api(self):
+        params = repro.SimulationParameters()
+        scenario = repro.Scenario(protocol="charisma", n_voice=3, n_data=1,
+                                  duration_s=0.5, warmup_s=0.25, seed=1)
+        result = repro.run_simulation(scenario, params)
+        assert 0.0 <= result.voice.loss_rate <= 1.0
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize("module", [
+        "repro.channel", "repro.phy", "repro.traffic", "repro.mac",
+        "repro.core", "repro.sim", "repro.metrics", "repro.analysis",
+        "repro.cli", "repro.config",
+    ])
+    def test_importable(self, module):
+        assert importlib.import_module(module) is not None
+
+    @pytest.mark.parametrize("module", [
+        "repro.channel", "repro.phy", "repro.traffic", "repro.mac",
+        "repro.core", "repro.sim", "repro.metrics", "repro.analysis",
+    ])
+    def test_all_exports_exist(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name} missing"

@@ -1,0 +1,126 @@
+"""Tests for the voice and data traffic sources."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationParameters
+from repro.traffic.data import DataSource
+from repro.traffic.voice import VoiceActivity, VoiceSource
+
+PARAMS = SimulationParameters()
+
+
+def run_voice(seed=0, frames=40000, start_silent=True):
+    source = VoiceSource(PARAMS, np.random.default_rng(seed), terminal_id=3,
+                         start_silent=start_silent)
+    packets, talkspurt_frames, starts = [], 0, 0
+    for f in range(frames):
+        generated = source.advance_frame(f)
+        packets.extend(generated)
+        if source.in_talkspurt:
+            talkspurt_frames += 1
+        if source.talkspurt_started():
+            starts += 1
+    return source, packets, talkspurt_frames, starts
+
+
+class TestVoiceSource:
+    def test_activity_factor_matches_means(self):
+        source = VoiceSource(PARAMS, np.random.default_rng(0))
+        assert source.activity_factor == pytest.approx(1.0 / 2.35, rel=1e-6)
+
+    def test_long_run_activity_fraction(self):
+        _, _, talkspurt_frames, _ = run_voice(seed=1, frames=80000)
+        fraction = talkspurt_frames / 80000
+        assert fraction == pytest.approx(1.0 / 2.35, abs=0.06)
+
+    def test_packet_rate_during_talkspurt(self):
+        """One packet per 20 ms, i.e. one packet every 8 frames of talkspurt."""
+        source, packets, talkspurt_frames, _ = run_voice(seed=2, frames=40000)
+        expected = talkspurt_frames / PARAMS.frames_per_voice_period
+        assert len(packets) == pytest.approx(expected, rel=0.05)
+        assert source.packets_generated == len(packets)
+
+    def test_packets_carry_deadline(self):
+        _, packets, _, _ = run_voice(seed=3, frames=5000)
+        assert packets, "expected at least one packet"
+        for p in packets[:50]:
+            assert p.deadline_frame == p.created_frame + PARAMS.voice_deadline_frames
+            assert p.terminal_id == 3
+
+    def test_talkspurt_start_events_counted(self):
+        _, _, _, starts = run_voice(seed=4, frames=80000)
+        # 80000 frames = 200 s; one on/off cycle lasts ~2.35 s on average.
+        assert 40 <= starts <= 140
+
+    def test_initial_talkspurt_flagged(self):
+        source = VoiceSource(PARAMS, np.random.default_rng(5), start_silent=False)
+        source.advance_frame(0)
+        assert source.talkspurt_started() or source.in_talkspurt
+
+    def test_silence_generates_nothing(self):
+        source = VoiceSource(PARAMS, np.random.default_rng(6), start_silent=True)
+        generated = source.advance_frame(0)
+        if source.activity is VoiceActivity.SILENCE:
+            assert generated == []
+
+    def test_negative_frame_rejected(self):
+        source = VoiceSource(PARAMS, np.random.default_rng(7))
+        with pytest.raises(ValueError):
+            source.advance_frame(-1)
+
+    def test_reproducible(self):
+        a = run_voice(seed=8, frames=2000)[1]
+        b = run_voice(seed=8, frames=2000)[1]
+        assert [p.created_frame for p in a] == [p.created_frame for p in b]
+
+
+class TestDataSource:
+    def run(self, seed=0, frames=400000):
+        source = DataSource(PARAMS, np.random.default_rng(seed), terminal_id=9)
+        packets = []
+        for f in range(frames):
+            packets.extend(source.advance_frame(f))
+        return source, packets
+
+    def test_offered_load(self):
+        source = DataSource(PARAMS, np.random.default_rng(0))
+        # 100 packets per second on average = 0.25 packets per 2.5 ms frame.
+        assert source.offered_load_packets_per_frame == pytest.approx(0.25)
+
+    def test_long_run_rate_matches_offered_load(self):
+        source, packets = self.run(seed=1, frames=400000)
+        rate = len(packets) / 400000
+        assert rate == pytest.approx(0.25, rel=0.25)
+        assert source.packets_generated == len(packets)
+
+    def test_burst_sizes_exponential_mean(self):
+        source, packets = self.run(seed=2, frames=400000)
+        assert source.bursts_generated > 0
+        mean_burst = len(packets) / source.bursts_generated
+        assert mean_burst == pytest.approx(PARAMS.mean_data_burst_packets, rel=0.3)
+
+    def test_packets_have_no_deadline(self):
+        _, packets = self.run(seed=3, frames=20000)
+        assert packets
+        assert all(p.deadline_frame is None for p in packets[:50])
+        assert all(p.terminal_id == 9 for p in packets[:50])
+
+    def test_bursts_arrive_on_frame_boundaries(self):
+        _, packets = self.run(seed=4, frames=20000)
+        # All packets of the same burst share a creation frame.
+        frames = {}
+        for p in packets:
+            frames.setdefault(p.created_frame, 0)
+            frames[p.created_frame] += 1
+        assert all(count >= 1 for count in frames.values())
+
+    def test_negative_frame_rejected(self):
+        source = DataSource(PARAMS, np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            source.advance_frame(-2)
+
+    def test_reproducible(self):
+        a = self.run(seed=6, frames=20000)[1]
+        b = self.run(seed=6, frames=20000)[1]
+        assert [p.created_frame for p in a] == [p.created_frame for p in b]

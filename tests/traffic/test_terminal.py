@@ -1,0 +1,171 @@
+"""Tests for terminals, permission gating and the population factory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimulationParameters
+from repro.traffic.generator import build_population
+from repro.traffic.packets import Packet, TrafficKind
+from repro.traffic.permission import PermissionPolicy
+from repro.traffic.terminal import DataTerminal, VoiceTerminal
+
+PARAMS = SimulationParameters()
+
+
+class TestVoiceTerminal:
+    def _run_until_packet(self, term, max_frames=20000):
+        for f in range(max_frames):
+            term.advance_frame(f)
+            if term.has_pending_packets:
+                return f
+        pytest.fail("voice terminal never generated a packet")
+
+    def test_identity(self):
+        term = VoiceTerminal(4, PARAMS, np.random.default_rng(0))
+        assert term.terminal_id == 4
+        assert term.is_voice and not term.is_data
+        assert term.kind is TrafficKind.VOICE
+
+    def test_generates_packets_and_counts_them(self):
+        term = VoiceTerminal(0, PARAMS, np.random.default_rng(1), start_silent=False)
+        self._run_until_packet(term)
+        assert term.stats.voice_generated >= 1
+        assert term.buffer_occupancy >= 1
+
+    def test_drop_expired(self):
+        term = VoiceTerminal(0, PARAMS, np.random.default_rng(2), start_silent=False)
+        frame = self._run_until_packet(term)
+        dropped = term.drop_expired(frame + PARAMS.voice_deadline_frames + 1)
+        assert dropped >= 1
+        assert term.stats.voice_dropped == dropped
+        assert term.buffer_occupancy == 0
+
+    def test_transmit_success_and_error_accounting(self):
+        term = VoiceTerminal(0, PARAMS, np.random.default_rng(3), start_silent=False)
+        frame = self._run_until_packet(term)
+        # force two packets in the buffer for the accounting check
+        term._buffer.append(Packet(kind=TrafficKind.VOICE, terminal_id=0,
+                                   created_frame=frame, deadline_frame=frame + 8))
+        taken = term.transmit(max_packets=2, n_delivered=1, current_frame=frame)
+        assert taken == 2
+        assert term.stats.voice_delivered == 1
+        assert term.stats.voice_errored == 1
+        assert term.buffer_occupancy == 0
+
+    def test_transmit_validation(self):
+        term = VoiceTerminal(0, PARAMS, np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            term.transmit(max_packets=-1, n_delivered=0, current_frame=0)
+        with pytest.raises(ValueError):
+            term.transmit(max_packets=1, n_delivered=1, current_frame=0)  # empty buffer
+
+    def test_head_deadline(self):
+        term = VoiceTerminal(0, PARAMS, np.random.default_rng(5), start_silent=False)
+        frame = self._run_until_packet(term)
+        assert term.head_deadline_frames(frame) == PARAMS.voice_deadline_frames
+        assert term.head_waiting_frames(frame) == 0
+
+    def test_invalid_id(self):
+        with pytest.raises(ValueError):
+            VoiceTerminal(-1, PARAMS, np.random.default_rng(0))
+
+
+class TestDataTerminal:
+    def _run_until_packet(self, term, max_frames=20000):
+        for f in range(max_frames):
+            term.advance_frame(f)
+            if term.has_pending_packets:
+                return f
+        pytest.fail("data terminal never generated a burst")
+
+    def test_identity(self):
+        term = DataTerminal(7, PARAMS, np.random.default_rng(0))
+        assert term.is_data and not term.is_voice
+
+    def test_data_never_expires(self):
+        term = DataTerminal(0, PARAMS, np.random.default_rng(1))
+        frame = self._run_until_packet(term)
+        assert term.drop_expired(frame + 100000) == 0
+
+    def test_failed_data_packets_stay_buffered(self):
+        term = DataTerminal(0, PARAMS, np.random.default_rng(2))
+        frame = self._run_until_packet(term)
+        before = term.buffer_occupancy
+        delivered = term.transmit(max_packets=min(3, before), n_delivered=0,
+                                  current_frame=frame + 4)
+        assert delivered == 0
+        assert term.buffer_occupancy == before
+        assert term.stats.data_retransmissions == min(3, before)
+
+    def test_delivered_data_records_delay(self):
+        term = DataTerminal(0, PARAMS, np.random.default_rng(3))
+        frame = self._run_until_packet(term)
+        n = min(2, term.buffer_occupancy)
+        term.transmit(max_packets=n, n_delivered=n, current_frame=frame + 6)
+        assert term.stats.data_delivered == n
+        assert all(d == 6 for d in term.stats.data_delay_frames)
+        assert term.stats.mean_data_delay_frames == pytest.approx(6.0)
+
+    def test_peek_does_not_remove(self):
+        term = DataTerminal(0, PARAMS, np.random.default_rng(4))
+        self._run_until_packet(term)
+        before = term.buffer_occupancy
+        peeked = term.peek_packets(min(5, before))
+        assert len(peeked) == min(5, before)
+        assert term.buffer_occupancy == before
+        with pytest.raises(ValueError):
+            term.peek_packets(-1)
+
+
+class TestPermissionPolicy:
+    def test_probability_lookup(self):
+        policy = PermissionPolicy(0.5, 0.25, np.random.default_rng(0))
+        assert policy.probability_for(TrafficKind.VOICE) == 0.5
+        assert policy.probability_for(TrafficKind.DATA) == 0.25
+
+    def test_empirical_rates(self):
+        policy = PermissionPolicy(0.5, 0.25, np.random.default_rng(1))
+        voice_rate = np.mean([policy.permits(TrafficKind.VOICE) for _ in range(4000)])
+        data_rate = np.mean([policy.permits(TrafficKind.DATA) for _ in range(4000)])
+        assert voice_rate == pytest.approx(0.5, abs=0.05)
+        assert data_rate == pytest.approx(0.25, abs=0.05)
+
+    def test_unity_probability_always_permits(self):
+        policy = PermissionPolicy(1.0, 1.0, np.random.default_rng(2))
+        assert all(policy.permits(TrafficKind.VOICE) for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PermissionPolicy(0.0, 0.5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            PermissionPolicy(0.5, 1.5, np.random.default_rng(0))
+
+
+class TestBuildPopulation:
+    def test_counts_and_ordering(self):
+        pop = build_population(PARAMS, 3, 2, np.random.default_rng(0))
+        assert len(pop) == 5
+        assert all(t.is_voice for t in pop[:3])
+        assert all(t.is_data for t in pop[3:])
+        assert [t.terminal_id for t in pop] == [0, 1, 2, 3, 4]
+
+    def test_empty_population(self):
+        assert build_population(PARAMS, 0, 0, np.random.default_rng(0)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            build_population(PARAMS, -1, 0, np.random.default_rng(0))
+
+    def test_voice_terminals_start_silent(self):
+        """Calls begin in silence so the protocols never face a synchronised
+        cold-start burst of contention (talkspurts ramp up during warm-up)."""
+        pop = build_population(PARAMS, 50, 0, np.random.default_rng(1))
+        assert all(not t.in_talkspurt for t in pop)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30))
+    def test_population_size_property(self, nv, nd):
+        pop = build_population(PARAMS, nv, nd, np.random.default_rng(2))
+        assert len(pop) == nv + nd
+        assert sum(t.is_voice for t in pop) == nv
