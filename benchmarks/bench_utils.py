@@ -21,8 +21,14 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import get_experiment
 from repro.analysis.tables import format_comparison_table
+from repro.api import run
 from repro.config import SimulationParameters
 from repro.sim.results import SweepResult
+
+#: Worker processes for the benchmark sweeps; the grids are expanded and
+#: executed through :mod:`repro.api`, so ``REPRO_BENCH_WORKERS=4`` fans the
+#: independent runs out across four processes.
+BENCH_WORKERS: int = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 #: Multiplier applied to the simulated duration of every benchmark point.
 BENCH_SCALE: float = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -71,16 +77,17 @@ def run_figure(
     identifies the workload rather than the figure.
     """
     experiment = get_experiment(key)
-    workload_key = (
-        f"{experiment.kind}|{sorted(experiment.fixed.items())}|"
-        f"{sweep_values_for(key)}|{seed}"
+    spec = experiment.spec(
+        PARAMS,
+        values=sweep_values_for(key),
+        duration_s=bench_duration_s(),
+        seeds=(seed,),
     )
+    workload_key = spec.spec_hash()
     if workload_key not in cache:
-        cache[workload_key] = experiment.run(
-            PARAMS,
-            values=sweep_values_for(key),
-            duration_s=bench_duration_s(),
-            seed=seed,
+        results = run(spec, n_workers=BENCH_WORKERS)
+        cache[workload_key] = results.to_sweep_results(
+            experiment.sweep_parameter()
         )
     return cache[workload_key]
 

@@ -15,12 +15,17 @@ against the full protocol:
 
 import numpy as np
 
+import pytest
+
 from benchmarks.bench_utils import BENCH_SCALE, PARAMS
 from repro.config import PriorityWeights
 from repro.core.charisma import CharismaProtocol
 from repro.mac.registry import build_modem
 from repro.sim.engine import UplinkSimulationEngine
 from repro.sim.scenario import Scenario
+
+#: Full sweep benchmarks are long; deselect with ``-m "not slow"``.
+pytestmark = pytest.mark.slow
 
 SCENARIO = Scenario(
     protocol="charisma",

@@ -8,8 +8,13 @@ search for each protocol (scaled down by default) and prints the capacities
 and the CHARISMA-relative ratios.
 """
 
+import pytest
+
 from benchmarks.bench_utils import BENCH_SCALE, PARAMS
 from repro.analysis.capacity import data_qos_capacity
+
+#: Full sweep benchmarks are long; deselect with ``-m "not slow"``.
+pytestmark = pytest.mark.slow
 
 PROTOCOLS = ["charisma", "dtdma_vr", "dtdma_fr", "drma", "rama", "rmav"]
 

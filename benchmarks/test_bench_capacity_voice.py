@@ -11,8 +11,13 @@ for every protocol (scaled down by default) and prints the resulting
 capacity table.
 """
 
+import pytest
+
 from benchmarks.bench_utils import BENCH_SCALE, PARAMS
 from repro.analysis.capacity import voice_capacity
+
+#: Full sweep benchmarks are long; deselect with ``-m "not slow"``.
+pytestmark = pytest.mark.slow
 
 NO_QUEUE_PROTOCOLS = ["charisma", "dtdma_vr", "dtdma_fr", "drma", "rama", "rmav"]
 QUEUE_PROTOCOLS = ["charisma", "dtdma_vr", "drma", "rama"]

@@ -23,6 +23,9 @@ from benchmarks.bench_utils import (
     run_figure,
 )
 
+#: Full sweep benchmarks are long; deselect with ``-m "not slow"``.
+pytestmark = pytest.mark.slow
+
 PANELS = ["fig11a", "fig11b", "fig11c", "fig11d", "fig11e", "fig11f"]
 
 

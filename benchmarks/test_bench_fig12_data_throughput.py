@@ -17,6 +17,9 @@ from benchmarks.bench_utils import (
     series_at_highest_load,
 )
 
+#: Full sweep benchmarks are long; deselect with ``-m "not slow"``.
+pytestmark = pytest.mark.slow
+
 PANELS = ["fig12a", "fig12b", "fig12c", "fig12d", "fig12e", "fig12f"]
 METRIC = "data_throughput_per_frame"
 

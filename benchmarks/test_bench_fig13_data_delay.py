@@ -16,6 +16,9 @@ from benchmarks.bench_utils import (
     series_at_highest_load,
 )
 
+#: Full sweep benchmarks are long; deselect with ``-m "not slow"``.
+pytestmark = pytest.mark.slow
+
 PANELS = ["fig13a", "fig13b", "fig13c", "fig13d", "fig13e", "fig13f"]
 METRIC = "data_delay_s"
 

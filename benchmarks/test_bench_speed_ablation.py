@@ -8,12 +8,17 @@ CHARISMA at a fixed integrated voice/data load and prints loss, throughput
 and delay per speed.
 """
 
+import pytest
+
 from benchmarks.bench_utils import (
     bench_duration_s,
     print_figure,
     run_figure,
     sweep_values_for,
 )
+
+#: Full sweep benchmarks are long; deselect with ``-m "not slow"``.
+pytestmark = pytest.mark.slow
 
 
 def test_bench_speed_ablation(benchmark, sweep_cache):

@@ -7,6 +7,12 @@ CHARISMA and to the five baselines (D-TDMA/VR, D-TDMA/FR, DRMA, RAMA, RMAV),
 with and without the base-station request queue, and the three headline
 metrics are tabulated side by side.
 
+The whole family of runs is declared as one
+:class:`repro.api.ExperimentSpec` — protocols × queue setting × load — and
+executed with a single :func:`repro.api.run` call; the queryable
+:class:`~repro.api.ResultSet` is then sliced per queue setting for the
+legacy table formatter.
+
 Run with::
 
     python examples/protocol_shootout.py [n_voice] [n_data]
@@ -16,11 +22,11 @@ import sys
 
 from repro import SimulationParameters, available_protocols
 from repro.analysis.tables import format_comparison_table
-from repro.sim.runner import run_protocol_comparison
+from repro.api import ExperimentSpec, SweepAxis, run
 from repro.sim.scenario import Scenario
 
 #: Report protocols in the paper's own order.
-PROTOCOL_ORDER = ["charisma", "dtdma_vr", "dtdma_fr", "drma", "rama", "rmav"]
+PROTOCOL_ORDER = ("charisma", "dtdma_vr", "dtdma_fr", "drma", "rama", "rmav")
 
 
 def main() -> None:
@@ -29,25 +35,31 @@ def main() -> None:
     params = SimulationParameters()
     assert set(PROTOCOL_ORDER) == set(available_protocols())
 
-    for use_queue in (False, True):
-        queue_label = "WITH request queue" if use_queue else "WITHOUT request queue"
-        base = Scenario(
+    loads = sorted({max(2, n_voice // 2), n_voice})
+    spec = ExperimentSpec(
+        protocols=PROTOCOL_ORDER,
+        base_scenario=Scenario(
             protocol="charisma",
             n_voice=0,
             n_data=n_data,
-            use_request_queue=use_queue,
             duration_s=4.0,
             warmup_s=2.0,
             seed=7,
-        )
+        ),
+        axes=(
+            SweepAxis("use_request_queue", (False, True)),
+            SweepAxis("n_voice", loads),
+        ),
+        params=params,
+        name="protocol-shootout",
+    )
+    print(f"Running {spec.n_runs} simulations (spec {spec.spec_hash()}) ...")
+    results = run(spec)
+
+    for use_queue in (False, True):
+        queue_label = "WITH request queue" if use_queue else "WITHOUT request queue"
         print(f"\n=== {queue_label}  (Nd = {n_data}) ===")
-        sweeps = run_protocol_comparison(
-            PROTOCOL_ORDER,
-            [max(2, n_voice // 2), n_voice],
-            parameter="n_voice",
-            base_scenario=base,
-            params=params,
-        )
+        sweeps = results.filter(use_request_queue=use_queue).to_sweep_results("n_voice")
         print(format_comparison_table(
             sweeps, "voice_loss_rate",
             title="voice packet loss rate vs number of voice users"))

@@ -12,6 +12,10 @@ This is the smallest useful end-to-end use of the library:
 Run with::
 
     python examples/quickstart.py
+
+For families of runs (protocol / load / seed grids) see
+``examples/experiment_api_tour.py`` and :mod:`repro.api` — ``run_simulation``
+is the single-run primitive the experiment API builds on.
 """
 
 from repro import Scenario, SimulationParameters, run_simulation

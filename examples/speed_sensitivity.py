@@ -10,46 +10,55 @@ essentially unchanged from 10 to 50 km/h and degrades by less than ~5 % at
 shows D-TDMA/VR for reference (it never consults CSI, so speed barely
 matters to it beyond the channel statistics themselves).
 
+The sweep is one declarative grid — (charisma, dtdma_vr) × speed — executed
+through :func:`repro.api.run`.
+
 Run with::
 
     python examples/speed_sensitivity.py
 """
 
-from repro import Scenario, SimulationParameters, run_simulation
+from repro import SimulationParameters
+from repro.api import ExperimentSpec, SweepAxis, run
+from repro.sim.scenario import Scenario
 
-SPEEDS_KMH = (10, 30, 50, 65, 80)
-
-
-def run_at_speed(protocol: str, speed_kmh: float, params: SimulationParameters):
-    scenario = Scenario(
-        protocol=protocol,
-        n_voice=60,
-        n_data=10,
-        use_request_queue=True,
-        duration_s=4.0,
-        warmup_s=2.0,
-        seed=17,
-        mobile_speed_kmh=speed_kmh,
-    )
-    return run_simulation(scenario, params)
+SPEEDS_KMH = (10.0, 30.0, 50.0, 65.0, 80.0)
 
 
 def main() -> None:
     params = SimulationParameters()
+    spec = ExperimentSpec(
+        protocols=("charisma", "dtdma_vr"),
+        base_scenario=Scenario(
+            protocol="charisma",
+            n_voice=60,
+            n_data=10,
+            use_request_queue=True,
+            duration_s=4.0,
+            warmup_s=2.0,
+            seed=17,
+        ),
+        axes=(SweepAxis("mobile_speed_kmh", SPEEDS_KMH),),
+        params=params,
+        name="speed-sensitivity",
+    )
+    results = run(spec)
+
     print("speed   protocol    voice loss   data thr (pkt/frame)   data delay")
     print("-----   ---------   ----------   --------------------   ----------")
-    baselines = {}
-    for protocol in ("charisma", "dtdma_vr"):
-        for speed in SPEEDS_KMH:
-            result = run_at_speed(protocol, speed, params)
-            print(f"{speed:3d} km/h  {protocol:9s}   {result.voice_loss_rate:10.4%}   "
-                  f"{result.data_throughput:20.2f}   {result.data_delay_s * 1e3:7.1f} ms")
-            baselines.setdefault(protocol, result.data_throughput)
-        reference = baselines[protocol]
-        final = run_at_speed(protocol, SPEEDS_KMH[-1], params).data_throughput
-        if reference > 0:
-            change = (final - reference) / reference
-            print(f"        {protocol:9s}   throughput change 10->80 km/h: {change:+.1%}\n")
+    for (protocol,), subset in results.group_by("protocol").items():
+        for record in subset:
+            result = record.result
+            speed = record["mobile_speed_kmh"]
+            print(f"{int(speed):3d} km/h  {protocol:9s}   "
+                  f"{result.voice_loss_rate:10.4%}   "
+                  f"{result.data_throughput:20.2f}   "
+                  f"{result.data_delay_s * 1e3:7.1f} ms")
+        throughputs = subset.series("data_throughput_per_frame")
+        if throughputs[0] > 0:
+            change = (throughputs[-1] - throughputs[0]) / throughputs[0]
+            print(f"        {protocol:9s}   throughput change "
+                  f"{int(SPEEDS_KMH[0])}->{int(SPEEDS_KMH[-1])} km/h: {change:+.1%}\n")
 
 
 if __name__ == "__main__":

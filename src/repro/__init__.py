@@ -18,8 +18,18 @@ Quickstart
 >>> 0.0 <= result.voice.loss_rate <= 1.0
 True
 
+Experiment grids (protocol × axes × seeds) go through :mod:`repro.api`:
+
+>>> from repro import ExperimentSpec, SweepAxis, run_experiment
+>>> spec = ExperimentSpec(protocols=("charisma",), base_scenario=scenario,
+...                       axes=(SweepAxis("n_voice", (5, 10)),), seeds=(0, 1))
+>>> results = run_experiment(spec)
+>>> len(results)
+4
+
 Subpackages
 -----------
+``repro.api``       Unified experiment API: specs, executors, result sets.
 ``repro.channel``   Rayleigh fast fading × log-normal shadowing channel models.
 ``repro.phy``       Adaptive (ABICM-style) and fixed-rate physical layers, CSI estimation.
 ``repro.traffic``   Voice / data sources, terminals, permission-probability contention.
@@ -50,6 +60,13 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "SimulationResult": ("repro.sim.results", "SimulationResult"),
         "available_protocols": ("repro.mac.registry", "available_protocols"),
         "create_protocol": ("repro.mac.registry", "create_protocol"),
+        # unified experiment API
+        "ExperimentSpec": ("repro.api", "ExperimentSpec"),
+        "SweepAxis": ("repro.api", "SweepAxis"),
+        "ResultSet": ("repro.api", "ResultSet"),
+        "SerialExecutor": ("repro.api", "SerialExecutor"),
+        "ParallelExecutor": ("repro.api", "ParallelExecutor"),
+        "run_experiment": ("repro.api", "run"),
     }
     if name in lazy:
         module_name, attr = lazy[name]

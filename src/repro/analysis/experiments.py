@@ -19,9 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.api import ExperimentSpec, ResultSet, SweepAxis
+from repro.api import run as run_experiment
 from repro.config import SimulationParameters
 from repro.sim.results import SweepResult
-from repro.sim.runner import run_protocol_comparison, run_simulation
 from repro.sim.scenario import Scenario
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
@@ -106,15 +107,24 @@ class Experiment:
         defaults.update(self.fixed)
         return Scenario(**defaults)  # type: ignore[arg-type]
 
-    def run(
+    def sweep_parameter(self) -> str:
+        """The scenario field this experiment's sweep varies."""
+        if self.parameter:
+            return self.parameter
+        return {
+            "voice_sweep": "n_voice",
+            "data_sweep": "n_data",
+            "speed_sweep": "mobile_speed_kmh",
+        }.get(self.kind, "n_voice")
+
+    def spec(
         self,
         params: Optional[SimulationParameters] = None,
         values: Optional[Sequence[int]] = None,
         duration_s: Optional[float] = None,
-        seed: int = 0,
-        n_workers: int = 1,
-    ) -> Dict[str, SweepResult]:
-        """Run the experiment's sweep and return one SweepResult per protocol.
+        seeds: Sequence[int] = (0,),
+    ) -> ExperimentSpec:
+        """The :class:`~repro.api.ExperimentSpec` behind this artefact.
 
         Only meaningful for the sweep-type experiments (``voice_sweep``,
         ``data_sweep``, ``speed_sweep``); the PHY-curve, channel-trace and
@@ -126,40 +136,54 @@ class Experiment:
                 f"experiment {self.key!r} of kind {self.kind!r} is not a sweep; "
                 "its benchmark regenerates it directly"
             )
-        params = params if params is not None else SimulationParameters()
         values = list(values if values is not None else self.sweep_values)
-        base = self.base_scenario(seed=seed)
+        if self.kind == "speed_sweep":
+            values = [float(v) for v in values]
+        base = self.base_scenario(seed=seeds[0] if seeds else 0)
         if duration_s is not None:
             base = base.with_overrides(duration_s=duration_s)
-
-        if self.kind == "speed_sweep":
-            sweeps: Dict[str, SweepResult] = {}
-            for protocol in self.protocols:
-                results = []
-                for speed in values:
-                    scenario = base.with_overrides(
-                        protocol=protocol, mobile_speed_kmh=float(speed)
-                    )
-                    results.append(run_simulation(scenario, params))
-                sweeps[protocol] = SweepResult(
-                    protocol=protocol,
-                    parameter="mobile_speed_kmh",
-                    values=[float(v) for v in values],
-                    results=results,
-                )
-            return sweeps
-
-        parameter = self.parameter or (
-            "n_voice" if self.kind == "voice_sweep" else "n_data"
-        )
-        return run_protocol_comparison(
-            self.protocols,
-            values,
-            parameter=parameter,
+        return ExperimentSpec(
+            protocols=self.protocols,
             base_scenario=base,
+            axes=(SweepAxis(self.sweep_parameter(), values),),
             params=params,
+            seeds=seeds,
+            name=self.key,
+        )
+
+    def run_resultset(
+        self,
+        params: Optional[SimulationParameters] = None,
+        values: Optional[Sequence[int]] = None,
+        duration_s: Optional[float] = None,
+        seeds: Sequence[int] = (0,),
+        n_workers: Optional[int] = None,
+    ) -> ResultSet:
+        """Run the experiment's grid and return the queryable result set."""
+        return run_experiment(
+            self.spec(params=params, values=values, duration_s=duration_s,
+                      seeds=seeds),
             n_workers=n_workers,
         )
+
+    def run(
+        self,
+        params: Optional[SimulationParameters] = None,
+        values: Optional[Sequence[int]] = None,
+        duration_s: Optional[float] = None,
+        seed: int = 0,
+        n_workers: int = 1,
+    ) -> Dict[str, SweepResult]:
+        """Run the experiment's sweep and return one SweepResult per protocol.
+
+        Legacy-shaped view over :meth:`run_resultset`, kept for the table
+        formatters and the benchmark harness.
+        """
+        results = self.run_resultset(
+            params=params, values=values, duration_s=duration_s,
+            seeds=(seed,), n_workers=n_workers,
+        )
+        return results.to_sweep_results(self.sweep_parameter())
 
     def describe(self) -> Dict[str, object]:
         """Row of the per-experiment index (DESIGN.md / EXPERIMENTS.md)."""

@@ -64,8 +64,8 @@ def format_comparison_table(
     """Render one metric for several protocols side by side.
 
     Rows are the swept values (assumed identical across protocols, as
-    produced by :func:`repro.sim.runner.run_protocol_comparison`); columns
-    are the protocols.  This is the textual analogue of one sub-figure of the
+    produced by :meth:`repro.api.ResultSet.to_sweep_results`); columns are
+    the protocols.  This is the textual analogue of one sub-figure of the
     paper's Figs. 11-13.
     """
     if not sweeps:

@@ -1,0 +1,61 @@
+"""Unified experiment API — the public entry point for running experiments.
+
+Declare *what* to run with :class:`ExperimentSpec` (protocols × axes ×
+seeds), decide *how* to run it with an :class:`Executor` (or let
+:func:`run` choose), and analyse the outcome through :class:`ResultSet`:
+
+>>> from repro.api import ExperimentSpec, SweepAxis, run
+>>> from repro.sim.scenario import Scenario
+>>> spec = ExperimentSpec(
+...     protocols=("charisma", "rama"),
+...     base_scenario=Scenario(protocol="charisma", n_voice=0, n_data=1,
+...                            duration_s=0.5, warmup_s=0.25),
+...     axes=(SweepAxis("n_voice", (2, 4)),),
+...     seeds=(0, 1),
+... )
+>>> spec.n_runs
+8
+>>> results = run(spec)
+>>> rows = results.aggregate(["voice_loss_rate"], by=("protocol", "n_voice"))
+>>> len(rows)
+4
+
+The legacy helpers (``repro.sim.runner.run_sweep`` and friends) are thin
+deprecated shims over this package.
+"""
+
+from repro.api.executors import (
+    Executor,
+    ParallelExecutor,
+    ProgressCallback,
+    SerialExecutor,
+    select_executor,
+)
+from repro.api.facade import run, run_points, sweep_spec
+from repro.api.resultset import AggregateRow, ResultSet, RunRecord
+from repro.api.spec import (
+    ExperimentSpec,
+    RunPoint,
+    SweepAxis,
+    parameter_sweepable_fields,
+    scenario_sweepable_fields,
+)
+
+__all__ = [
+    "AggregateRow",
+    "Executor",
+    "ExperimentSpec",
+    "ParallelExecutor",
+    "ProgressCallback",
+    "ResultSet",
+    "RunPoint",
+    "RunRecord",
+    "SerialExecutor",
+    "SweepAxis",
+    "parameter_sweepable_fields",
+    "run",
+    "run_points",
+    "scenario_sweepable_fields",
+    "select_executor",
+    "sweep_spec",
+]

@@ -1,0 +1,233 @@
+"""Pluggable execution backends for expanded experiment grids.
+
+Every :class:`~repro.api.spec.RunPoint` is an independent simulation, which
+makes a grid an embarrassingly parallel workload.  An :class:`Executor` turns
+an ordered run list into the equally-ordered list of
+:class:`~repro.sim.results.SimulationResult` objects; the two shipped
+backends are
+
+* :class:`SerialExecutor` — runs in the calling process.  Zero overhead;
+  right for small grids and for debugging (exceptions propagate directly).
+* :class:`ParallelExecutor` — fans out across a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  The shared
+  :class:`~repro.config.SimulationParameters` object is shipped to each
+  worker exactly once through the pool initializer; jobs carry only the
+  scenario and the point's parameter *deltas*, and are submitted in chunks
+  so a large grid does not flood the executor queue.
+
+:func:`select_executor` picks between them from the grid's estimated cost,
+and both report progress through an optional ``progress(done, total)``
+callback.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.config import SimulationParameters
+from repro.sim.engine import UplinkSimulationEngine
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import Scenario
+from repro.api.spec import RunPoint
+
+__all__ = [
+    "Executor",
+    "ProgressCallback",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "select_executor",
+    "estimated_grid_cost",
+]
+
+#: ``progress(done, total)`` — invoked after every completed run (serial) or
+#: every completed chunk (parallel).
+ProgressCallback = Callable[[int, int], None]
+
+
+def _simulate(scenario: Scenario, params: SimulationParameters) -> SimulationResult:
+    """Run one scenario (the single-run primitive the executors share)."""
+    return UplinkSimulationEngine(scenario, params).run()
+
+
+class Executor(Protocol):
+    """Anything that can evaluate an ordered run list.
+
+    Implementations must return results in run-list order and must be
+    deterministic: the same points and parameters always produce the same
+    results regardless of scheduling.
+    """
+
+    def execute(
+        self,
+        points: Sequence[RunPoint],
+        params: SimulationParameters,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SimulationResult]:
+        """Evaluate every point and return results in the same order."""
+        ...
+
+
+class SerialExecutor:
+    """Evaluate the run list one point at a time in the calling process."""
+
+    def execute(
+        self,
+        points: Sequence[RunPoint],
+        params: SimulationParameters,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SimulationResult]:
+        results: List[SimulationResult] = []
+        total = len(points)
+        for point in points:
+            results.append(_simulate(point.scenario, point.resolved_params(params)))
+            if progress is not None:
+                progress(len(results), total)
+        return results
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+# ----------------------------------------------------------- worker plumbing
+#: Shared parameters installed in each worker by the pool initializer, so the
+#: (large, immutable) SimulationParameters object is pickled once per worker
+#: instead of once per job.
+_WORKER_PARAMS: Optional[SimulationParameters] = None
+
+
+def _worker_init(params: SimulationParameters) -> None:
+    global _WORKER_PARAMS
+    _WORKER_PARAMS = params
+
+
+def _worker_run_chunk(
+    chunk: Sequence[Tuple[int, Scenario, Tuple[Tuple[str, object], ...]]],
+) -> List[Tuple[int, SimulationResult]]:
+    """Evaluate one chunk of (index, scenario, param-deltas) jobs."""
+    params = _WORKER_PARAMS
+    if params is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("worker pool initializer did not run")
+    out = []
+    for index, scenario, overrides in chunk:
+        effective = params.with_overrides(**dict(overrides)) if overrides else params
+        out.append((index, _simulate(scenario, effective)))
+    return out
+
+
+class ParallelExecutor:
+    """Fan the run list out across worker processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes; defaults to the machine's CPU count.
+    chunk_size:
+        Points per submitted task.  Chunking amortises inter-process pickling
+        for large grids; the default splits the grid into roughly four chunks
+        per worker so the pool stays load-balanced near the end of the run.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None, chunk_size: Optional[int] = None):
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+
+    def _chunks(self, n_jobs: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, n_jobs // (self.n_workers * 4))
+
+    def execute(
+        self,
+        points: Sequence[RunPoint],
+        params: SimulationParameters,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SimulationResult]:
+        total = len(points)
+        if total == 0:
+            return []
+        if self.n_workers == 1 or total == 1:
+            return SerialExecutor().execute(points, params, progress)
+
+        jobs = [(p.index, p.scenario, p.param_overrides) for p in points]
+        index_of = {p.index: i for i, p in enumerate(points)}
+        if len(index_of) != total:
+            raise ValueError("run points must have unique indices")
+        chunk_size = self._chunks(total)
+        chunks = [jobs[i:i + chunk_size] for i in range(0, total, chunk_size)]
+
+        results: List[Optional[SimulationResult]] = [None] * total
+        done = 0
+        with ProcessPoolExecutor(
+            max_workers=min(self.n_workers, len(chunks)),
+            initializer=_worker_init,
+            initargs=(params,),
+        ) as pool:
+            pending = {pool.submit(_worker_run_chunk, chunk) for chunk in chunks}
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    for index, result in future.result():
+                        results[index_of[index]] = result
+                        done += 1
+                    if progress is not None:
+                        progress(done, total)
+        if done != total or any(r is None for r in results):
+            raise RuntimeError(
+                f"worker pool produced {done} of {total} results"
+            )  # pragma: no cover - defensive; futures re-raise worker errors
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        chunk = self.chunk_size if self.chunk_size is not None else "auto"
+        return f"ParallelExecutor(n_workers={self.n_workers}, chunk_size={chunk})"
+
+
+def estimated_grid_cost(points: Sequence[RunPoint]) -> float:
+    """Rough serial cost of a grid, in terminal-simulated-seconds.
+
+    The engine's work per point scales with the simulated time and with the
+    number of terminals it steps each frame; the product is a serviceable
+    unitless cost model for deciding whether process fan-out is worth its
+    start-up price.
+    """
+    return sum(
+        (p.scenario.duration_s + p.scenario.warmup_s) * (p.scenario.n_terminals + 1)
+        for p in points
+    )
+
+
+#: Grids cheaper than this (terminal-seconds) stay serial: below it the
+#: process pool's interpreter start-up and pickling overhead typically
+#: exceeds the simulation time saved.
+_PARALLEL_COST_THRESHOLD = 2000.0
+
+
+def select_executor(
+    points: Sequence[RunPoint],
+    n_workers: Optional[int] = None,
+) -> Executor:
+    """Pick an executor for a grid.
+
+    An explicit ``n_workers`` forces the choice (1 → serial, >1 → parallel).
+    Otherwise the grid goes parallel only when the machine has more than one
+    CPU, there is more than one point to overlap, and the estimated cost is
+    large enough to amortise the pool start-up.
+    """
+    if n_workers is not None:
+        if n_workers == 1:
+            return SerialExecutor()
+        return ParallelExecutor(n_workers=n_workers)
+    cpus = os.cpu_count() or 1
+    if (
+        cpus > 1
+        and len(points) > 1
+        and estimated_grid_cost(points) >= _PARALLEL_COST_THRESHOLD
+    ):
+        return ParallelExecutor(n_workers=min(cpus, len(points)))
+    return SerialExecutor()

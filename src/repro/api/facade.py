@@ -1,0 +1,108 @@
+"""The one-call entry point: expand a spec, execute it, wrap the results.
+
+:func:`run` is the single public way to evaluate an
+:class:`~repro.api.spec.ExperimentSpec`.  It expands the grid, picks an
+executor (unless one is supplied), executes, and returns a
+:class:`~repro.api.resultset.ResultSet`.  Everything else in the package —
+the legacy runner shims, the CLI, the experiment registry, the benchmark
+harness — funnels through it, so concerns like executor selection, progress
+reporting and (future) result caching live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.api.executors import (
+    Executor,
+    ProgressCallback,
+    SerialExecutor,
+    select_executor,
+)
+from repro.api.resultset import ResultSet, RunRecord
+from repro.api.spec import ExperimentSpec, SweepAxis
+from repro.config import SimulationParameters
+from repro.sim.scenario import Scenario
+
+__all__ = ["run", "run_points", "sweep_spec"]
+
+
+def run(
+    spec: ExperimentSpec,
+    executor: Optional[Executor] = None,
+    n_workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> ResultSet:
+    """Execute every run of ``spec`` and return a queryable result set.
+
+    Parameters
+    ----------
+    spec:
+        The declarative experiment grid.
+    executor:
+        Execution backend; when omitted, :func:`select_executor` chooses
+        between serial and process-parallel execution from the grid's
+        estimated cost (``n_workers`` forces the choice).
+    n_workers:
+        Convenience override: 1 forces serial, >1 forces that many worker
+        processes.  Ignored when ``executor`` is given.
+    progress:
+        Optional ``progress(done, total)`` callback.
+
+    The returned set's records are in the spec's deterministic expansion
+    order regardless of the executor, so serial and parallel runs of the
+    same spec are interchangeable.
+    """
+    points = spec.expand()
+    if executor is None:
+        executor = select_executor(points, n_workers=n_workers)
+    results = executor.execute(points, spec.params, progress=progress)
+    if len(results) != len(points):
+        raise RuntimeError(
+            f"executor returned {len(results)} results for {len(points)} runs"
+        )
+    records = [RunRecord(point=p, result=r) for p, r in zip(points, results)]
+    return ResultSet(records, name=spec.name)
+
+
+def run_points(
+    points: Sequence,
+    params: Optional[SimulationParameters] = None,
+    executor: Optional[Executor] = None,
+    n_workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List:
+    """Execute pre-expanded run points (plumbing for the legacy shims)."""
+    params = params if params is not None else SimulationParameters()
+    if executor is None:
+        if n_workers is not None:
+            executor = select_executor(points, n_workers=n_workers)
+        else:
+            executor = SerialExecutor()
+    return executor.execute(points, params, progress=progress)
+
+
+def sweep_spec(
+    protocols: Sequence[str],
+    parameter: str,
+    values: Sequence[object],
+    base_scenario: Scenario,
+    params: Optional[SimulationParameters] = None,
+    seeds: Sequence[int] = (),
+    name: str = "",
+) -> ExperimentSpec:
+    """Convenience constructor for the ubiquitous one-axis sweep.
+
+    When ``seeds`` is omitted the base scenario's own seed is used, matching
+    the legacy ``run_sweep`` behaviour.
+    """
+    if not seeds:
+        seeds = (base_scenario.seed,)
+    return ExperimentSpec(
+        protocols=protocols,
+        base_scenario=base_scenario,
+        axes=(SweepAxis(parameter, values),),
+        params=params,
+        seeds=seeds,
+        name=name,
+    )

@@ -1,0 +1,336 @@
+"""Queryable containers for experiment results.
+
+A :class:`ResultSet` pairs every expanded :class:`~repro.api.spec.RunPoint`
+with its :class:`~repro.sim.results.SimulationResult` and supports the three
+things every analysis in the paper reduces to:
+
+* *selection* — :meth:`ResultSet.filter` by grid coordinates or predicate;
+* *reshaping* — :meth:`ResultSet.group_by` on any coordinate or summary key;
+* *reduction* — :meth:`ResultSet.aggregate`, mean ± Student-t confidence
+  interval across the records of each group (typically seed replicates).
+
+Results are exportable (:meth:`to_records`, :meth:`to_csv`,
+:meth:`to_json`) and convertible back to the legacy
+:class:`~repro.sim.results.SweepResult` family so existing tables, plots and
+benchmarks keep working during the migration.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from dataclasses import dataclass
+from functools import cached_property
+from typing import (
+    Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union,
+)
+
+from repro.sim.results import SimulationResult, SweepResult
+from repro.api.spec import RunPoint
+
+__all__ = ["RunRecord", "AggregateRow", "ResultSet"]
+
+#: Summary metrics reported by default when no explicit list is given.
+DEFAULT_METRICS: Tuple[str, ...] = (
+    "voice_loss_rate",
+    "data_throughput_per_frame",
+    "data_delay_s",
+)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One grid point together with its simulation result."""
+
+    point: RunPoint
+    result: SimulationResult
+
+    @cached_property
+    def _row(self) -> Dict[str, object]:
+        # Built once per record: filter/group_by/distinct hit __getitem__
+        # for every record and key, so rebuilding coords + summary on each
+        # access would make every query quadratic in practice.
+        row: Dict[str, object] = {"run_hash": self.point.run_hash()}
+        row.update(self.point.coords_dict())
+        row.update(self.result.summary())
+        return row
+
+    def record(self) -> Dict[str, object]:
+        """Flat dictionary: grid coordinates plus the result summary."""
+        return dict(self._row)
+
+    def __getitem__(self, key: str) -> object:
+        try:
+            return self._row[key]
+        except KeyError:
+            raise KeyError(
+                f"{key!r} is neither a grid coordinate nor a summary metric; "
+                f"available keys: {', '.join(self._row)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """One group's statistics for one metric.
+
+    ``ci_half_width`` is the half-width of the Student-t confidence interval
+    of the mean across the group's records (0 for singleton groups), matching
+    the convention of
+    :func:`repro.metrics.stats.batch_means_confidence_interval`.
+    """
+
+    group: Tuple[Tuple[str, object], ...]
+    metric: str
+    mean: float
+    std: float
+    ci_half_width: float
+    n: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary form (group coordinates inlined)."""
+        row: Dict[str, object] = dict(self.group)
+        row.update({
+            "metric": self.metric,
+            "mean": self.mean,
+            "std": self.std,
+            "ci_half_width": self.ci_half_width,
+            "n": self.n,
+        })
+        return row
+
+
+def _student_t_half_width(values: Sequence[float], confidence: float) -> float:
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    from scipy import stats as scipy_stats
+
+    t_value = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return t_value * sem
+
+
+class ResultSet:
+    """Ordered, immutable collection of :class:`RunRecord` objects."""
+
+    def __init__(self, records: Sequence[RunRecord], name: str = ""):
+        self._records: Tuple[RunRecord, ...] = tuple(records)
+        self.name = name
+
+    # ------------------------------------------------------------ container
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[RunRecord, "ResultSet"]:
+        if isinstance(index, slice):
+            return ResultSet(self._records[index], name=self.name)
+        return self._records[index]
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"ResultSet({len(self._records)} runs{label})"
+
+    @property
+    def records(self) -> Tuple[RunRecord, ...]:
+        """The underlying records, in expansion order."""
+        return self._records
+
+    @property
+    def results(self) -> List[SimulationResult]:
+        """Raw simulation results, in expansion order."""
+        return [r.result for r in self._records]
+
+    def coordinates(self) -> Tuple[str, ...]:
+        """Grid coordinate names present on the records."""
+        if not self._records:
+            return ()
+        return tuple(self._records[0].point.coords_dict())
+
+    def distinct(self, key: str) -> List[object]:
+        """Distinct values of one coordinate/metric, in first-seen order."""
+        seen: Dict[object, None] = {}
+        for record in self._records:
+            seen.setdefault(record[key], None)
+        return list(seen)
+
+    # ------------------------------------------------------------- querying
+    def filter(
+        self,
+        predicate: Optional[Callable[[RunRecord], bool]] = None,
+        **coords: object,
+    ) -> "ResultSet":
+        """Records matching every keyword equality and the optional predicate.
+
+        >>> rs.filter(protocol="charisma", n_voice=60)        # doctest: +SKIP
+        >>> rs.filter(lambda r: r["voice_loss_rate"] < 0.01)  # doctest: +SKIP
+        """
+        kept = []
+        for record in self._records:
+            if any(record[key] != value for key, value in coords.items()):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            kept.append(record)
+        return ResultSet(kept, name=self.name)
+
+    def group_by(self, *keys: str) -> Dict[Tuple[object, ...], "ResultSet"]:
+        """Partition into sub-sets keyed by the given coordinates.
+
+        Group keys appear in first-seen (i.e. expansion) order, so iteration
+        over the mapping is deterministic.
+        """
+        if not keys:
+            raise ValueError("group_by needs at least one key")
+        groups: Dict[Tuple[object, ...], List[RunRecord]] = {}
+        for record in self._records:
+            group = tuple(record[key] for key in keys)
+            groups.setdefault(group, []).append(record)
+        return {
+            group: ResultSet(records, name=self.name)
+            for group, records in groups.items()
+        }
+
+    def series(self, metric: str) -> List[float]:
+        """One metric across all records, in expansion order."""
+        return [float(record[metric]) for record in self._records]
+
+    # ---------------------------------------------------------- aggregation
+    def aggregate(
+        self,
+        metrics: Optional[Sequence[str]] = None,
+        by: Sequence[str] = (),
+        confidence: float = 0.95,
+    ) -> List[AggregateRow]:
+        """Mean ± confidence interval of metrics, per group.
+
+        Parameters
+        ----------
+        metrics:
+            Summary keys to reduce; defaults to the three headline metrics.
+        by:
+            Grouping coordinates (e.g. ``("protocol", "n_voice")``).  Empty
+            groups the whole set, reducing across everything — typically the
+            seed replicates of a single grid point.
+        confidence:
+            Confidence level of the Student-t interval on the mean.
+
+        Returns rows ordered by group (expansion order) then by metric.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must lie in (0, 1)")
+        metrics = tuple(metrics) if metrics is not None else DEFAULT_METRICS
+        if by:
+            grouped = self.group_by(*by)
+        else:
+            grouped = {(): self}
+        rows: List[AggregateRow] = []
+        for group, subset in grouped.items():
+            coords = tuple(zip(by, group))
+            for metric in metrics:
+                values = subset.series(metric)
+                n = len(values)
+                mean = sum(values) / n if n else 0.0
+                if n >= 2:
+                    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+                    std = math.sqrt(variance)
+                else:
+                    std = 0.0
+                rows.append(AggregateRow(
+                    group=coords,
+                    metric=metric,
+                    mean=mean,
+                    std=std,
+                    ci_half_width=_student_t_half_width(values, confidence),
+                    n=n,
+                ))
+        return rows
+
+    # -------------------------------------------------------------- exports
+    def to_records(self) -> List[Dict[str, object]]:
+        """Flat dictionaries (coordinates + summary), in expansion order."""
+        return [record.record() for record in self._records]
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """CSV rendering of :meth:`to_records`; written to ``path`` if given."""
+        records = self.to_records()
+        buffer = io.StringIO()
+        if records:
+            writer = csv.DictWriter(buffer, fieldnames=list(records[0]),
+                                    lineterminator="\n")
+            writer.writeheader()
+            writer.writerows(records)
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """JSON rendering of :meth:`to_records`; written to ``path`` if given."""
+        text = json.dumps(self.to_records(), indent=indent, sort_keys=False)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    # ------------------------------------------------- legacy compatibility
+    def to_sweep_result(
+        self,
+        parameter: str,
+        protocol: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> SweepResult:
+        """Legacy one-protocol :class:`SweepResult` view of this set.
+
+        The set must reduce to exactly one record per swept value once the
+        protocol and seed are fixed; pass ``seed`` explicitly when the spec
+        replicated each point over several seeds.
+        """
+        subset = self
+        if protocol is not None:
+            subset = subset.filter(protocol=protocol)
+        if seed is not None:
+            subset = subset.filter(seed=seed)
+        protocols = subset.distinct("protocol") if len(subset) else []
+        if len(protocols) != 1:
+            raise ValueError(
+                "set spans "
+                f"{len(protocols)} protocols; pass protocol= to select one"
+            )
+        values = subset.distinct(parameter)
+        results = []
+        for value in values:
+            matches = subset.filter(**{parameter: value})
+            if len(matches) != 1:
+                raise ValueError(
+                    f"{len(matches)} records at {parameter}={value!r}; a "
+                    "SweepResult needs exactly one (pass seed= to pick a "
+                    "replicate, or aggregate() instead)"
+                )
+            results.append(matches[0].result)
+        return SweepResult(
+            protocol=str(protocols[0]),
+            parameter=parameter,
+            values=[v for v in values],
+            results=results,
+        )
+
+    def to_sweep_results(
+        self,
+        parameter: str,
+        seed: Optional[int] = None,
+    ) -> Dict[str, SweepResult]:
+        """Legacy ``{protocol: SweepResult}`` view (one paper sub-figure)."""
+        return {
+            str(protocol): self.to_sweep_result(
+                parameter, protocol=str(protocol), seed=seed
+            )
+            for protocol in self.distinct("protocol")
+        }

@@ -1,0 +1,317 @@
+"""Declarative experiment descriptions.
+
+The paper's artefacts are *families* of runs — protocol × population ×
+seed × parameter grids — and the unit of work everywhere in this package is
+therefore not "one simulation" but "one grid of simulations".
+:class:`ExperimentSpec` captures such a grid declaratively:
+
+* a set of protocols (always an implicit axis),
+* any number of :class:`SweepAxis` objects, each sweeping one field of
+  either the :class:`~repro.sim.scenario.Scenario` or the shared
+  :class:`~repro.config.SimulationParameters`,
+* a list of seeds replicated at every grid point.
+
+``ExperimentSpec.expand()`` turns the spec into a deterministic, ordered
+tuple of :class:`RunPoint` objects; the same spec always expands to the same
+run list with the same per-point hashes, which is what makes result caching,
+sharding and reproducibility audits possible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.config import SimulationParameters
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "SweepAxis",
+    "RunPoint",
+    "ExperimentSpec",
+    "config_digest",
+    "scenario_sweepable_fields",
+    "parameter_sweepable_fields",
+]
+
+#: Scenario fields that cannot be swept through an axis because the spec
+#: manages them itself (``protocol`` via ``protocols``, ``seed`` via
+#: ``seeds``).
+_RESERVED_SCENARIO_FIELDS = ("protocol", "seed")
+
+
+def scenario_sweepable_fields() -> Tuple[str, ...]:
+    """Scenario fields a :class:`SweepAxis` may sweep."""
+    return tuple(
+        f.name for f in dataclasses.fields(Scenario)
+        if f.name not in _RESERVED_SCENARIO_FIELDS
+    )
+
+
+def parameter_sweepable_fields() -> Tuple[str, ...]:
+    """SimulationParameters fields a :class:`SweepAxis` may sweep."""
+    return tuple(f.name for f in dataclasses.fields(SimulationParameters))
+
+
+def _canonical(value: object) -> object:
+    """JSON-serialisable canonical form of a config value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _canonical(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, (tuple, list)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    return value
+
+
+def config_digest(payload: object) -> str:
+    """Stable short hash of a canonical payload (dataclasses welcome)."""
+    text = json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept dimension of an experiment grid.
+
+    Attributes
+    ----------
+    field:
+        Name of the swept field.  Any non-reserved
+        :class:`~repro.sim.scenario.Scenario` field or any
+        :class:`~repro.config.SimulationParameters` field is sweepable;
+        ``protocol`` and ``seed`` are reserved (use
+        :attr:`ExperimentSpec.protocols` / :attr:`ExperimentSpec.seeds`).
+    values:
+        The swept values, in presentation order.
+    target:
+        ``"scenario"`` or ``"params"``.  Inferred from the field name when
+        omitted (scenario wins when the name exists on both, as with
+        ``mobile_speed_kmh``).
+    """
+
+    field: str
+    values: Tuple[object, ...]
+    target: str = ""
+
+    def __init__(self, field: str, values: Iterable[object], target: str = ""):
+        object.__setattr__(self, "field", field)
+        object.__setattr__(self, "values", tuple(values))
+        object.__setattr__(self, "target", target or self._infer_target(field))
+        self._validate()
+
+    @staticmethod
+    def _infer_target(field_name: str) -> str:
+        if field_name in scenario_sweepable_fields():
+            return "scenario"
+        if field_name in parameter_sweepable_fields():
+            return "params"
+        return "scenario"  # rejected with the full field list in _validate
+
+    def _validate(self) -> None:
+        if self.target not in ("scenario", "params"):
+            raise ValueError("target must be 'scenario' or 'params'")
+        sweepable = (
+            scenario_sweepable_fields() if self.target == "scenario"
+            else parameter_sweepable_fields()
+        )
+        if self.field in _RESERVED_SCENARIO_FIELDS:
+            raise ValueError(
+                f"field {self.field!r} is managed by the spec itself; use "
+                "ExperimentSpec.protocols / ExperimentSpec.seeds instead"
+            )
+        if self.field not in sweepable:
+            raise ValueError(
+                f"{self.field!r} is not a sweepable {self.target} field; "
+                f"sweepable scenario fields: {', '.join(scenario_sweepable_fields())}; "
+                f"sweepable parameter fields: {', '.join(parameter_sweepable_fields())}"
+            )
+        if not self.values:
+            raise ValueError(f"axis {self.field!r} needs at least one value")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"axis {self.field!r} has duplicate values")
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One fully-resolved simulation of an expanded experiment grid.
+
+    Attributes
+    ----------
+    index:
+        Position in the spec's deterministic expansion order.
+    scenario:
+        The concrete scenario to simulate (axis overrides applied).
+    param_overrides:
+        Sorted ``(field, value)`` pairs to apply on top of the spec's shared
+        :class:`~repro.config.SimulationParameters`.  Kept as a delta rather
+        than a full object so parallel executors can ship the shared base
+        parameters to each worker exactly once.
+    coords:
+        Sorted ``(axis, value)`` pairs locating the point on the grid
+        (always includes ``protocol`` and ``seed``).
+    params_digest:
+        :func:`config_digest` of the shared base parameters the point runs
+        against (set by :meth:`ExperimentSpec.expand`); part of
+        :meth:`run_hash` so the same scenario under different base
+        parameters never hashes equal.
+    """
+
+    index: int
+    scenario: Scenario
+    param_overrides: Tuple[Tuple[str, object], ...] = ()
+    coords: Tuple[Tuple[str, object], ...] = ()
+    params_digest: str = ""
+
+    def resolved_params(self, base: SimulationParameters) -> SimulationParameters:
+        """The point's effective parameters on top of the shared base."""
+        if not self.param_overrides:
+            return base
+        return base.with_overrides(**dict(self.param_overrides))
+
+    def run_hash(self) -> str:
+        """Stable digest identifying this run (scenario + parameters)."""
+        return config_digest({
+            "scenario": self.scenario,
+            "param_overrides": dict(self.param_overrides),
+            "params_digest": self.params_digest,
+        })
+
+    def coords_dict(self) -> Dict[str, object]:
+        """The grid coordinates as a plain dictionary."""
+        return dict(self.coords)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative grid of simulations.
+
+    The grid is the cross-product ``protocols × axes × seeds``; expansion
+    order is protocols (outermost), then the axes in declaration order, then
+    seeds (innermost), so related runs are adjacent and the order never
+    depends on dictionary or set iteration.
+
+    Attributes
+    ----------
+    protocols:
+        Protocol registry names; always the outermost axis.
+    base_scenario:
+        Template scenario providing every field the axes do not sweep.
+    axes:
+        The swept dimensions (may be empty for a pure protocol × seed grid).
+    params:
+        Shared simulation parameters (param-axis values are applied on top).
+    seeds:
+        Seeds replicated at every grid point; innermost axis.
+    name:
+        Optional label carried into results and progress reports.
+    """
+
+    protocols: Tuple[str, ...]
+    base_scenario: Scenario
+    axes: Tuple[SweepAxis, ...] = ()
+    params: SimulationParameters = field(default_factory=SimulationParameters)
+    seeds: Tuple[int, ...] = (0,)
+    name: str = ""
+
+    def __init__(
+        self,
+        protocols: Sequence[str],
+        base_scenario: Scenario,
+        axes: Sequence[SweepAxis] = (),
+        params: Optional[SimulationParameters] = None,
+        seeds: Sequence[int] = (0,),
+        name: str = "",
+    ):
+        object.__setattr__(self, "protocols", tuple(protocols))
+        object.__setattr__(self, "base_scenario", base_scenario)
+        object.__setattr__(self, "axes", tuple(axes))
+        object.__setattr__(
+            self, "params", params if params is not None else SimulationParameters()
+        )
+        object.__setattr__(self, "seeds", tuple(int(s) for s in seeds))
+        object.__setattr__(self, "name", name)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.protocols:
+            raise ValueError("spec needs at least one protocol")
+        if len(set(self.protocols)) != len(self.protocols):
+            raise ValueError("protocols must be unique")
+        if not self.seeds:
+            raise ValueError("spec needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError("seeds must be unique")
+        seen = set()
+        for axis in self.axes:
+            if axis.field in seen:
+                raise ValueError(f"duplicate sweep axis {axis.field!r}")
+            seen.add(axis.field)
+
+    # ------------------------------------------------------------- expansion
+    @property
+    def n_runs(self) -> int:
+        """Number of simulations the spec expands to."""
+        total = len(self.protocols) * len(self.seeds)
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def expand(self) -> Tuple[RunPoint, ...]:
+        """Deterministic ordered run list for this spec."""
+        points = []
+        params_digest = config_digest(self.params)
+        axis_values = [axis.values for axis in self.axes]
+        for protocol in self.protocols:
+            for combo in itertools.product(*axis_values):
+                scenario_overrides: Dict[str, object] = {"protocol": protocol}
+                param_overrides: Dict[str, object] = {}
+                coords: Dict[str, object] = {"protocol": protocol}
+                for axis, value in zip(self.axes, combo):
+                    coords[axis.field] = value
+                    if axis.target == "scenario":
+                        scenario_overrides[axis.field] = value
+                    else:
+                        param_overrides[axis.field] = value
+                for seed in self.seeds:
+                    scenario = self.base_scenario.with_overrides(
+                        seed=seed, **scenario_overrides
+                    )
+                    point_coords = dict(coords)
+                    point_coords["seed"] = seed
+                    points.append(RunPoint(
+                        index=len(points),
+                        scenario=scenario,
+                        param_overrides=tuple(sorted(param_overrides.items())),
+                        coords=tuple(sorted(point_coords.items())),
+                        params_digest=params_digest,
+                    ))
+        return tuple(points)
+
+    def spec_hash(self) -> str:
+        """Stable digest of the whole spec (grid + shared configuration)."""
+        return config_digest({
+            "protocols": list(self.protocols),
+            "base_scenario": self.base_scenario,
+            "axes": [
+                {"field": a.field, "values": list(a.values), "target": a.target}
+                for a in self.axes
+            ],
+            "params": self.params,
+            "seeds": list(self.seeds),
+        })
+
+    def describe(self) -> Dict[str, object]:
+        """Compact summary used by progress reports and logs."""
+        return {
+            "name": self.name or "<unnamed>",
+            "protocols": list(self.protocols),
+            "axes": {a.field: list(a.values) for a in self.axes},
+            "seeds": list(self.seeds),
+            "n_runs": self.n_runs,
+            "spec_hash": self.spec_hash(),
+        }

@@ -9,8 +9,11 @@ Python:
 * ``capacity`` — search for the voice capacity of a protocol at the 1 % loss
   threshold;
 * ``experiments`` — list the registered paper artefacts and which benchmark
-  regenerates each.
+  regenerates each;
+* ``selftest`` (also reachable as ``python -m repro --selftest``) — smoke-run
+  one tiny experiment through every executor and check they agree.
 
+All simulation commands funnel through :mod:`repro.api`.
 Invoke as ``python -m repro <command> ...``.
 """
 
@@ -23,9 +26,15 @@ from typing import Optional, Sequence
 from repro.analysis.capacity import voice_capacity
 from repro.analysis.experiments import EXPERIMENTS
 from repro.analysis.tables import format_comparison_table, format_kv_table
+from repro.api import (
+    ExperimentSpec,
+    ParallelExecutor,
+    SerialExecutor,
+    SweepAxis,
+    run,
+)
 from repro.config import SimulationParameters
 from repro.mac.registry import available_protocols
-from repro.sim.runner import run_protocol_comparison, run_simulation
 from repro.sim.scenario import Scenario
 
 __all__ = ["build_parser", "main"]
@@ -63,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     capacity_parser.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("experiments", help="list the registered paper artefacts")
+
+    sub.add_parser(
+        "selftest",
+        help="run one tiny experiment through each executor and compare them",
+    )
     return parser
 
 
@@ -99,7 +113,14 @@ def _scenario_from_args(args: argparse.Namespace, protocol: Optional[str] = None
 def _command_run(args: argparse.Namespace) -> int:
     params = SimulationParameters()
     scenario = _scenario_from_args(args)
-    result = run_simulation(scenario, params)
+    spec = ExperimentSpec(
+        protocols=(scenario.protocol,),
+        base_scenario=scenario,
+        params=params,
+        seeds=(scenario.seed,),
+        name="cli-run",
+    )
+    result = run(spec, executor=SerialExecutor())[0].result
     print(format_kv_table(result.summary(), title=f"Results for {scenario.label()}"))
     return 0
 
@@ -107,10 +128,15 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     params = SimulationParameters()
     base = _scenario_from_args(args, protocol=args.protocols[0])
-    sweeps = run_protocol_comparison(
-        args.protocols, [args.n_voice], parameter="n_voice",
-        base_scenario=base, params=params,
+    spec = ExperimentSpec(
+        protocols=tuple(args.protocols),
+        base_scenario=base,
+        axes=(SweepAxis("n_voice", (args.n_voice,)),),
+        params=params,
+        seeds=(base.seed,),
+        name="cli-compare",
     )
+    sweeps = run(spec).to_sweep_results("n_voice")
     for metric in ("voice_loss_rate", "data_throughput_per_frame", "data_delay_s"):
         print(format_comparison_table(sweeps, metric, title=f"[{metric}]"))
         print()
@@ -140,14 +166,50 @@ def _command_experiments(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_selftest(_: argparse.Namespace) -> int:
+    """Run one tiny grid through each executor and verify they agree."""
+    spec = ExperimentSpec(
+        protocols=("charisma", "dtdma_fr"),
+        base_scenario=Scenario(protocol="charisma", n_voice=0, n_data=1,
+                               duration_s=0.4, warmup_s=0.2),
+        axes=(SweepAxis("n_voice", (2, 4)),),
+        seeds=(0, 1),
+        name="selftest",
+    )
+    print(f"selftest grid: {spec.n_runs} runs (hash {spec.spec_hash()})")
+    reference = None
+    for label, executor in (
+        ("SerialExecutor", SerialExecutor()),
+        ("ParallelExecutor", ParallelExecutor(n_workers=2, chunk_size=2)),
+    ):
+        results = run(spec, executor=executor)
+        records = results.to_records()
+        print(f"  {label:<18} {len(results)} runs ok")
+        if reference is None:
+            reference = records
+        elif records != reference:
+            print(f"  MISMATCH: {label} disagrees with SerialExecutor")
+            return 1
+    rows = results.aggregate(["voice_loss_rate"], by=("protocol", "n_voice"))
+    print(f"  aggregate          {len(rows)} (protocol, n_voice) groups ok")
+    print("selftest passed: executors agree byte-for-byte")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro``."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "--selftest":
+        argv[0] = "selftest"
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _command_run,
         "compare": _command_compare,
         "capacity": _command_capacity,
         "experiments": _command_experiments,
+        "selftest": _command_selftest,
     }
     return handlers[args.command](args)
 

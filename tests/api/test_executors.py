@@ -1,0 +1,129 @@
+"""Tests for the execution backends: serial/parallel parity, selection."""
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    ParallelExecutor,
+    SerialExecutor,
+    SweepAxis,
+    run,
+    select_executor,
+)
+from repro.api.executors import estimated_grid_cost
+from repro.config import SimulationParameters
+from repro.sim.runner import run_many
+from repro.sim.scenario import Scenario
+
+PARAMS = SimulationParameters()
+BASE = Scenario(protocol="charisma", n_voice=0, n_data=1,
+                duration_s=0.4, warmup_s=0.2)
+
+
+def _small_spec():
+    return ExperimentSpec(
+        protocols=("charisma", "dtdma_fr"),
+        base_scenario=BASE,
+        axes=(SweepAxis("n_voice", (2, 4)),),
+        params=PARAMS,
+        seeds=(0, 1),
+    )
+
+
+class TestSerialExecutor:
+    def test_results_in_expansion_order(self):
+        spec = _small_spec()
+        results = run(spec, executor=SerialExecutor())
+        assert len(results) == spec.n_runs
+        for record in results:
+            assert record.result.scenario == record.point.scenario
+
+    def test_progress_called_per_run(self):
+        spec = _small_spec()
+        calls = []
+        run(spec, executor=SerialExecutor(),
+            progress=lambda done, total: calls.append((done, total)))
+        assert calls == [(i + 1, spec.n_runs) for i in range(spec.n_runs)]
+
+
+class TestParallelExecutor:
+    def test_matches_serial_for_identical_seeds(self):
+        spec = _small_spec()
+        serial = run(spec, executor=SerialExecutor())
+        parallel = run(spec, executor=ParallelExecutor(n_workers=2, chunk_size=3))
+        assert serial.to_records() == parallel.to_records()
+
+    def test_param_axis_matches_serial(self):
+        spec = ExperimentSpec(
+            protocols=("charisma",),
+            base_scenario=BASE.with_overrides(n_voice=2),
+            axes=(SweepAxis("mean_snr_db", (20.0, 28.5)),),
+            params=PARAMS,
+            seeds=(0, 1),
+        )
+        serial = run(spec, executor=SerialExecutor())
+        parallel = run(spec, executor=ParallelExecutor(n_workers=2, chunk_size=1))
+        assert serial.to_records() == parallel.to_records()
+
+    def test_progress_reports_monotonic_completion(self):
+        spec = _small_spec()
+        calls = []
+        run(spec, executor=ParallelExecutor(n_workers=2, chunk_size=2),
+            progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (spec.n_runs, spec.n_runs)
+        assert [c[0] for c in calls] == sorted(c[0] for c in calls)
+
+    def test_single_worker_falls_back_to_serial(self):
+        spec = _small_spec()
+        results = run(spec, executor=ParallelExecutor(n_workers=1))
+        assert len(results) == spec.n_runs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(n_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(chunk_size=0)
+
+
+class TestRunManyShim:
+    def test_parallel_and_serial_identical_for_identical_seeds(self):
+        # Regression: the shared SimulationParameters object travels to the
+        # workers through the pool initializer; the results must still be
+        # exactly those of an in-process loop.
+        scenarios = [
+            BASE.with_overrides(n_voice=n, seed=s)
+            for n in (2, 4) for s in (0, 1)
+        ]
+        with pytest.warns(DeprecationWarning):
+            serial = run_many(scenarios, PARAMS, n_workers=1)
+        with pytest.warns(DeprecationWarning):
+            parallel = run_many(scenarios, PARAMS, n_workers=2)
+        assert [r.summary() for r in serial] == [r.summary() for r in parallel]
+        assert [r.scenario for r in serial] == list(scenarios)
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            run_many([BASE], PARAMS, n_workers=0)
+
+
+class TestSelection:
+    def test_explicit_workers_force_choice(self):
+        points = _small_spec().expand()
+        assert isinstance(select_executor(points, n_workers=1), SerialExecutor)
+        chosen = select_executor(points, n_workers=3)
+        assert isinstance(chosen, ParallelExecutor)
+        assert chosen.n_workers == 3
+
+    def test_small_grids_stay_serial(self):
+        points = _small_spec().expand()
+        assert estimated_grid_cost(points) < 2000.0
+        assert isinstance(select_executor(points), SerialExecutor)
+
+    def test_cost_model_scales_with_grid(self):
+        small = _small_spec().expand()
+        big_spec = ExperimentSpec(
+            protocols=("charisma",),
+            base_scenario=BASE.with_overrides(duration_s=10.0, n_voice=150),
+            axes=(SweepAxis("n_data", tuple(range(10, 110, 10))),),
+        )
+        assert estimated_grid_cost(big_spec.expand()) > estimated_grid_cost(small)

@@ -1,0 +1,211 @@
+"""Tests for ResultSet querying, aggregation, export and legacy conversion."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import ExperimentSpec, SerialExecutor, SweepAxis, run
+from repro.config import SimulationParameters
+from repro.sim.results import SweepResult
+from repro.sim.runner import run_protocol_comparison
+from repro.sim.scenario import Scenario
+
+PARAMS = SimulationParameters()
+BASE = Scenario(protocol="charisma", n_voice=0, n_data=1,
+                duration_s=0.4, warmup_s=0.2)
+
+#: All six protocols of the paper, in its own reporting order.
+ALL_PROTOCOLS = ("charisma", "dtdma_vr", "dtdma_fr", "drma", "rama", "rmav")
+
+
+@pytest.fixture(scope="module")
+def replicated():
+    """Two protocols × two loads × three seed replicates."""
+    spec = ExperimentSpec(
+        protocols=("charisma", "rama"),
+        base_scenario=BASE,
+        axes=(SweepAxis("n_voice", (2, 4)),),
+        params=PARAMS,
+        seeds=(0, 1, 2),
+    )
+    return run(spec, executor=SerialExecutor())
+
+
+class TestQuerying:
+    def test_filter_by_coords(self, replicated):
+        subset = replicated.filter(protocol="charisma", n_voice=4)
+        assert len(subset) == 3
+        assert all(r.point.scenario.n_voice == 4 for r in subset)
+
+    def test_filter_by_predicate(self, replicated):
+        subset = replicated.filter(lambda r: r["voice_loss_rate"] <= 1.0)
+        assert len(subset) == len(replicated)
+
+    def test_filter_unknown_key_raises(self, replicated):
+        with pytest.raises(KeyError):
+            replicated.filter(bogus=1)
+
+    def test_group_by_protocol(self, replicated):
+        groups = replicated.group_by("protocol")
+        assert list(groups) == [("charisma",), ("rama",)]
+        assert all(len(g) == 6 for g in groups.values())
+
+    def test_group_by_needs_keys(self, replicated):
+        with pytest.raises(ValueError):
+            replicated.group_by()
+
+    def test_distinct_and_slicing(self, replicated):
+        assert replicated.distinct("seed") == [0, 1, 2]
+        assert len(replicated[:4]) == 4
+        assert replicated[0].point.index == 0
+
+
+class TestAggregation:
+    def test_mean_and_ci_across_three_seeds(self, replicated):
+        rows = replicated.aggregate(["voice_loss_rate"],
+                                    by=("protocol", "n_voice"))
+        assert len(rows) == 4  # 2 protocols x 2 loads
+        for row in rows:
+            assert row.n == 3
+            group = dict(row.group)
+            values = replicated.filter(**group).series("voice_loss_rate")
+            mean = sum(values) / len(values)
+            assert row.mean == pytest.approx(mean)
+            var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+            assert row.std == pytest.approx(math.sqrt(var))
+            # t(0.975, df=2) = 4.3027
+            expected_hw = 4.302652729911275 * math.sqrt(var / 3)
+            assert row.ci_half_width == pytest.approx(expected_hw, rel=1e-6)
+
+    def test_singleton_group_has_zero_ci(self, replicated):
+        rows = replicated.aggregate(["voice_loss_rate"],
+                                    by=("protocol", "n_voice", "seed"))
+        assert all(row.n == 1 and row.ci_half_width == 0.0 for row in rows)
+
+    def test_whole_set_aggregate(self, replicated):
+        rows = replicated.aggregate(["data_throughput_per_frame"])
+        assert len(rows) == 1
+        assert rows[0].n == len(replicated)
+        assert rows[0].group == ()
+
+    def test_as_dict_inlines_group(self, replicated):
+        row = replicated.aggregate(["voice_loss_rate"], by=("protocol",))[0]
+        flat = row.as_dict()
+        assert flat["protocol"] == "charisma"
+        assert set(flat) >= {"metric", "mean", "std", "ci_half_width", "n"}
+
+    def test_validation(self, replicated):
+        with pytest.raises(ValueError):
+            replicated.aggregate(confidence=1.5)
+
+
+class TestExports:
+    def test_to_records_flat_and_ordered(self, replicated):
+        records = replicated.to_records()
+        assert len(records) == len(replicated)
+        assert records[0]["protocol"] == "charisma"
+        assert "voice_loss_rate" in records[0]
+        assert "run_hash" in records[0]
+
+    def test_to_csv_roundtrip_header(self, replicated, tmp_path):
+        path = tmp_path / "results.csv"
+        text = replicated.to_csv(str(path))
+        assert path.read_text() == text
+        header = text.splitlines()[0].split(",")
+        assert "protocol" in header and "voice_loss_rate" in header
+        assert len(text.splitlines()) == len(replicated) + 1
+
+    def test_to_json_roundtrip(self, replicated, tmp_path):
+        path = tmp_path / "results.json"
+        text = replicated.to_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(text)
+        assert len(loaded) == len(replicated)
+
+
+class TestLegacyConversion:
+    def test_to_sweep_result_requires_unique_runs(self, replicated):
+        with pytest.raises(ValueError):
+            replicated.to_sweep_result("n_voice")  # two protocols
+        with pytest.raises(ValueError):
+            replicated.to_sweep_result("n_voice", protocol="charisma")  # 3 seeds
+        sweep = replicated.to_sweep_result("n_voice", protocol="charisma", seed=1)
+        assert isinstance(sweep, SweepResult)
+        assert sweep.values == [2, 4]
+        assert [r.scenario.seed for r in sweep.results] == [1, 1]
+
+    def test_to_sweep_results_matches_filter(self, replicated):
+        sweeps = replicated.filter(seed=0).to_sweep_results("n_voice")
+        assert set(sweeps) == {"charisma", "rama"}
+        assert sweeps["rama"].parameter == "n_voice"
+
+
+class TestLegacyShimEquivalence:
+    def test_six_protocol_comparison_byte_for_byte(self):
+        """Acceptance: legacy shim output == ExperimentSpec output, all six
+        protocols, identical seeds."""
+        values = [2, 4]
+        with pytest.warns(DeprecationWarning):
+            legacy = run_protocol_comparison(
+                ALL_PROTOCOLS, values, parameter="n_voice",
+                base_scenario=BASE, params=PARAMS,
+            )
+        spec = ExperimentSpec(
+            protocols=ALL_PROTOCOLS,
+            base_scenario=BASE,
+            axes=(SweepAxis("n_voice", tuple(values)),),
+            params=PARAMS,
+            seeds=(BASE.seed,),
+        )
+        modern = run(spec, executor=SerialExecutor()).to_sweep_results("n_voice")
+        assert set(legacy) == set(modern) == set(ALL_PROTOCOLS)
+        for protocol in ALL_PROTOCOLS:
+            assert legacy[protocol].values == modern[protocol].values
+            assert [r.summary() for r in legacy[protocol].results] == \
+                   [r.summary() for r in modern[protocol].results]
+            assert [r.scenario for r in legacy[protocol].results] == \
+                   [r.scenario for r in modern[protocol].results]
+
+    def test_run_sweep_generalised_beyond_populations(self):
+        # The old "'n_voice' or 'n_data'" restriction is gone: any sweepable
+        # field is accepted via SweepAxis validation.
+        from repro.sim.runner import run_sweep
+
+        with pytest.warns(DeprecationWarning):
+            sweep = run_sweep("charisma", [10, 80],
+                              parameter="mobile_speed_kmh",
+                              base_scenario=BASE.with_overrides(n_voice=2),
+                              params=PARAMS)
+        assert sweep.parameter == "mobile_speed_kmh"
+        assert sweep.values == [10, 80]
+
+    def test_run_sweep_bad_parameter_lists_fields(self):
+        from repro.sim.runner import run_sweep
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="sweepable"):
+                run_sweep("charisma", [1, 2], parameter="n_users",
+                          base_scenario=BASE, params=PARAMS)
+
+    def test_run_sweep_tolerates_duplicate_values(self):
+        # The old API ran duplicates as independent points; the shim must not
+        # inherit the declarative grid's duplicate rejection.
+        from repro.sim.runner import run_sweep
+
+        with pytest.warns(DeprecationWarning):
+            sweep = run_sweep("charisma", [2, 2], parameter="n_voice",
+                              base_scenario=BASE, params=PARAMS)
+        assert sweep.values == [2, 2]
+        assert len(sweep.results) == 2
+        assert sweep.results[0].summary() == sweep.results[1].summary()
+
+    def test_shims_still_validate_n_workers(self):
+        from repro.sim.runner import run_protocol_comparison, run_sweep
+
+        with pytest.raises(ValueError):
+            run_sweep("charisma", [2], base_scenario=BASE, params=PARAMS,
+                      n_workers=0)
+        with pytest.raises(ValueError):
+            run_protocol_comparison(("charisma",), [2], base_scenario=BASE,
+                                    params=PARAMS, n_workers=0)

@@ -1,0 +1,166 @@
+"""Tests for the declarative layer: SweepAxis validation, grid expansion."""
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    SweepAxis,
+    parameter_sweepable_fields,
+    scenario_sweepable_fields,
+)
+from repro.sim.scenario import Scenario
+
+BASE = Scenario(protocol="charisma", n_voice=0, n_data=0,
+                duration_s=0.5, warmup_s=0.25)
+
+
+class TestSweepAxis:
+    def test_scenario_field_inferred(self):
+        axis = SweepAxis("n_voice", (10, 20))
+        assert axis.target == "scenario"
+        assert axis.values == (10, 20)
+
+    def test_params_field_inferred(self):
+        axis = SweepAxis("mean_snr_db", (20.0, 28.5))
+        assert axis.target == "params"
+
+    def test_scenario_wins_on_shared_name(self):
+        # mobile_speed_kmh exists on both Scenario and SimulationParameters;
+        # the scenario override is the per-run mechanism the engine honours.
+        assert SweepAxis("mobile_speed_kmh", (10.0,)).target == "scenario"
+        assert SweepAxis("mobile_speed_kmh", (10.0,), target="params").target == "params"
+
+    def test_unknown_field_error_lists_sweepable_fields(self):
+        with pytest.raises(ValueError) as excinfo:
+            SweepAxis("population", (1, 2))
+        message = str(excinfo.value)
+        for field in scenario_sweepable_fields():
+            assert field in message
+        assert "mean_snr_db" in message  # parameter fields listed too
+
+    def test_reserved_fields_rejected(self):
+        with pytest.raises(ValueError, match="protocols"):
+            SweepAxis("protocol", ("charisma",))
+        with pytest.raises(ValueError, match="seeds"):
+            SweepAxis("seed", (0, 1))
+
+    def test_empty_and_duplicate_values_rejected(self):
+        with pytest.raises(ValueError):
+            SweepAxis("n_voice", ())
+        with pytest.raises(ValueError):
+            SweepAxis("n_voice", (5, 5))
+
+    def test_sweepable_field_lists(self):
+        assert "n_voice" in scenario_sweepable_fields()
+        assert "protocol" not in scenario_sweepable_fields()
+        assert "seed" not in scenario_sweepable_fields()
+        assert "mean_snr_db" in parameter_sweepable_fields()
+
+
+class TestExperimentSpecValidation:
+    def test_needs_protocols_and_seeds(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(protocols=(), base_scenario=BASE)
+        with pytest.raises(ValueError):
+            ExperimentSpec(protocols=("charisma",), base_scenario=BASE, seeds=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(protocols=("charisma", "charisma"), base_scenario=BASE)
+        with pytest.raises(ValueError):
+            ExperimentSpec(protocols=("charisma",), base_scenario=BASE,
+                           seeds=(1, 1))
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                protocols=("charisma",), base_scenario=BASE,
+                axes=(SweepAxis("n_voice", (1,)), SweepAxis("n_voice", (2,))),
+            )
+
+
+class TestExpansion:
+    def _spec(self):
+        return ExperimentSpec(
+            protocols=("charisma", "rama"),
+            base_scenario=BASE,
+            axes=(
+                SweepAxis("n_voice", (2, 4)),
+                SweepAxis("use_request_queue", (False, True)),
+            ),
+            seeds=(0, 7),
+        )
+
+    def test_n_runs_is_cross_product(self):
+        assert self._spec().n_runs == 2 * 2 * 2 * 2
+
+    def test_expansion_is_deterministic(self):
+        first = self._spec().expand()
+        second = self._spec().expand()
+        assert first == second
+        assert [p.run_hash() for p in first] == [p.run_hash() for p in second]
+        assert self._spec().spec_hash() == self._spec().spec_hash()
+
+    def test_expansion_order_protocol_then_axes_then_seed(self):
+        points = self._spec().expand()
+        assert [p.index for p in points] == list(range(len(points)))
+        # protocols outermost, seeds innermost
+        assert points[0].coords_dict() == {
+            "protocol": "charisma", "n_voice": 2,
+            "use_request_queue": False, "seed": 0,
+        }
+        assert points[1].coords_dict()["seed"] == 7
+        assert points[len(points) // 2].coords_dict()["protocol"] == "rama"
+
+    def test_overrides_applied_to_scenarios(self):
+        points = self._spec().expand()
+        for point in points:
+            coords = point.coords_dict()
+            assert point.scenario.protocol == coords["protocol"]
+            assert point.scenario.n_voice == coords["n_voice"]
+            assert point.scenario.use_request_queue == coords["use_request_queue"]
+            assert point.scenario.seed == coords["seed"]
+            assert point.param_overrides == ()
+
+    def test_distinct_points_have_distinct_hashes(self):
+        points = self._spec().expand()
+        assert len({p.run_hash() for p in points}) == len(points)
+
+    def test_changed_spec_changes_hashes(self):
+        base = self._spec()
+        other = ExperimentSpec(
+            protocols=("charisma", "rama"),
+            base_scenario=BASE.with_overrides(duration_s=0.75),
+            axes=base.axes,
+            seeds=base.seeds,
+        )
+        assert base.spec_hash() != other.spec_hash()
+        assert base.expand()[0].run_hash() != other.expand()[0].run_hash()
+
+    def test_param_axis_kept_as_delta(self):
+        spec = ExperimentSpec(
+            protocols=("charisma",),
+            base_scenario=BASE,
+            axes=(SweepAxis("mean_snr_db", (20.0, 28.5)),),
+        )
+        points = spec.expand()
+        assert [p.param_overrides for p in points] == [
+            (("mean_snr_db", 20.0),), (("mean_snr_db", 28.5),),
+        ]
+        assert points[0].resolved_params(spec.params).mean_snr_db == 20.0
+        # scenario untouched by parameter axes
+        assert points[0].scenario.n_voice == BASE.n_voice
+
+    def test_spec_is_hashable(self):
+        assert isinstance(hash(self._spec()), int)
+        assert isinstance(hash(self._spec().expand()[0]), int)
+
+    def test_changed_base_params_change_run_hashes(self):
+        # Identical scenarios under different shared parameters must not
+        # hash equal (run_hash is the designated result-cache key).
+        from repro.config import SimulationParameters
+
+        spec = ExperimentSpec(protocols=("charisma",), base_scenario=BASE)
+        other = ExperimentSpec(protocols=("charisma",), base_scenario=BASE,
+                               params=SimulationParameters(mean_snr_db=15.0))
+        point, other_point = spec.expand()[0], other.expand()[0]
+        assert point.scenario == other_point.scenario
+        assert point.run_hash() != other_point.run_hash()

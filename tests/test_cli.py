@@ -68,3 +68,19 @@ class TestCommands:
             "--warmup", "0.25", "--speed", "80",
         ])
         assert code == 0
+
+    def test_selftest_runs_every_executor(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "SerialExecutor" in out
+        assert "ParallelExecutor" in out
+        assert "selftest passed" in out
+
+    def test_selftest_flag_spelling(self, capsys):
+        assert main(["--selftest"]) == 0
+        assert "selftest passed" in capsys.readouterr().out
+
+    def test_selftest_flag_only_aliased_in_first_position(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--selftest"])
+        assert "selftest passed" not in capsys.readouterr().out

@@ -20,6 +20,14 @@ class TestLazyTopLevelApi:
         assert callable(repro.create_protocol)
         assert repro.SimulationResult is not None
 
+    def test_experiment_api_exposed_lazily(self):
+        assert repro.ExperimentSpec is not None
+        assert repro.SweepAxis is not None
+        assert repro.ResultSet is not None
+        assert callable(repro.run_experiment)
+        assert repro.SerialExecutor is not None
+        assert repro.ParallelExecutor is not None
+
     def test_available_protocols_exposed(self):
         assert "charisma" in repro.available_protocols()
 
@@ -44,7 +52,7 @@ class TestSubpackageImports:
     @pytest.mark.parametrize("module", [
         "repro.channel", "repro.phy", "repro.traffic", "repro.mac",
         "repro.core", "repro.sim", "repro.metrics", "repro.analysis",
-        "repro.cli", "repro.config",
+        "repro.cli", "repro.config", "repro.api",
     ])
     def test_importable(self, module):
         assert importlib.import_module(module) is not None
@@ -52,6 +60,7 @@ class TestSubpackageImports:
     @pytest.mark.parametrize("module", [
         "repro.channel", "repro.phy", "repro.traffic", "repro.mac",
         "repro.core", "repro.sim", "repro.metrics", "repro.analysis",
+        "repro.api",
     ])
     def test_all_exports_exist(self, module):
         mod = importlib.import_module(module)
