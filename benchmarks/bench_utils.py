@@ -12,18 +12,30 @@ Set the environment variable ``REPRO_BENCH_SCALE`` to a value larger than 1
 to lengthen the simulated time per point (e.g. ``REPRO_BENCH_SCALE=10`` for
 paper-scale statistics), and ``REPRO_BENCH_FULL=1`` to use the experiments'
 full sweep grids.
+
+The sweeps run through the :mod:`repro.store` result cache: finished points
+are served from ``REPRO_BENCH_CACHE_DIR`` (default ``benchmarks/.bench_cache``;
+set it to an empty string to disable caching), so an interrupted or repeated
+benchmark session only simulates what is missing.  Each figure additionally
+persists a timing/result artifact (``bench_<key>``) into the same store,
+building a BENCH trajectory across sessions that future changes can be
+compared against (``python -m repro cache stats --cache-dir
+benchmarks/.bench_cache``).
 """
 
 from __future__ import annotations
 
 import os
+import time
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import get_experiment
 from repro.analysis.tables import format_comparison_table
-from repro.api import run
+from repro.api import run, select_executor
 from repro.config import SimulationParameters
 from repro.sim.results import SweepResult
+from repro.store import CachingExecutor, ResultStore
 
 #: Worker processes for the benchmark sweeps; the grids are expanded and
 #: executed through :mod:`repro.api`, so ``REPRO_BENCH_WORKERS=4`` fans the
@@ -35,6 +47,12 @@ BENCH_SCALE: float = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 #: When set, benchmarks use each experiment's full sweep grid.
 BENCH_FULL: bool = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+#: Result store directory shared by the benchmark sweeps; empty to disable.
+BENCH_CACHE_DIR: str = os.environ.get(
+    "REPRO_BENCH_CACHE_DIR",
+    str(Path(__file__).resolve().parent / ".bench_cache"),
+)
 
 #: Simulated seconds per sweep point at scale 1.
 BASE_DURATION_S: float = 1.25
@@ -50,6 +68,18 @@ REDUCED_VALUES: Dict[str, Sequence[int]] = {
 }
 
 PARAMS = SimulationParameters()
+
+_STORE: Optional[ResultStore] = None
+
+
+def bench_store() -> Optional[ResultStore]:
+    """The session's shared result store (None when caching is disabled)."""
+    global _STORE
+    if not BENCH_CACHE_DIR:
+        return None
+    if _STORE is None:
+        _STORE = ResultStore(BENCH_CACHE_DIR)
+    return _STORE
 
 
 def bench_duration_s() -> float:
@@ -70,25 +100,61 @@ def run_figure(
     cache: Dict[str, Dict[str, SweepResult]],
     seed: int = 0,
 ) -> Dict[str, SweepResult]:
-    """Run (or fetch from the session cache) the sweeps behind one figure.
+    """Run (or fetch from the caches) the sweeps behind one figure.
 
-    Figures 12 and 13 share the exact same simulations (throughput and delay
-    are two views of the same runs), so results are cached under a key that
-    identifies the workload rather than the figure.
+    Two cache layers cooperate here: the in-session ``cache`` dict (Figures
+    12 and 13 share the exact same simulations — throughput and delay are
+    two views of the same runs, so results are keyed by workload rather
+    than figure) and the on-disk result store, which survives across
+    sessions and makes interrupted benchmark runs resumable.
     """
     experiment = get_experiment(key)
+    values = sweep_values_for(key)
     spec = experiment.spec(
         PARAMS,
-        values=sweep_values_for(key),
+        values=values,
         duration_s=bench_duration_s(),
         seeds=(seed,),
     )
     workload_key = spec.spec_hash()
     if workload_key not in cache:
-        results = run(spec, n_workers=BENCH_WORKERS)
+        store = bench_store()
+        # BENCH_WORKERS always forces the choice (1 -> serial), so the
+        # wall_s recorded in the bench_<key> artifacts is comparable across
+        # machines instead of depending on select_executor's CPU heuristic.
+        executor = select_executor(spec.expand(), n_workers=BENCH_WORKERS)
+        # NB: ResultStore defines __len__, so an empty store is falsy —
+        # compare against None, never truth-test it.
+        caching = (
+            CachingExecutor(store, inner=executor) if store is not None else None
+        )
+        started = time.perf_counter()
+        results = run(
+            spec, executor=caching if caching is not None else executor
+        )
+        wall_s = time.perf_counter() - started
         cache[workload_key] = results.to_sweep_results(
             experiment.sweep_parameter()
         )
+        if store is not None:
+            # One artifact per figure: the BENCH trajectory future sessions
+            # (and PRs) compare against.
+            store.put_artifact(f"bench_{key}", {
+                "key": key,
+                "paper_artifact": experiment.paper_artifact,
+                "spec_hash": workload_key,
+                "values": list(values),
+                "duration_s": bench_duration_s(),
+                "seed": seed,
+                "n_runs": spec.n_runs,
+                "wall_s": wall_s,
+                "cache_hits": caching.hits if caching is not None else 0,
+                "cache_misses": (
+                    caching.misses if caching is not None else spec.n_runs
+                ),
+                "recorded_unix": time.time(),
+                "records": results.to_records(),
+            })
     return cache[workload_key]
 
 

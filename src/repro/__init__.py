@@ -30,6 +30,7 @@ Experiment grids (protocol × axes × seeds) go through :mod:`repro.api`:
 Subpackages
 -----------
 ``repro.api``       Unified experiment API: specs, executors, result sets.
+``repro.store``     Content-addressed run cache, resumable store, work-stealing executor.
 ``repro.channel``   Rayleigh fast fading × log-normal shadowing channel models.
 ``repro.phy``       Adaptive (ABICM-style) and fixed-rate physical layers, CSI estimation.
 ``repro.traffic``   Voice / data sources, terminals, permission-probability contention.
@@ -56,7 +57,6 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "SimulationParameters": ("repro.config", "SimulationParameters"),
         "Scenario": ("repro.sim.scenario", "Scenario"),
         "run_simulation": ("repro.sim.runner", "run_simulation"),
-        "run_sweep": ("repro.sim.runner", "run_sweep"),
         "SimulationResult": ("repro.sim.results", "SimulationResult"),
         "available_protocols": ("repro.mac.registry", "available_protocols"),
         "create_protocol": ("repro.mac.registry", "create_protocol"),
@@ -66,7 +66,12 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "ResultSet": ("repro.api", "ResultSet"),
         "SerialExecutor": ("repro.api", "SerialExecutor"),
         "ParallelExecutor": ("repro.api", "ParallelExecutor"),
+        "sweep_spec": ("repro.api", "sweep_spec"),
         "run_experiment": ("repro.api", "run"),
+        # run cache / resumable store
+        "ResultStore": ("repro.store", "ResultStore"),
+        "CachingExecutor": ("repro.store", "CachingExecutor"),
+        "AsyncExecutor": ("repro.store", "AsyncExecutor"),
     }
     if name in lazy:
         module_name, attr = lazy[name]

@@ -158,12 +158,21 @@ class Experiment:
         duration_s: Optional[float] = None,
         seeds: Sequence[int] = (0,),
         n_workers: Optional[int] = None,
+        store: Optional[object] = None,
+        cache_dir: Optional[str] = None,
     ) -> ResultSet:
-        """Run the experiment's grid and return the queryable result set."""
+        """Run the experiment's grid and return the queryable result set.
+
+        ``store=`` / ``cache_dir=`` enable the content-addressed run cache
+        of :mod:`repro.store`: re-running the same artefact (same values,
+        duration and seeds) skips every finished point.
+        """
         return run_experiment(
             self.spec(params=params, values=values, duration_s=duration_s,
                       seeds=seeds),
             n_workers=n_workers,
+            store=store,
+            cache_dir=cache_dir,
         )
 
     def run(

@@ -20,14 +20,16 @@ seeds), decide *how* to run it with an :class:`Executor` (or let
 >>> len(rows)
 4
 
-The legacy helpers (``repro.sim.runner.run_sweep`` and friends) are thin
-deprecated shims over this package.
+Passing ``cache_dir=`` (or ``store=``) to :func:`run` adds the
+content-addressed result cache of :mod:`repro.store`: finished points are
+served from disk and interrupted sweeps resume where they stopped.
 """
 
 from repro.api.executors import (
     Executor,
     ParallelExecutor,
     ProgressCallback,
+    ResultSink,
     SerialExecutor,
     select_executor,
 )
@@ -43,15 +45,20 @@ from repro.api.spec import (
 
 __all__ = [
     "AggregateRow",
+    "AsyncExecutor",
+    "CachingExecutor",
     "Executor",
     "ExperimentSpec",
     "ParallelExecutor",
     "ProgressCallback",
     "ResultSet",
+    "ResultSink",
+    "ResultStore",
     "RunPoint",
     "RunRecord",
     "SerialExecutor",
     "SweepAxis",
+    "WorkStealingScheduler",
     "parameter_sweepable_fields",
     "run",
     "run_points",
@@ -59,3 +66,23 @@ __all__ = [
     "select_executor",
     "sweep_spec",
 ]
+
+#: Names re-exported lazily from :mod:`repro.store` (which itself imports
+#: this package's executor substrate — a module-level import here would be
+#: circular).
+_STORE_EXPORTS = {
+    "AsyncExecutor",
+    "CachingExecutor",
+    "ResultStore",
+    "WorkStealingScheduler",
+}
+
+
+def __getattr__(name):
+    if name in _STORE_EXPORTS:
+        import importlib
+
+        value = getattr(importlib.import_module("repro.store"), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")

@@ -35,15 +35,25 @@ from repro.api.spec import RunPoint
 __all__ = [
     "Executor",
     "ProgressCallback",
+    "ResultSink",
     "SerialExecutor",
     "ParallelExecutor",
     "select_executor",
     "estimated_grid_cost",
+    "estimated_point_cost",
 ]
 
 #: ``progress(done, total)`` — invoked after every completed run (serial) or
 #: every completed chunk (parallel).
 ProgressCallback = Callable[[int, int], None]
+
+#: ``sink(position, point, result)`` — invoked in the submitting process as
+#: each result becomes available (computed, or served from a cache), where
+#: ``position`` indexes the run list passed to the executor.  Executors that
+#: support a sink expose ``execute_with_sink``; the caching layer uses it to
+#: persist results incrementally so an interrupted grid keeps everything
+#: finished so far.
+ResultSink = Callable[[int, RunPoint, SimulationResult], None]
 
 
 def _simulate(scenario: Scenario, params: SimulationParameters) -> SimulationResult:
@@ -78,10 +88,22 @@ class SerialExecutor:
         params: SimulationParameters,
         progress: Optional[ProgressCallback] = None,
     ) -> List[SimulationResult]:
+        return self.execute_with_sink(points, params, progress)
+
+    def execute_with_sink(
+        self,
+        points: Sequence[RunPoint],
+        params: SimulationParameters,
+        progress: Optional[ProgressCallback] = None,
+        sink: Optional[ResultSink] = None,
+    ) -> List[SimulationResult]:
         results: List[SimulationResult] = []
         total = len(points)
-        for point in points:
-            results.append(_simulate(point.scenario, point.resolved_params(params)))
+        for position, point in enumerate(points):
+            result = _simulate(point.scenario, point.resolved_params(params))
+            results.append(result)
+            if sink is not None:
+                sink(position, point, result)
             if progress is not None:
                 progress(len(results), total)
         return results
@@ -148,11 +170,20 @@ class ParallelExecutor:
         params: SimulationParameters,
         progress: Optional[ProgressCallback] = None,
     ) -> List[SimulationResult]:
+        return self.execute_with_sink(points, params, progress)
+
+    def execute_with_sink(
+        self,
+        points: Sequence[RunPoint],
+        params: SimulationParameters,
+        progress: Optional[ProgressCallback] = None,
+        sink: Optional[ResultSink] = None,
+    ) -> List[SimulationResult]:
         total = len(points)
         if total == 0:
             return []
         if self.n_workers == 1 or total == 1:
-            return SerialExecutor().execute(points, params, progress)
+            return SerialExecutor().execute_with_sink(points, params, progress, sink)
 
         jobs = [(p.index, p.scenario, p.param_overrides) for p in points]
         index_of = {p.index: i for i, p in enumerate(points)}
@@ -173,8 +204,11 @@ class ParallelExecutor:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
                     for index, result in future.result():
-                        results[index_of[index]] = result
+                        position = index_of[index]
+                        results[position] = result
                         done += 1
+                        if sink is not None:
+                            sink(position, points[position], result)
                     if progress is not None:
                         progress(done, total)
         if done != total or any(r is None for r in results):
@@ -188,18 +222,24 @@ class ParallelExecutor:
         return f"ParallelExecutor(n_workers={self.n_workers}, chunk_size={chunk})"
 
 
-def estimated_grid_cost(points: Sequence[RunPoint]) -> float:
-    """Rough serial cost of a grid, in terminal-simulated-seconds.
+def estimated_point_cost(point: RunPoint) -> float:
+    """Rough serial cost of one run, in terminal-simulated-seconds.
 
     The engine's work per point scales with the simulated time and with the
     number of terminals it steps each frame; the product is a serviceable
-    unitless cost model for deciding whether process fan-out is worth its
-    start-up price.
+    unitless cost model.  The work-stealing scheduler uses it to dispatch
+    expensive points first (longest-processing-time order), which is what
+    keeps heterogeneous grids load-balanced.
     """
-    return sum(
-        (p.scenario.duration_s + p.scenario.warmup_s) * (p.scenario.n_terminals + 1)
-        for p in points
-    )
+    scenario = point.scenario
+    return (scenario.duration_s + scenario.warmup_s) * (scenario.n_terminals + 1)
+
+
+def estimated_grid_cost(points: Sequence[RunPoint]) -> float:
+    """Rough serial cost of a grid (sum of :func:`estimated_point_cost`);
+    used for deciding whether process fan-out is worth its start-up price.
+    """
+    return sum(estimated_point_cost(p) for p in points)
 
 
 #: Grids cheaper than this (terminal-seconds) stay serial: below it the

@@ -4,9 +4,9 @@
 :class:`~repro.api.spec.ExperimentSpec`.  It expands the grid, picks an
 executor (unless one is supplied), executes, and returns a
 :class:`~repro.api.resultset.ResultSet`.  Everything else in the package —
-the legacy runner shims, the CLI, the experiment registry, the benchmark
-harness — funnels through it, so concerns like executor selection, progress
-reporting and (future) result caching live in exactly one place.
+the CLI, the experiment registry, the benchmark harness — funnels through
+it, so concerns like executor selection, progress reporting and result
+caching (``cache_dir=`` / ``store=``) live in exactly one place.
 """
 
 from __future__ import annotations
@@ -32,6 +32,8 @@ def run(
     executor: Optional[Executor] = None,
     n_workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    store: Optional[object] = None,
+    cache_dir: Optional[str] = None,
 ) -> ResultSet:
     """Execute every run of ``spec`` and return a queryable result set.
 
@@ -48,14 +50,34 @@ def run(
         processes.  Ignored when ``executor`` is given.
     progress:
         Optional ``progress(done, total)`` callback.
+    store:
+        Optional :class:`~repro.store.ResultStore` (or cache-directory
+        path): finished points are served from it instead of re-simulating,
+        and fresh results are persisted as they complete, so an interrupted
+        invocation resumes where it stopped.
+    cache_dir:
+        Convenience spelling of ``store=``: directory to open (and create)
+        a result store in.  Ignored when ``store`` is given.
 
     The returned set's records are in the spec's deterministic expansion
-    order regardless of the executor, so serial and parallel runs of the
-    same spec are interchangeable.
+    order regardless of the executor, so serial, parallel, work-stealing
+    and cached runs of the same spec are interchangeable.
     """
     points = spec.expand()
     if executor is None:
         executor = select_executor(points, n_workers=n_workers)
+    if store is None and cache_dir is not None:
+        store = cache_dir
+    if store is not None:
+        from repro.store import CachingExecutor
+
+        if isinstance(executor, CachingExecutor):
+            raise ValueError(
+                "pass either a CachingExecutor or store=/cache_dir=, not "
+                "both: the executor is already bound to a store and the "
+                "extra argument would be silently ignored"
+            )
+        executor = CachingExecutor(store, inner=executor)
     results = executor.execute(points, spec.params, progress=progress)
     if len(results) != len(points):
         raise RuntimeError(
@@ -72,7 +94,7 @@ def run_points(
     n_workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> List:
-    """Execute pre-expanded run points (plumbing for the legacy shims)."""
+    """Execute pre-expanded run points (low-level plumbing)."""
     params = params if params is not None else SimulationParameters()
     if executor is None:
         if n_workers is not None:

@@ -10,10 +10,14 @@ Python:
   threshold;
 * ``experiments`` — list the registered paper artefacts and which benchmark
   regenerates each;
+* ``cache`` — inspect (``stats``), compact (``gc``) or empty (``clear``) an
+  on-disk result store (see ``--cache`` on ``run``/``compare``);
 * ``selftest`` (also reachable as ``python -m repro --selftest``) — smoke-run
-  one tiny experiment through every executor and check they agree.
+  one tiny experiment through every executor, check they agree, and
+  round-trip the result store in a temporary directory.
 
-All simulation commands funnel through :mod:`repro.api`.
+All simulation commands funnel through :mod:`repro.api`; ``--cache DIR``
+makes them resumable (finished points are served from the store in DIR).
 Invoke as ``python -m repro <command> ...``.
 """
 
@@ -21,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from typing import Optional, Sequence
 
 from repro.analysis.capacity import voice_capacity
@@ -73,9 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("experiments", help="list the registered paper artefacts")
 
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or maintain an on-disk result store"
+    )
+    cache_parser.add_argument(
+        "action", choices=("stats", "gc", "clear"),
+        help="stats: summarise; gc: drop stale/duplicate records; "
+             "clear: remove every cached result",
+    )
+    cache_parser.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="directory of the result store",
+    )
+
     sub.add_parser(
         "selftest",
-        help="run one tiny experiment through each executor and compare them",
+        help="run one tiny experiment through each executor, compare them, "
+             "and round-trip the result store",
     )
     return parser
 
@@ -95,6 +114,9 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--speed", type=float, default=None,
                         help="mobile speed in km/h (default: Table 1 value)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="serve finished runs from (and persist new runs "
+                             "to) the result store in DIR")
 
 
 def _scenario_from_args(args: argparse.Namespace, protocol: Optional[str] = None) -> Scenario:
@@ -120,7 +142,7 @@ def _command_run(args: argparse.Namespace) -> int:
         seeds=(scenario.seed,),
         name="cli-run",
     )
-    result = run(spec, executor=SerialExecutor())[0].result
+    result = run(spec, executor=SerialExecutor(), cache_dir=args.cache)[0].result
     print(format_kv_table(result.summary(), title=f"Results for {scenario.label()}"))
     return 0
 
@@ -136,7 +158,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         seeds=(base.seed,),
         name="cli-compare",
     )
-    sweeps = run(spec).to_sweep_results("n_voice")
+    sweeps = run(spec, cache_dir=args.cache).to_sweep_results("n_voice")
     for metric in ("voice_loss_rate", "data_throughput_per_frame", "data_delay_s"):
         print(format_comparison_table(sweeps, metric, title=f"[{metric}]"))
         print()
@@ -166,8 +188,28 @@ def _command_experiments(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "stats":
+        print(format_kv_table(store.stats().as_dict(),
+                              title=f"Result store at {args.cache_dir}"))
+    elif args.action == "gc":
+        collected = store.gc()
+        print(f"dropped {collected.dropped_stale} stale record(s), "
+              f"{collected.dropped_duplicates} duplicate line(s); "
+              f"reclaimed {collected.reclaimed_bytes} bytes")
+    else:  # clear
+        removed = store.clear()
+        print(f"removed {removed} cached result(s)")
+    return 0
+
+
 def _command_selftest(_: argparse.Namespace) -> int:
     """Run one tiny grid through each executor and verify they agree."""
+    from repro.store import AsyncExecutor, CachingExecutor, ResultStore
+
     spec = ExperimentSpec(
         protocols=("charisma", "dtdma_fr"),
         base_scenario=Scenario(protocol="charisma", n_voice=0, n_data=1,
@@ -178,9 +220,11 @@ def _command_selftest(_: argparse.Namespace) -> int:
     )
     print(f"selftest grid: {spec.n_runs} runs (hash {spec.spec_hash()})")
     reference = None
+    results = None
     for label, executor in (
         ("SerialExecutor", SerialExecutor()),
         ("ParallelExecutor", ParallelExecutor(n_workers=2, chunk_size=2)),
+        ("AsyncExecutor", AsyncExecutor(n_workers=2)),
     ):
         results = run(spec, executor=executor)
         records = results.to_records()
@@ -192,7 +236,23 @@ def _command_selftest(_: argparse.Namespace) -> int:
             return 1
     rows = results.aggregate(["voice_loss_rate"], by=("protocol", "n_voice"))
     print(f"  aggregate          {len(rows)} (protocol, n_voice) groups ok")
-    print("selftest passed: executors agree byte-for-byte")
+
+    # Store round-trip: a cold cached run must miss everywhere, a second
+    # identical run must hit everywhere and agree byte-for-byte.
+    with tempfile.TemporaryDirectory(prefix="repro-selftest-") as tmp:
+        cold = CachingExecutor(ResultStore(tmp), SerialExecutor())
+        cold_records = run(spec, executor=cold).to_records()
+        warm = CachingExecutor(ResultStore(tmp), SerialExecutor())
+        warm_records = run(spec, executor=warm).to_records()
+        print(f"  ResultStore        cold {cold.misses} misses, "
+              f"warm {warm.hits} hits")
+        if cold.misses != spec.n_runs or warm.misses != 0:
+            print("  MISMATCH: store round-trip executed the wrong run count")
+            return 1
+        if cold_records != reference or warm_records != reference:
+            print("  MISMATCH: cached results disagree with SerialExecutor")
+            return 1
+    print("selftest passed: executors and the result store agree byte-for-byte")
     return 0
 
 
@@ -209,6 +269,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _command_compare,
         "capacity": _command_capacity,
         "experiments": _command_experiments,
+        "cache": _command_cache,
         "selftest": _command_selftest,
     }
     return handlers[args.command](args)

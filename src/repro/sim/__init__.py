@@ -8,7 +8,8 @@ MAC protocols together and produces the metrics the evaluation reports.
 * :mod:`repro.sim.engine` — the frame-synchronous TDMA engine;
 * :mod:`repro.sim.scenario` / :mod:`repro.sim.results` — run descriptions and
   result containers;
-* :mod:`repro.sim.runner` — one-call entry points and parameter sweeps;
+* :mod:`repro.sim.runner` — the single-run entry point (grids and sweeps
+  live in :mod:`repro.api`);
 * :mod:`repro.sim.rng` — reproducible independent random streams.
 """
 
@@ -16,12 +17,7 @@ from repro.sim.des import DiscreteEventSimulator, Event, EventQueue
 from repro.sim.engine import UplinkSimulationEngine
 from repro.sim.results import SimulationResult, SweepResult
 from repro.sim.rng import RandomStreams
-from repro.sim.runner import (
-    run_many,
-    run_protocol_comparison,
-    run_simulation,
-    run_sweep,
-)
+from repro.sim.runner import run_simulation
 from repro.sim.scenario import Scenario
 
 __all__ = [
@@ -33,8 +29,5 @@ __all__ = [
     "SimulationResult",
     "SweepResult",
     "UplinkSimulationEngine",
-    "run_many",
-    "run_protocol_comparison",
     "run_simulation",
-    "run_sweep",
 ]

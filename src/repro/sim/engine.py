@@ -20,7 +20,7 @@ A warm-up period can be discarded so that measurements reflect steady state.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.channel.doppler import DopplerModel
 from repro.channel.manager import ChannelManager, ChannelSnapshot
@@ -34,7 +34,7 @@ from repro.sim.results import SimulationResult
 from repro.sim.rng import RandomStreams
 from repro.sim.scenario import Scenario
 from repro.traffic.generator import build_population
-from repro.traffic.terminal import Terminal, TerminalStats
+from repro.traffic.terminal import Terminal
 
 __all__ = ["UplinkSimulationEngine"]
 
@@ -177,6 +177,16 @@ class UplinkSimulationEngine:
         )
 
     def _reset_statistics(self) -> None:
+        # Outcomes must be attributed to the same measurement window as the
+        # generation events, or conservation (delivered + errored + dropped
+        # <= generated) breaks whenever the warm-up leaves a backlog: deep
+        # data-terminal buffers carry dozens of packets across the reset,
+        # and their later deliveries would be counted against a generated
+        # total that never included them.  begin_measurement() therefore
+        # excludes packets created before the window from every outcome
+        # counter (generated stays the pure in-window traffic, which also
+        # keeps common-random-number traffic realisations comparable across
+        # protocols).
         for terminal in self.terminals:
-            terminal.stats = TerminalStats()
+            terminal.begin_measurement(self._frame_index)
         self.collector.reset()

@@ -1,75 +1,23 @@
-"""Legacy entry points, now thin shims over :mod:`repro.api`.
+"""The single-run entry point.
 
-``run_simulation`` remains the single-run primitive.  The sweep helpers —
-``run_many``, ``run_sweep`` and ``run_protocol_comparison`` — predate the
-unified experiment API and are kept only for backward compatibility: each
-builds the equivalent :class:`~repro.api.spec.ExperimentSpec` (or run-point
-list), executes it through the shared executors, and converts the
-:class:`~repro.api.resultset.ResultSet` back to the legacy return types.
-New code should use :func:`repro.api.run` directly, which adds
-cross-product sweeps over any scenario/parameter field, per-point seed
-replication, executor selection and queryable results.
+``run_simulation`` evaluates one :class:`~repro.sim.scenario.Scenario` and
+returns its :class:`~repro.sim.results.SimulationResult`.  Everything beyond
+a single run — sweeps, protocol comparisons, seed replication, parallel or
+cached execution — goes through :func:`repro.api.run` with an
+:class:`~repro.api.ExperimentSpec` (the deprecated ``run_many`` /
+``run_sweep`` / ``run_protocol_comparison`` shims have been removed).
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Optional
 
 from repro.config import SimulationParameters
 from repro.sim.engine import UplinkSimulationEngine
-from repro.sim.results import SimulationResult, SweepResult
+from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
 
-__all__ = ["run_simulation", "run_many", "run_sweep", "run_protocol_comparison"]
-
-
-def _deprecated(name: str, replacement: str) -> None:
-    warnings.warn(
-        f"repro.sim.runner.{name} is deprecated; use {replacement} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def _coerce_values(parameter: str, values: Iterable) -> list:
-    """Historic behaviour: population sweeps coerce their values to int."""
-    if parameter in ("n_voice", "n_data"):
-        return [int(v) for v in values]
-    return list(values)
-
-
-def _sweep_points(protocol: str, parameter: str, values: Sequence,
-                  base_scenario: Scenario) -> list:
-    """Expand one legacy sweep into ordered run points.
-
-    Field validation is delegated to :class:`~repro.api.spec.SweepAxis`
-    (whose error message lists every sweepable field), but the expansion is
-    done here because the legacy API tolerated duplicate sweep values,
-    which a declarative grid rejects.
-    """
-    from repro.api.spec import RunPoint, SweepAxis
-
-    axis = SweepAxis(parameter, list(dict.fromkeys(values)))
-    points = []
-    for value in values:
-        if axis.target == "scenario":
-            scenario = base_scenario.with_overrides(
-                **{parameter: value, "protocol": protocol}
-            )
-            param_overrides = ()
-        else:
-            scenario = base_scenario.with_overrides(protocol=protocol)
-            param_overrides = ((parameter, value),)
-        points.append(RunPoint(
-            index=len(points),
-            scenario=scenario,
-            param_overrides=param_overrides,
-            coords=tuple(sorted({
-                "protocol": protocol, parameter: value, "seed": scenario.seed,
-            }.items())),
-        ))
-    return points
+__all__ = ["run_simulation"]
 
 
 def run_simulation(
@@ -79,115 +27,3 @@ def run_simulation(
     """Simulate one scenario and return its metrics."""
     engine = UplinkSimulationEngine(scenario, params)
     return engine.run()
-
-
-def run_many(
-    scenarios: Sequence[Scenario],
-    params: Optional[SimulationParameters] = None,
-    n_workers: int = 1,
-) -> List[SimulationResult]:
-    """Run several independent scenarios, optionally in parallel processes.
-
-    Deprecated shim: delegates to the executors of :mod:`repro.api`, whose
-    parallel backend ships the shared ``params`` to each worker exactly once
-    (via the pool initializer) instead of pickling it with every job.
-
-    Parameters
-    ----------
-    scenarios:
-        The runs to execute.
-    params:
-        Shared simulation parameters.
-    n_workers:
-        Number of worker processes; 1 (the default) runs sequentially in the
-        current process, which is preferable for small batches because each
-        worker re-imports the package.
-    """
-    from repro.api import run_points
-    from repro.api.spec import RunPoint
-
-    if n_workers < 1:
-        raise ValueError("n_workers must be at least 1")
-    _deprecated("run_many", "repro.api.run with an ExperimentSpec")
-    points = [
-        RunPoint(index=i, scenario=scenario) for i, scenario in enumerate(scenarios)
-    ]
-    return run_points(points, params, n_workers=n_workers)
-
-
-def run_sweep(
-    protocol: str,
-    values: Iterable[int],
-    parameter: str = "n_voice",
-    base_scenario: Optional[Scenario] = None,
-    params: Optional[SimulationParameters] = None,
-    n_workers: int = 1,
-) -> SweepResult:
-    """Sweep one scenario/parameter field for one protocol.
-
-    Deprecated shim over :func:`repro.api.run`.  Any sweepable field is now
-    accepted (validation is delegated to
-    :class:`~repro.api.spec.SweepAxis`, whose error message lists the
-    sweepable fields), not just ``"n_voice"`` / ``"n_data"``.
-
-    Parameters
-    ----------
-    protocol:
-        Protocol registry name.
-    values:
-        The swept values (e.g. numbers of voice users).
-    parameter:
-        Scenario or simulation-parameter field to sweep.
-    base_scenario:
-        Template scenario providing everything except the swept field; a
-        sensible default is used when omitted.
-    params:
-        Shared simulation parameters.
-    n_workers:
-        Worker processes for the independent runs.
-    """
-    from repro.api import run_points
-
-    _deprecated("run_sweep", "repro.api.run with an ExperimentSpec")
-    if n_workers < 1:
-        raise ValueError("n_workers must be at least 1")
-    if base_scenario is None:
-        base_scenario = Scenario(protocol=protocol, n_voice=0, n_data=0)
-    values = _coerce_values(parameter, values)
-    points = _sweep_points(protocol, parameter, values, base_scenario)
-    results = run_points(points, params, n_workers=n_workers)
-    return SweepResult(
-        protocol=protocol, parameter=parameter, values=list(values),
-        results=results,
-    )
-
-
-def run_protocol_comparison(
-    protocols: Sequence[str],
-    values: Iterable[int],
-    parameter: str = "n_voice",
-    base_scenario: Optional[Scenario] = None,
-    params: Optional[SimulationParameters] = None,
-    n_workers: int = 1,
-) -> Dict[str, SweepResult]:
-    """Run the same sweep for several protocols (one paper sub-figure).
-
-    Deprecated shim over :func:`repro.api.run`.
-    """
-    from repro.api import run_points
-
-    _deprecated("run_protocol_comparison", "repro.api.run with an ExperimentSpec")
-    if n_workers < 1:
-        raise ValueError("n_workers must be at least 1")
-    if base_scenario is None:
-        base_scenario = Scenario(protocol=protocols[0], n_voice=0, n_data=0)
-    values = _coerce_values(parameter, values)
-    comparison: Dict[str, SweepResult] = {}
-    for protocol in protocols:
-        points = _sweep_points(protocol, parameter, values, base_scenario)
-        results = run_points(points, params, n_workers=n_workers)
-        comparison[protocol] = SweepResult(
-            protocol=protocol, parameter=parameter, values=list(values),
-            results=results,
-        )
-    return comparison

@@ -1,0 +1,52 @@
+"""Run cache, resumable experiment store and work-stealing execution.
+
+This subpackage is the persistence and dynamic-scheduling layer of the
+experiment API:
+
+* :class:`~repro.store.store.ResultStore` — a content-addressed,
+  schema-versioned on-disk cache mapping
+  :meth:`~repro.api.spec.RunPoint.run_hash` to its
+  :class:`~repro.sim.results.SimulationResult` (JSON-lines shards + atomic
+  writes + corruption quarantine + ``gc``/``stats``/``invalidate``).
+* :class:`~repro.store.caching.CachingExecutor` — wraps any
+  :class:`~repro.api.executors.Executor` so identical points are served
+  from disk and freshly computed points are persisted as they complete,
+  making ``repro.api.run(..., cache_dir=...)`` resumable after a kill.
+* :class:`~repro.store.scheduler.AsyncExecutor` /
+  :class:`~repro.store.scheduler.WorkStealingScheduler` — per-point dynamic
+  dispatch in cost-estimate (LPT) order with deque stealing, progress
+  callbacks and cooperative cancellation, for heterogeneous grids that
+  static chunking load-balances poorly.
+
+>>> from repro.api import ExperimentSpec, run
+>>> results = run(spec, cache_dir="~/.cache/repro")      # doctest: +SKIP
+>>> results = run(spec, cache_dir="~/.cache/repro")      # 100% hits  # doctest: +SKIP
+"""
+
+from repro.store.caching import CachingExecutor
+from repro.store.scheduler import (
+    AsyncExecutor,
+    ExecutionCancelled,
+    WorkStealingScheduler,
+)
+from repro.store.serialization import (
+    SCHEMA_VERSION,
+    SerializationError,
+    payload_to_result,
+    result_to_payload,
+)
+from repro.store.store import GcStats, ResultStore, StoreStats
+
+__all__ = [
+    "AsyncExecutor",
+    "CachingExecutor",
+    "ExecutionCancelled",
+    "GcStats",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "SerializationError",
+    "StoreStats",
+    "WorkStealingScheduler",
+    "payload_to_result",
+    "result_to_payload",
+]

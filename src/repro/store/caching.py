@@ -1,0 +1,149 @@
+"""Transparent result caching over any executor.
+
+:class:`CachingExecutor` wraps an inner
+:class:`~repro.api.executors.Executor` and a
+:class:`~repro.store.store.ResultStore`: points whose
+:meth:`~repro.api.spec.RunPoint.run_hash` is already stored are served from
+disk without simulating, and every freshly computed result is persisted *as
+it completes* (through the inner executor's ``execute_with_sink`` extension
+when available), which makes ``run()`` resumable — kill a sweep half-way and
+the next identical invocation only executes the missing points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.api.executors import (
+    Executor,
+    ProgressCallback,
+    ResultSink,
+    SerialExecutor,
+)
+from repro.api.spec import RunPoint, config_digest
+from repro.config import SimulationParameters
+from repro.sim.results import SimulationResult
+from repro.store.store import ResultStore
+
+__all__ = ["CachingExecutor"]
+
+
+class CachingExecutor:
+    """Serve cached points from a :class:`ResultStore`, compute the rest.
+
+    Parameters
+    ----------
+    store:
+        The on-disk result store (or a path-like, which opens one).
+    inner:
+        Executor for the cache misses; defaults to :class:`SerialExecutor`.
+
+    After each :meth:`execute` call, :attr:`hits` and :attr:`misses` report
+    how many points were served from the store versus simulated — the
+    accounting the selftest and the acceptance tests assert on.
+    """
+
+    def __init__(self, store, inner: Optional[Executor] = None):
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self.inner: Executor = inner if inner is not None else SerialExecutor()
+        #: Cache hits / misses of the most recent execute() call.
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ keys
+    @staticmethod
+    def key_for(point: RunPoint, params: SimulationParameters) -> str:
+        """The store key of one point under the given shared parameters.
+
+        ``run_hash()`` already folds in the spec's parameter digest; points
+        built outside :meth:`~repro.api.spec.ExperimentSpec.expand` (legacy
+        paths) may carry an empty digest, in which case the digest of the
+        parameters actually in force is filled in so the same scenario under
+        different base parameters can never collide.
+        """
+        if not point.params_digest:
+            point = dataclasses.replace(point, params_digest=config_digest(params))
+        return point.run_hash()
+
+    # ------------------------------------------------------------------- API
+    def execute(
+        self,
+        points: Sequence[RunPoint],
+        params: SimulationParameters,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SimulationResult]:
+        return self.execute_with_sink(points, params, progress)
+
+    def execute_with_sink(
+        self,
+        points: Sequence[RunPoint],
+        params: SimulationParameters,
+        progress: Optional[ProgressCallback] = None,
+        sink: Optional[ResultSink] = None,
+    ) -> List[SimulationResult]:
+        total = len(points)
+        self.hits = 0
+        self.misses = 0
+        results: List[Optional[SimulationResult]] = [None] * total
+        keys = [self.key_for(point, params) for point in points]
+
+        missing: List[int] = []
+        for position, point in enumerate(points):
+            cached = self.store.get(keys[position])
+            if cached is not None and cached.scenario != point.scenario:
+                # Defensive: a digest collision (or a poisoned entry) must
+                # surface as a miss, never as a wrong result.
+                cached = None
+            if cached is None:
+                missing.append(position)
+            else:
+                results[position] = cached
+                self.hits += 1
+                # The sink contract is "called once per available result",
+                # not "once per simulation" — layered consumers (e.g. a
+                # caching executor wrapping this one) rely on seeing hits
+                # too.
+                if sink is not None:
+                    sink(position, point, cached)
+        if progress is not None and self.hits:
+            progress(self.hits, total)
+
+        self.misses = len(missing)
+        if missing:
+            sub_points = [points[position] for position in missing]
+
+            def inner_sink(sub_position: int, point: RunPoint,
+                           result: SimulationResult) -> None:
+                position = missing[sub_position]
+                results[position] = result
+                self.store.put(keys[position], result,
+                               coords=point.coords_dict())
+                if sink is not None:
+                    sink(position, point, result)
+
+            def inner_progress(sub_done: int, _sub_total: int) -> None:
+                if progress is not None:
+                    progress(self.hits + sub_done, total)
+
+            if hasattr(self.inner, "execute_with_sink"):
+                self.inner.execute_with_sink(
+                    sub_points, params, inner_progress, inner_sink
+                )
+            else:
+                # Plain Executor protocol: results only arrive at the end,
+                # so persistence is batched rather than incremental.
+                sub_results = self.inner.execute(
+                    sub_points, params, inner_progress
+                )
+                for sub_position, result in enumerate(sub_results):
+                    inner_sink(sub_position, sub_points[sub_position], result)
+
+        if any(r is None for r in results):
+            raise RuntimeError(
+                "inner executor did not produce a result for every miss"
+            )  # pragma: no cover - defensive; inner executors validate this
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return f"CachingExecutor(store={self.store!r}, inner={self.inner!r})"

@@ -1,0 +1,301 @@
+"""Work-stealing scheduler and the asyncio-driven executor built on it.
+
+Static chunking (what :class:`~repro.api.executors.ParallelExecutor` does)
+is fine for homogeneous grids but leaves workers idle behind the slowest
+chunks when point costs vary — exactly the situation of paper-scale sweeps,
+where a 180-user point costs an order of magnitude more than a 20-user one.
+:class:`WorkStealingScheduler` implements the classic dynamic alternative:
+
+* every point is its own task, pre-assigned to per-worker deques by greedy
+  longest-processing-time (LPT) balancing over a cost estimate;
+* each worker consumes its own deque front-first (most expensive remaining
+  task first), so the big rocks start early;
+* a worker whose deque runs dry *steals* from the back of the most-loaded
+  victim's deque, so nobody idles while work remains.
+
+:class:`AsyncExecutor` drives the scheduler with one asyncio worker
+coroutine per process-pool slot.  It satisfies the
+:class:`~repro.api.executors.Executor` protocol (plus the incremental
+``execute_with_sink`` extension the caching layer relies on), reports
+progress per completed point, and supports cooperative cancellation: after
+:meth:`AsyncExecutor.cancel` no new point is dispatched, in-flight points
+finish (and reach the sink), and :class:`ExecutionCancelled` carries the
+partial results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.api.executors import (
+    ProgressCallback,
+    ResultSink,
+    _simulate,
+    _worker_init,
+    _worker_run_chunk,
+    estimated_point_cost,
+)
+from repro.api.spec import RunPoint
+from repro.config import SimulationParameters
+from repro.sim.results import SimulationResult
+
+__all__ = ["WorkStealingScheduler", "AsyncExecutor", "ExecutionCancelled"]
+
+
+class ExecutionCancelled(RuntimeError):
+    """A grid execution was cancelled before every point finished.
+
+    Attributes
+    ----------
+    completed:
+        Number of points that finished (their results reached the sink).
+    total:
+        Number of points in the cancelled grid.
+    results:
+        Partial result list in run-list order (``None`` for unfinished
+        points).
+    """
+
+    def __init__(self, completed: int, total: int,
+                 results: Sequence[Optional[SimulationResult]]):
+        super().__init__(
+            f"execution cancelled after {completed} of {total} runs"
+        )
+        self.completed = completed
+        self.total = total
+        self.results = list(results)
+
+
+class WorkStealingScheduler:
+    """Per-worker task deques with LPT seeding and back-of-deque stealing.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of consuming workers (one deque each).
+    tasks:
+        ``(item, cost)`` pairs; any hashable/opaque ``item`` goes.
+
+    The scheduler is thread-safe; :meth:`next_for` is the only consuming
+    operation and every task is handed out exactly once.
+    """
+
+    def __init__(self, n_workers: int, tasks: Sequence[Tuple[object, float]]):
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.n_workers = n_workers
+        self._lock = threading.Lock()
+        self._queues: List[Deque[Tuple[object, float]]] = [
+            deque() for _ in range(n_workers)
+        ]
+        self._loads = [0.0] * n_workers
+        self.steals = 0
+        self.dispatched = 0
+        # Greedy LPT: walk the tasks most-expensive-first, always assigning
+        # to the least-loaded worker.  Each deque ends up cost-descending,
+        # so owners pop big tasks from the front and thieves take the cheap
+        # tail (cheap tasks are the best to migrate late in the run).
+        for item, cost in sorted(
+            tasks, key=lambda task: -float(task[1])
+        ):
+            worker = min(range(n_workers), key=lambda w: self._loads[w])
+            self._queues[worker].append((item, float(cost)))
+            self._loads[worker] += float(cost)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(q) for q in self._queues)
+
+    def remaining_load(self, worker: int) -> float:
+        """Estimated cost still queued for one worker."""
+        with self._lock:
+            return self._loads[worker]
+
+    def next_for(self, worker: int) -> Optional[object]:
+        """Next task item for ``worker``; None when the whole grid is done.
+
+        Takes from the worker's own deque first (front — most expensive
+        remaining), then steals from the back of the most-loaded victim.
+        """
+        if not 0 <= worker < self.n_workers:
+            raise ValueError(f"no such worker: {worker}")
+        with self._lock:
+            queue = self._queues[worker]
+            if queue:
+                item, cost = queue.popleft()
+                self._loads[worker] -= cost
+                self.dispatched += 1
+                return item
+            victim = max(
+                (w for w in range(self.n_workers) if self._queues[w]),
+                key=lambda w: self._loads[w],
+                default=None,
+            )
+            if victim is None:
+                return None
+            item, cost = self._queues[victim].pop()
+            self._loads[victim] -= cost
+            self.steals += 1
+            self.dispatched += 1
+            return item
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkStealingScheduler(n_workers={self.n_workers}, "
+            f"remaining={len(self)}, steals={self.steals})"
+        )
+
+
+class AsyncExecutor:
+    """Work-stealing, per-point process fan-out behind an asyncio front.
+
+    Unlike :class:`~repro.api.executors.ParallelExecutor`'s static chunks,
+    every point is dispatched individually in cost-estimate order, so a few
+    expensive points cannot strand the rest of the pool.  Results are
+    identical to serial execution (each point is an independent seeded
+    simulation); only the completion order differs.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes (and scheduler deques); defaults to the CPU count.
+    cancel_event:
+        Optional externally-owned :class:`threading.Event`; set it (or call
+        :meth:`cancel`) to stop dispatching new points.  A cancelled
+        execution raises :class:`ExecutionCancelled` after the in-flight
+        points finish.
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        cancel_event: Optional[threading.Event] = None,
+    ):
+        import os
+
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+        self._cancel_event = cancel_event or threading.Event()
+        #: Scheduler of the most recent execution (stealing statistics).
+        self.last_scheduler: Optional[WorkStealingScheduler] = None
+
+    def cancel(self) -> None:
+        """Stop dispatching new points; in-flight points still finish."""
+        self._cancel_event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._cancel_event.is_set()
+
+    # ------------------------------------------------------------------- API
+    def execute(
+        self,
+        points: Sequence[RunPoint],
+        params: SimulationParameters,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[SimulationResult]:
+        return self.execute_with_sink(points, params, progress)
+
+    def execute_with_sink(
+        self,
+        points: Sequence[RunPoint],
+        params: SimulationParameters,
+        progress: Optional[ProgressCallback] = None,
+        sink: Optional[ResultSink] = None,
+    ) -> List[SimulationResult]:
+        """Synchronous entry point (wraps :meth:`execute_async`)."""
+        return asyncio.run(
+            self.execute_async(points, params, progress=progress, sink=sink)
+        )
+
+    async def execute_async(
+        self,
+        points: Sequence[RunPoint],
+        params: SimulationParameters,
+        progress: Optional[ProgressCallback] = None,
+        sink: Optional[ResultSink] = None,
+    ) -> List[SimulationResult]:
+        """Evaluate the grid on the running event loop."""
+        total = len(points)
+        if total == 0:
+            return []
+        if self.n_workers == 1 or total == 1:
+            return self._execute_serial(points, params, progress, sink)
+
+        n_workers = min(self.n_workers, total)
+        scheduler = WorkStealingScheduler(
+            n_workers,
+            [((position, point), estimated_point_cost(point))
+             for position, point in enumerate(points)],
+        )
+        self.last_scheduler = scheduler
+        results: List[Optional[SimulationResult]] = [None] * total
+        done = 0
+        loop = asyncio.get_running_loop()
+
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_worker_init,
+            initargs=(params,),
+        ) as pool:
+
+            async def worker(worker_id: int) -> None:
+                nonlocal done
+                while not self._cancel_event.is_set():
+                    task = scheduler.next_for(worker_id)
+                    if task is None:
+                        return
+                    position, point = task
+                    job = (point.index, point.scenario, point.param_overrides)
+                    chunk = await loop.run_in_executor(
+                        pool, _worker_run_chunk, [job]
+                    )
+                    result = chunk[0][1]
+                    results[position] = result
+                    done += 1
+                    if sink is not None:
+                        sink(position, point, result)
+                    if progress is not None:
+                        progress(done, total)
+
+            await asyncio.gather(*(worker(w) for w in range(n_workers)))
+
+        if self._cancel_event.is_set() and done != total:
+            raise ExecutionCancelled(done, total, results)
+        if done != total or any(r is None for r in results):
+            raise RuntimeError(
+                f"async pool produced {done} of {total} results"
+            )  # pragma: no cover - defensive; workers re-raise errors
+        return results  # type: ignore[return-value]
+
+    def _execute_serial(
+        self,
+        points: Sequence[RunPoint],
+        params: SimulationParameters,
+        progress: Optional[ProgressCallback],
+        sink: Optional[ResultSink],
+    ) -> List[SimulationResult]:
+        """Single-worker path: in-process, but same cancel/sink semantics."""
+        total = len(points)
+        results: List[Optional[SimulationResult]] = [None] * total
+        done = 0
+        for position, point in enumerate(points):
+            if self._cancel_event.is_set():
+                raise ExecutionCancelled(done, total, results)
+            result = _simulate(point.scenario, point.resolved_params(params))
+            results[position] = result
+            done += 1
+            if sink is not None:
+                sink(position, point, result)
+            if progress is not None:
+                progress(done, total)
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return f"AsyncExecutor(n_workers={self.n_workers})"

@@ -1,0 +1,83 @@
+"""JSON round-trip for simulation results.
+
+The on-disk :class:`~repro.store.store.ResultStore` persists one
+:class:`~repro.sim.results.SimulationResult` per cache entry.  Every piece of
+a result is a flat frozen dataclass, so serialisation is a field-by-field
+dictionary dump; deserialisation rebuilds the exact dataclasses, which means
+a cache hit is indistinguishable from a fresh run (``summary()`` and all
+derived metrics agree bit-for-bit — floats are serialised through
+``repr``-faithful JSON, ints stay ints).
+
+``SCHEMA_VERSION`` names the wire format.  It must be bumped whenever the
+shape of :class:`~repro.sim.results.SimulationResult` (or anything reachable
+from it) changes; the store treats entries with a different schema version
+as stale and never returns them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.metrics.collector import MacStats
+from repro.metrics.data import DataMetrics
+from repro.metrics.voice import VoiceMetrics
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SerializationError",
+    "result_to_payload",
+    "payload_to_result",
+]
+
+#: Version of the serialised result format.  Bump on any change to the
+#: result dataclasses; the store invalidates entries from other versions.
+SCHEMA_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """A payload could not be converted back into a result."""
+
+
+def result_to_payload(result: SimulationResult) -> Dict[str, object]:
+    """Flatten a result into a JSON-serialisable dictionary."""
+    return {
+        "scenario": dataclasses.asdict(result.scenario),
+        "voice": dataclasses.asdict(result.voice),
+        "data": dataclasses.asdict(result.data),
+        "mac": dataclasses.asdict(result.mac),
+    }
+
+
+def _rebuild(cls, payload: object, what: str):
+    if not isinstance(payload, dict):
+        raise SerializationError(f"{what} payload must be an object")
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    if set(payload) != field_names:
+        raise SerializationError(
+            f"{what} payload fields {sorted(payload)} do not match "
+            f"{cls.__name__} fields {sorted(field_names)}"
+        )
+    try:
+        return cls(**payload)
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"invalid {what} payload: {error}") from error
+
+
+def payload_to_result(payload: Dict[str, object]) -> SimulationResult:
+    """Rebuild the exact :class:`SimulationResult` a payload was dumped from."""
+    if not isinstance(payload, dict):
+        raise SerializationError("result payload must be an object")
+    missing = {"scenario", "voice", "data", "mac"} - set(payload)
+    if missing:
+        raise SerializationError(
+            f"result payload is missing sections: {sorted(missing)}"
+        )
+    return SimulationResult(
+        scenario=_rebuild(Scenario, payload["scenario"], "scenario"),
+        voice=_rebuild(VoiceMetrics, payload["voice"], "voice"),
+        data=_rebuild(DataMetrics, payload["data"], "data"),
+        mac=_rebuild(MacStats, payload["mac"], "mac"),
+    )

@@ -90,6 +90,7 @@ class Terminal:
         self._params = params
         self._buffer: Deque[Packet] = deque()
         self.stats = TerminalStats()
+        self._measure_from_frame = 0
 
     # ------------------------------------------------------------------ API
     @property
@@ -140,6 +141,26 @@ class Terminal:
             return 0
         return self._buffer[0].waiting_frames(current_frame)
 
+    # ------------------------------------------------------------ accounting
+    def begin_measurement(self, frame_index: int) -> None:
+        """Start a fresh measurement window at ``frame_index``.
+
+        Resets the statistics and, crucially, excludes packets created
+        *before* the window from every outcome counter: a warm-up backlog
+        still sitting in the buffer may be delivered, errored or dropped
+        later, but attributing those outcomes to a window that never counted
+        the packets as generated would break the conservation law
+        ``delivered + errored + dropped <= generated``.
+        """
+        if frame_index < 0:
+            raise ValueError("frame_index must be non-negative")
+        self.stats = TerminalStats()
+        self._measure_from_frame = int(frame_index)
+
+    def _in_window(self, packet: Packet) -> bool:
+        """Whether a packet belongs to the current measurement window."""
+        return packet.created_frame >= self._measure_from_frame
+
     # -------------------------------------------------------------- traffic
     def advance_frame(self, frame_index: int) -> int:
         """Generate traffic for this frame; return the number of new packets."""
@@ -149,13 +170,21 @@ class Terminal:
         return len(packets)
 
     def drop_expired(self, current_frame: int) -> int:
-        """Drop buffered voice packets whose deadline has passed."""
+        """Drop buffered voice packets whose deadline has passed.
+
+        Returns the number of packets removed; only drops of packets
+        generated inside the current measurement window are counted in the
+        statistics.
+        """
         dropped = 0
+        counted = 0
         while self._buffer and self._buffer[0].is_expired(current_frame):
-            self._buffer.popleft()
+            packet = self._buffer.popleft()
             dropped += 1
-        if dropped:
-            self.stats.voice_dropped += dropped
+            if self._in_window(packet):
+                counted += 1
+        if counted:
+            self.stats.voice_dropped += counted
         return dropped
 
     # --------------------------------------------------------- transmission
@@ -189,18 +218,30 @@ class Terminal:
             return 0
 
         if self._kind.is_voice:
-            for _ in range(n_transmitted):
-                self._buffer.popleft()
-            self.stats.voice_delivered += n_delivered
-            self.stats.voice_errored += n_transmitted - n_delivered
+            # The error model only reports how many of the transmitted
+            # packets survived; attribute the successes to the head of the
+            # FIFO (the attribution is statistically arbitrary either way).
+            # Outcomes of packets created before the measurement window are
+            # not counted — their generation was never counted either.
+            for position in range(n_transmitted):
+                packet = self._buffer.popleft()
+                if not self._in_window(packet):
+                    continue
+                if position < n_delivered:
+                    self.stats.voice_delivered += 1
+                else:
+                    self.stats.voice_errored += 1
             return n_transmitted
 
         # Data: only delivered packets leave the buffer; the rest will be
         # retransmitted in a later grant.
         for _ in range(n_delivered):
             packet = self._buffer.popleft()
-            self.stats.data_delivered += 1
-            self.stats.data_delay_frames.append(packet.waiting_frames(current_frame))
+            if self._in_window(packet):
+                self.stats.data_delivered += 1
+                self.stats.data_delay_frames.append(
+                    packet.waiting_frames(current_frame)
+                )
         self.stats.data_retransmissions += n_transmitted - n_delivered
         return n_delivered
 

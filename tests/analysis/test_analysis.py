@@ -20,7 +20,7 @@ from repro.analysis.tables import (
     format_sweep_table,
 )
 from repro.config import SimulationParameters
-from repro.sim.runner import run_sweep
+from repro.api import SerialExecutor, run, sweep_spec
 from repro.sim.scenario import Scenario
 
 PARAMS = SimulationParameters()
@@ -74,10 +74,11 @@ class TestCapacitySearches:
 
 
 class TestTables:
-    def _sweep(self, protocol="charisma"):
+    def _sweep(self, protocol="charisma", values=(2, 4)):
         base = Scenario(protocol=protocol, n_voice=0, n_data=0, **FAST)
-        return run_sweep(protocol, [2, 4], parameter="n_voice",
-                         base_scenario=base, params=PARAMS)
+        spec = sweep_spec((protocol,), "n_voice", values,
+                          base_scenario=base, params=PARAMS)
+        return run(spec, executor=SerialExecutor()).to_sweep_result("n_voice")
 
     def test_kv_table(self):
         text = format_kv_table({"a": 1, "bb": 2.5}, title="Params")
@@ -95,9 +96,7 @@ class TestTables:
         assert "charisma" in text and "rama" in text
 
     def test_comparison_table_mismatched_values_rejected(self):
-        base = Scenario(protocol="rama", n_voice=0, n_data=0, **FAST)
-        other = run_sweep("rama", [3], parameter="n_voice",
-                          base_scenario=base, params=PARAMS)
+        other = self._sweep("rama", values=(3,))
         with pytest.raises(ValueError):
             format_comparison_table({"charisma": self._sweep(), "rama": other},
                                     "voice_loss_rate")

@@ -8,11 +8,12 @@ from repro.api import (
     SerialExecutor,
     SweepAxis,
     run,
+    run_points,
     select_executor,
 )
-from repro.api.executors import estimated_grid_cost
+from repro.api.executors import estimated_grid_cost, estimated_point_cost
+from repro.api.spec import RunPoint
 from repro.config import SimulationParameters
-from repro.sim.runner import run_many
 from repro.sim.scenario import Scenario
 
 PARAMS = SimulationParameters()
@@ -85,25 +86,32 @@ class TestParallelExecutor:
             ParallelExecutor(chunk_size=0)
 
 
-class TestRunManyShim:
+class TestRunPoints:
     def test_parallel_and_serial_identical_for_identical_seeds(self):
         # Regression: the shared SimulationParameters object travels to the
         # workers through the pool initializer; the results must still be
         # exactly those of an in-process loop.
-        scenarios = [
-            BASE.with_overrides(n_voice=n, seed=s)
-            for n in (2, 4) for s in (0, 1)
+        points = [
+            RunPoint(index=i, scenario=BASE.with_overrides(n_voice=n, seed=s))
+            for i, (n, s) in enumerate((n, s) for n in (2, 4) for s in (0, 1))
         ]
-        with pytest.warns(DeprecationWarning):
-            serial = run_many(scenarios, PARAMS, n_workers=1)
-        with pytest.warns(DeprecationWarning):
-            parallel = run_many(scenarios, PARAMS, n_workers=2)
+        serial = run_points(points, PARAMS, n_workers=1)
+        parallel = run_points(points, PARAMS, n_workers=2)
         assert [r.summary() for r in serial] == [r.summary() for r in parallel]
-        assert [r.scenario for r in serial] == list(scenarios)
+        assert [r.scenario for r in serial] == [p.scenario for p in points]
 
-    def test_rejects_bad_worker_count(self):
-        with pytest.raises(ValueError):
-            run_many([BASE], PARAMS, n_workers=0)
+    def test_sink_sees_every_completion(self):
+        points = [
+            RunPoint(index=i, scenario=BASE.with_overrides(seed=i))
+            for i in range(3)
+        ]
+        seen = []
+        results = SerialExecutor().execute_with_sink(
+            points, PARAMS,
+            sink=lambda pos, point, result: seen.append((pos, point, result)),
+        )
+        assert [pos for pos, _, _ in seen] == [0, 1, 2]
+        assert [r for _, _, r in seen] == results
 
 
 class TestSelection:
@@ -127,3 +135,9 @@ class TestSelection:
             axes=(SweepAxis("n_data", tuple(range(10, 110, 10))),),
         )
         assert estimated_grid_cost(big_spec.expand()) > estimated_grid_cost(small)
+
+    def test_grid_cost_sums_point_costs(self):
+        points = _small_spec().expand()
+        assert estimated_grid_cost(points) == pytest.approx(
+            sum(estimated_point_cost(p) for p in points)
+        )

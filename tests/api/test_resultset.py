@@ -5,10 +5,9 @@ import math
 
 import pytest
 
-from repro.api import ExperimentSpec, SerialExecutor, SweepAxis, run
+from repro.api import ExperimentSpec, SerialExecutor, SweepAxis, run, sweep_spec
 from repro.config import SimulationParameters
 from repro.sim.results import SweepResult
-from repro.sim.runner import run_protocol_comparison
 from repro.sim.scenario import Scenario
 
 PARAMS = SimulationParameters()
@@ -141,71 +140,36 @@ class TestLegacyConversion:
         assert sweeps["rama"].parameter == "n_voice"
 
 
-class TestLegacyShimEquivalence:
-    def test_six_protocol_comparison_byte_for_byte(self):
-        """Acceptance: legacy shim output == ExperimentSpec output, all six
-        protocols, identical seeds."""
-        values = [2, 4]
-        with pytest.warns(DeprecationWarning):
-            legacy = run_protocol_comparison(
-                ALL_PROTOCOLS, values, parameter="n_voice",
-                base_scenario=BASE, params=PARAMS,
-            )
-        spec = ExperimentSpec(
-            protocols=ALL_PROTOCOLS,
-            base_scenario=BASE,
-            axes=(SweepAxis("n_voice", tuple(values)),),
-            params=PARAMS,
-            seeds=(BASE.seed,),
-        )
-        modern = run(spec, executor=SerialExecutor()).to_sweep_results("n_voice")
-        assert set(legacy) == set(modern) == set(ALL_PROTOCOLS)
+class TestSweepSpecConvenience:
+    """sweep_spec + to_sweep_results replaced the removed legacy shims."""
+
+    def test_six_protocol_comparison_shapes(self):
+        spec = sweep_spec(ALL_PROTOCOLS, "n_voice", [2, 4],
+                          base_scenario=BASE, params=PARAMS)
+        sweeps = run(spec, executor=SerialExecutor()).to_sweep_results("n_voice")
+        assert set(sweeps) == set(ALL_PROTOCOLS)
         for protocol in ALL_PROTOCOLS:
-            assert legacy[protocol].values == modern[protocol].values
-            assert [r.summary() for r in legacy[protocol].results] == \
-                   [r.summary() for r in modern[protocol].results]
-            assert [r.scenario for r in legacy[protocol].results] == \
-                   [r.scenario for r in modern[protocol].results]
+            assert sweeps[protocol].values == [2, 4]
+            assert [r.scenario.protocol for r in sweeps[protocol].results] == \
+                   [protocol, protocol]
 
-    def test_run_sweep_generalised_beyond_populations(self):
-        # The old "'n_voice' or 'n_data'" restriction is gone: any sweepable
-        # field is accepted via SweepAxis validation.
-        from repro.sim.runner import run_sweep
-
-        with pytest.warns(DeprecationWarning):
-            sweep = run_sweep("charisma", [10, 80],
-                              parameter="mobile_speed_kmh",
-                              base_scenario=BASE.with_overrides(n_voice=2),
-                              params=PARAMS)
+    def test_sweep_spec_generalised_beyond_populations(self):
+        spec = sweep_spec(("charisma",), "mobile_speed_kmh", [10, 80],
+                          base_scenario=BASE.with_overrides(n_voice=2),
+                          params=PARAMS)
+        sweep = run(spec, executor=SerialExecutor()).to_sweep_result(
+            "mobile_speed_kmh"
+        )
         assert sweep.parameter == "mobile_speed_kmh"
         assert sweep.values == [10, 80]
 
-    def test_run_sweep_bad_parameter_lists_fields(self):
-        from repro.sim.runner import run_sweep
+    def test_sweep_spec_bad_parameter_lists_fields(self):
+        with pytest.raises(ValueError, match="sweepable"):
+            sweep_spec(("charisma",), "n_users", [1, 2],
+                       base_scenario=BASE, params=PARAMS)
 
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="sweepable"):
-                run_sweep("charisma", [1, 2], parameter="n_users",
-                          base_scenario=BASE, params=PARAMS)
-
-    def test_run_sweep_tolerates_duplicate_values(self):
-        # The old API ran duplicates as independent points; the shim must not
-        # inherit the declarative grid's duplicate rejection.
-        from repro.sim.runner import run_sweep
-
-        with pytest.warns(DeprecationWarning):
-            sweep = run_sweep("charisma", [2, 2], parameter="n_voice",
-                              base_scenario=BASE, params=PARAMS)
-        assert sweep.values == [2, 2]
-        assert len(sweep.results) == 2
-        assert sweep.results[0].summary() == sweep.results[1].summary()
-
-    def test_shims_still_validate_n_workers(self):
-        from repro.sim.runner import run_protocol_comparison, run_sweep
-
-        with pytest.raises(ValueError):
-            run_sweep("charisma", [2], base_scenario=BASE, params=PARAMS,
-                      n_workers=0)
-        with pytest.raises(ValueError):
-            run_protocol_comparison(("charisma",), [2], base_scenario=BASE,
-                                    params=PARAMS, n_workers=0)
+    def test_sweep_spec_defaults_to_base_seed(self):
+        spec = sweep_spec(("charisma",), "n_voice", [2],
+                          base_scenario=BASE.with_overrides(seed=7),
+                          params=PARAMS)
+        assert spec.seeds == (7,)

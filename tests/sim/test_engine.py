@@ -1,12 +1,11 @@
 """Integration tests of the frame-synchronous engine and the runner."""
 
-import numpy as np
 import pytest
 
 from repro.config import SimulationParameters
 from repro.mac.registry import available_protocols
 from repro.sim.engine import UplinkSimulationEngine
-from repro.sim.runner import run_many, run_protocol_comparison, run_simulation, run_sweep
+from repro.sim.runner import run_simulation
 from repro.sim.scenario import Scenario
 
 PARAMS = SimulationParameters()
@@ -88,30 +87,38 @@ class TestEngineInvariants:
 
 
 class TestRunner:
-    def test_run_many_sequential(self):
-        results = run_many([scenario(seed=1), scenario(seed=2)], PARAMS)
+    """The sweep helpers moved to repro.api; runner keeps the single run."""
+
+    def test_run_simulation_independent_seeds(self):
+        results = [run_simulation(scenario(seed=s), PARAMS) for s in (1, 2)]
         assert len(results) == 2
+        assert results[0].summary() != results[1].summary()
 
-    def test_run_many_validation(self):
-        with pytest.raises(ValueError):
-            run_many([scenario()], PARAMS, n_workers=0)
+    def test_sweep_spec_shapes(self):
+        from repro.api import SerialExecutor, run, sweep_spec
 
-    def test_run_sweep_shapes(self):
-        sweep = run_sweep(
-            "charisma", [4, 8], parameter="n_voice",
+        spec = sweep_spec(
+            ("charisma",), "n_voice", [4, 8],
             base_scenario=scenario(n_voice=0, n_data=0), params=PARAMS,
         )
+        sweep = run(spec, executor=SerialExecutor()).to_sweep_result("n_voice")
         assert sweep.values == [4, 8]
         assert len(sweep.results) == 2
         assert sweep.results[1].scenario.n_voice == 8
 
-    def test_run_sweep_invalid_parameter(self):
-        with pytest.raises(ValueError):
-            run_sweep("charisma", [1], parameter="n_bogus")
+    def test_sweep_spec_invalid_parameter(self):
+        from repro.api import sweep_spec
+
+        with pytest.raises(ValueError, match="sweepable"):
+            sweep_spec(("charisma",), "n_bogus", [1],
+                       base_scenario=scenario(n_voice=0, n_data=0))
 
     def test_protocol_comparison_keys(self):
-        sweeps = run_protocol_comparison(
-            ["charisma", "rama"], [4], parameter="n_voice",
+        from repro.api import SerialExecutor, run, sweep_spec
+
+        spec = sweep_spec(
+            ("charisma", "rama"), "n_voice", [4],
             base_scenario=scenario(n_voice=0, n_data=0), params=PARAMS,
         )
+        sweeps = run(spec, executor=SerialExecutor()).to_sweep_results("n_voice")
         assert set(sweeps) == {"charisma", "rama"}

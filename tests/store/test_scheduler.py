@@ -1,0 +1,141 @@
+"""Tests for the work-stealing scheduler and the AsyncExecutor."""
+
+import pytest
+
+from repro.api import ExperimentSpec, SerialExecutor, SweepAxis, run
+from repro.config import SimulationParameters
+from repro.sim.scenario import Scenario
+from repro.store import AsyncExecutor, ExecutionCancelled, WorkStealingScheduler
+
+PARAMS = SimulationParameters()
+BASE = Scenario(protocol="charisma", n_voice=0, n_data=1,
+                duration_s=0.4, warmup_s=0.2)
+
+
+def _small_spec():
+    return ExperimentSpec(
+        protocols=("charisma", "dtdma_fr"),
+        base_scenario=BASE,
+        axes=(SweepAxis("n_voice", (2, 4)),),
+        params=PARAMS,
+        seeds=(0, 1),
+    )
+
+
+def _heterogeneous_spec():
+    """Point costs vary by an order of magnitude across the axis."""
+    return ExperimentSpec(
+        protocols=("charisma",),
+        base_scenario=BASE,
+        axes=(SweepAxis("n_voice", (1, 2, 3, 30)),),
+        params=PARAMS,
+        seeds=(0,),
+    )
+
+
+class TestWorkStealingScheduler:
+    def test_every_task_dispatched_exactly_once(self):
+        tasks = [(f"t{i}", float(i + 1)) for i in range(10)]
+        scheduler = WorkStealingScheduler(3, tasks)
+        seen = []
+        turn = 0
+        while True:
+            # next_for returns None only once the whole grid is drained
+            # (an idle worker steals before giving up).
+            task = scheduler.next_for(turn % 3)
+            turn += 1
+            if task is None:
+                break
+            seen.append(task)
+        assert sorted(seen) == sorted(t for t, _ in tasks)
+        assert scheduler.dispatched == 10
+        assert len(scheduler) == 0
+
+    def test_lpt_assignment_balances_costs(self):
+        # Two workers, costs {8, 7, 3, 2}: LPT puts 8+2 and 7+3 together.
+        scheduler = WorkStealingScheduler(2, [("a", 8), ("b", 7), ("c", 3), ("d", 2)])
+        loads = [scheduler.remaining_load(w) for w in range(2)]
+        assert sorted(loads) == [10.0, 10.0]
+
+    def test_owner_consumes_most_expensive_first(self):
+        scheduler = WorkStealingScheduler(1, [("cheap", 1), ("dear", 9), ("mid", 5)])
+        order = [scheduler.next_for(0) for _ in range(3)]
+        assert order == ["dear", "mid", "cheap"]
+
+    def test_idle_worker_steals_from_loaded_victim(self):
+        scheduler = WorkStealingScheduler(2, [("a", 8), ("b", 7), ("c", 3), ("d", 2)])
+        # Worker 0 drains everything: two of the four must be steals.
+        drained = []
+        while True:
+            task = scheduler.next_for(0)
+            if task is None:
+                break
+            drained.append(task)
+        assert len(drained) == 4
+        assert scheduler.steals == 2
+        # Worker 1 then finds nothing.
+        assert scheduler.next_for(1) is None
+
+    def test_thief_takes_cheapest_from_victim_tail(self):
+        scheduler = WorkStealingScheduler(2, [("a", 8), ("b", 7), ("c", 3), ("d", 2)])
+        first_steal = None
+        scheduler.next_for(0)  # own front
+        scheduler.next_for(0)  # own tail
+        first_steal = scheduler.next_for(0)  # must come from worker 1's tail
+        assert first_steal in ("c", "d")  # the cheap end, not the 7-cost front
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkStealingScheduler(0, [])
+        scheduler = WorkStealingScheduler(1, [])
+        with pytest.raises(ValueError):
+            scheduler.next_for(5)
+
+
+class TestAsyncExecutor:
+    def test_matches_serial_byte_for_byte(self):
+        spec = _small_spec()
+        serial = run(spec, executor=SerialExecutor())
+        fanned = run(spec, executor=AsyncExecutor(n_workers=2))
+        assert fanned.to_records() == serial.to_records()
+
+    def test_heterogeneous_grid_matches_serial(self):
+        spec = _heterogeneous_spec()
+        serial = run(spec, executor=SerialExecutor())
+        fanned = run(spec, executor=AsyncExecutor(n_workers=2))
+        assert fanned.to_records() == serial.to_records()
+
+    def test_progress_counts_every_point(self):
+        spec = _small_spec()
+        calls = []
+        run(spec, executor=AsyncExecutor(n_workers=2),
+            progress=lambda done, total: calls.append((done, total)))
+        assert [c[0] for c in calls] == list(range(1, spec.n_runs + 1))
+        assert all(total == spec.n_runs for _, total in calls)
+
+    def test_single_worker_path_matches_serial(self):
+        spec = _small_spec()
+        serial = run(spec, executor=SerialExecutor())
+        single = run(spec, executor=AsyncExecutor(n_workers=1))
+        assert single.to_records() == serial.to_records()
+
+    def test_cancellation_keeps_partial_results(self):
+        spec = _small_spec()
+        executor = AsyncExecutor(n_workers=1)
+        seen = []
+
+        def sink(position, point, result):
+            seen.append(position)
+            if len(seen) == 3:
+                executor.cancel()
+
+        with pytest.raises(ExecutionCancelled) as excinfo:
+            executor.execute_with_sink(spec.expand(), spec.params, sink=sink)
+        assert excinfo.value.completed == 3
+        assert excinfo.value.total == spec.n_runs
+        assert sum(r is not None for r in excinfo.value.results) == 3
+        assert executor.cancelled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsyncExecutor(n_workers=0)

@@ -1,0 +1,71 @@
+"""Round-trip tests for the result wire format."""
+
+import json
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.sim.runner import run_simulation
+from repro.sim.scenario import Scenario
+from repro.store import (
+    SerializationError,
+    payload_to_result,
+    result_to_payload,
+)
+
+PARAMS = SimulationParameters()
+
+
+@pytest.fixture(scope="module")
+def result():
+    scenario = Scenario(protocol="charisma", n_voice=4, n_data=2,
+                        duration_s=0.4, warmup_s=0.2, seed=3)
+    return run_simulation(scenario, PARAMS)
+
+
+class TestRoundTrip:
+    def test_result_survives_json_round_trip(self, result):
+        payload = json.loads(json.dumps(result_to_payload(result)))
+        restored = payload_to_result(payload)
+        assert restored == result
+        assert restored.summary() == result.summary()
+        assert restored.scenario == result.scenario
+        assert restored.data.delay_frames == result.data.delay_frames
+
+    def test_derived_metrics_agree(self, result):
+        restored = payload_to_result(result_to_payload(result))
+        assert restored.voice.loss_rate == result.voice.loss_rate
+        assert restored.data.mean_delay_s == result.data.mean_delay_s
+        assert restored.mac.slot_utilisation == result.mac.slot_utilisation
+
+    def test_optional_speed_field_round_trips(self):
+        scenario = Scenario(protocol="charisma", n_voice=1, n_data=0,
+                            duration_s=0.3, warmup_s=0.1,
+                            mobile_speed_kmh=72.5)
+        result = run_simulation(scenario, PARAMS)
+        restored = payload_to_result(result_to_payload(result))
+        assert restored.scenario.mobile_speed_kmh == 72.5
+
+
+class TestValidation:
+    def test_missing_section_rejected(self, result):
+        payload = result_to_payload(result)
+        payload.pop("voice")
+        with pytest.raises(SerializationError, match="missing"):
+            payload_to_result(payload)
+
+    def test_unknown_field_rejected(self, result):
+        payload = result_to_payload(result)
+        payload["voice"]["bogus"] = 1
+        with pytest.raises(SerializationError):
+            payload_to_result(payload)
+
+    def test_invalid_value_rejected(self, result):
+        payload = result_to_payload(result)
+        payload["voice"]["generated"] = -1
+        with pytest.raises(SerializationError):
+            payload_to_result(payload)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SerializationError):
+            payload_to_result("not a dict")

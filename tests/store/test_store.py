@@ -1,0 +1,183 @@
+"""Tests for the content-addressed on-disk ResultStore."""
+
+import json
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.sim.runner import run_simulation
+from repro.sim.scenario import Scenario
+from repro.store import ResultStore
+from repro.store import serialization
+
+PARAMS = SimulationParameters()
+
+
+def make_result(seed=0, n_voice=2):
+    scenario = Scenario(protocol="charisma", n_voice=n_voice, n_data=1,
+                        duration_s=0.3, warmup_s=0.1, seed=seed)
+    return run_simulation(scenario, PARAMS)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+HASH_A = "ab" + "0" * 14
+HASH_B = "cd" + "1" * 14
+
+
+class TestBasics:
+    def test_miss_then_hit_round_trip(self, store):
+        assert store.get(HASH_A) is None
+        result = make_result()
+        store.put(HASH_A, result, coords={"protocol": "charisma", "seed": 0})
+        assert store.get(HASH_A) == result
+        assert HASH_A in store
+        assert len(store) == 1
+
+    def test_persistence_across_instances(self, store):
+        result = make_result()
+        store.put(HASH_A, result)
+        reopened = ResultStore(store.path)
+        assert reopened.get(HASH_A) == result
+
+    def test_last_write_wins(self, store):
+        first, second = make_result(seed=0), make_result(seed=1)
+        store.put(HASH_A, first)
+        store.put(HASH_A, second)
+        assert store.get(HASH_A) == second
+        assert len(store) == 1
+
+    def test_sharding_by_hash_prefix(self, store):
+        store.put(HASH_A, make_result())
+        store.put(HASH_B, make_result(seed=1))
+        shard_names = sorted(p.name for p in (store.path / "shards").iterdir())
+        assert shard_names == ["ab.jsonl", "cd.jsonl"]
+
+    def test_empty_store_is_truthy(self, store):
+        # Regression: __len__ made empty stores falsy, which silently
+        # disabled caching behind ``store if store else None`` guards.
+        assert len(store) == 0
+        assert bool(store) is True
+
+    def test_bad_hash_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.get("not-a-hash!")
+        with pytest.raises(ValueError):
+            store.put("XYZ", make_result())
+
+    def test_invalidate_and_clear(self, store):
+        store.put(HASH_A, make_result())
+        store.put(HASH_B, make_result(seed=1))
+        assert store.invalidate(HASH_A) is True
+        assert store.invalidate(HASH_A) is False
+        assert store.get(HASH_A) is None
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_get_many(self, store):
+        result = make_result()
+        store.put(HASH_A, result)
+        found = store.get_many([HASH_A, HASH_B])
+        assert set(found) == {HASH_A}
+        assert found[HASH_A] == result
+
+
+class TestSchemaVersioning:
+    def test_stale_schema_records_are_misses(self, store, monkeypatch):
+        store.put(HASH_A, make_result())
+        assert store.get(HASH_A) is not None
+        monkeypatch.setattr(serialization, "SCHEMA_VERSION",
+                            serialization.SCHEMA_VERSION + 1)
+        fresh = ResultStore(store.path)
+        assert fresh.get(HASH_A) is None
+        stats = fresh.stats()
+        assert stats.n_results == 0
+        assert stats.n_stale == 1
+
+    def test_gc_drops_stale_records(self, store, monkeypatch):
+        store.put(HASH_A, make_result())
+        monkeypatch.setattr(serialization, "SCHEMA_VERSION",
+                            serialization.SCHEMA_VERSION + 1)
+        fresh = ResultStore(store.path)
+        fresh.put(HASH_B, make_result(seed=1))
+        collected = fresh.gc()
+        assert collected.dropped_stale == 1
+        assert fresh.stats().n_stale == 0
+        assert fresh.get(HASH_B) is not None
+
+    def test_gc_compacts_duplicates(self, store):
+        store.put(HASH_A, make_result(seed=0))
+        store.put(HASH_A, make_result(seed=1))
+        collected = store.gc()
+        assert collected.dropped_duplicates == 1
+        assert collected.reclaimed_bytes > 0
+        assert len(store) == 1
+
+
+class TestCorruptionQuarantine:
+    def test_torn_write_is_quarantined_and_neighbours_survive(self, store):
+        good = make_result()
+        store.put(HASH_A, good)
+        shard = store.path / "shards" / "ab.jsonl"
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write('{"torn": ')  # a write cut off mid-record
+        fresh = ResultStore(store.path)
+        assert fresh.get(HASH_A) == good  # salvaged
+        quarantined = list((store.path / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].name.startswith("ab.jsonl")
+        assert fresh.stats().n_quarantined == 1
+
+    def test_fully_garbage_shard_quarantined(self, store):
+        shard = store.path / "shards" / "ab.jsonl"
+        shard.write_bytes(b"\x00\xff not json at all")
+        fresh = ResultStore(store.path)
+        assert fresh.get(HASH_A) is None
+        assert not shard.exists() or shard.read_text() == ""
+        assert fresh.stats().n_quarantined == 1
+
+    def test_undeserialisable_payload_quarantined_on_get(self, store):
+        store.put(HASH_A, make_result())
+        shard = store.path / "shards" / "ab.jsonl"
+        record = json.loads(shard.read_text().splitlines()[0])
+        record["result"]["voice"]["generated"] = -5  # valid JSON, bad value
+        shard.write_text(json.dumps(record) + "\n")
+        fresh = ResultStore(store.path)
+        assert fresh.get(HASH_A) is None
+        bad = store.path / "quarantine" / "bad-records.jsonl"
+        assert bad.exists()
+        # and the poisoned entry is gone from the shard
+        assert fresh.get(HASH_A) is None
+        assert len(ResultStore(store.path)) == 0
+
+
+class TestStatsAndArtifacts:
+    def test_stats_counts(self, store):
+        store.put(HASH_A, make_result())
+        store.put(HASH_B, make_result(seed=1))
+        stats = store.stats()
+        assert stats.n_results == 2
+        assert stats.n_shards == 2
+        assert stats.total_bytes > 0
+        assert stats.schema_version == serialization.SCHEMA_VERSION
+        assert set(stats.as_dict()) >= {"path", "n_results", "n_stale"}
+
+    def test_artifact_round_trip(self, store):
+        payload = {"wall_s": 1.25, "records": [{"a": 1}]}
+        store.put_artifact("bench_fig11a", payload)
+        assert store.get_artifact("bench_fig11a") == payload
+        assert store.list_artifacts() == ["bench_fig11a"]
+        assert store.stats().n_artifacts == 1
+        assert store.get_artifact("absent") is None
+
+    def test_artifact_name_validated(self, store):
+        with pytest.raises(ValueError):
+            store.put_artifact("../escape", {})
+
+    def test_foreign_directory_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError, match="not a result store"):
+            ResultStore(tmp_path)

@@ -69,11 +69,43 @@ class TestCommands:
         ])
         assert code == 0
 
+    def test_run_with_cache_dir_hits_on_rerun(self, capsys, tmp_path):
+        from repro.store import ResultStore
+
+        cache_dir = str(tmp_path / "cache")
+        argv = ["run", "--n-voice", "2", "--n-data", "0",
+                "--duration", "0.4", "--warmup", "0.2", "--cache", cache_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert len(ResultStore(cache_dir)) == 1
+        assert main(argv) == 0  # second run served from the store
+        assert capsys.readouterr().out == first
+
+    def test_cache_stats_gc_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "--n-voice", "2", "--n-data", "0",
+                     "--duration", "0.4", "--warmup", "0.2",
+                     "--cache", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "n_results" in out and "1" in out
+        assert main(["cache", "gc", "--cache-dir", cache_dir]) == 0
+        assert "reclaimed" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_cache_requires_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "stats"])
+
     def test_selftest_runs_every_executor(self, capsys):
         assert main(["selftest"]) == 0
         out = capsys.readouterr().out
         assert "SerialExecutor" in out
         assert "ParallelExecutor" in out
+        assert "AsyncExecutor" in out
+        assert "ResultStore" in out
         assert "selftest passed" in out
 
     def test_selftest_flag_spelling(self, capsys):

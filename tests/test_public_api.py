@@ -16,7 +16,7 @@ class TestLazyTopLevelApi:
         assert repro.SimulationParameters is not None
         assert repro.Scenario is not None
         assert callable(repro.run_simulation)
-        assert callable(repro.run_sweep)
+        assert callable(repro.sweep_spec)
         assert callable(repro.create_protocol)
         assert repro.SimulationResult is not None
 
@@ -27,6 +27,18 @@ class TestLazyTopLevelApi:
         assert callable(repro.run_experiment)
         assert repro.SerialExecutor is not None
         assert repro.ParallelExecutor is not None
+
+    def test_store_api_exposed_lazily(self):
+        assert repro.ResultStore is not None
+        assert repro.CachingExecutor is not None
+        assert repro.AsyncExecutor is not None
+
+    def test_legacy_sweep_shims_removed(self):
+        with pytest.raises(AttributeError):
+            repro.run_sweep
+        from repro.sim import runner
+        for name in ("run_many", "run_sweep", "run_protocol_comparison"):
+            assert not hasattr(runner, name)
 
     def test_available_protocols_exposed(self):
         assert "charisma" in repro.available_protocols()
@@ -52,7 +64,7 @@ class TestSubpackageImports:
     @pytest.mark.parametrize("module", [
         "repro.channel", "repro.phy", "repro.traffic", "repro.mac",
         "repro.core", "repro.sim", "repro.metrics", "repro.analysis",
-        "repro.cli", "repro.config", "repro.api",
+        "repro.cli", "repro.config", "repro.api", "repro.store",
     ])
     def test_importable(self, module):
         assert importlib.import_module(module) is not None
@@ -60,7 +72,7 @@ class TestSubpackageImports:
     @pytest.mark.parametrize("module", [
         "repro.channel", "repro.phy", "repro.traffic", "repro.mac",
         "repro.core", "repro.sim", "repro.metrics", "repro.analysis",
-        "repro.api",
+        "repro.api", "repro.store",
     ])
     def test_all_exports_exist(self, module):
         mod = importlib.import_module(module)
