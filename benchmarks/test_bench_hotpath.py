@@ -1,0 +1,139 @@
+"""Hot-path benchmark: columnar vs object simulation core, frames per second.
+
+Times the 100-terminal reference workload (the ROADMAP's "hot-path
+profiling" item) on both engine backends for every protocol and records the
+result in ``BENCH_engine.json`` at the repository root, appending to a
+history list so the frames/sec trajectory accumulates across sessions.
+
+Methodology
+-----------
+The two backends produce bit-identical results under a common seed (see
+``tests/sim/test_backend_parity.py``), so this benchmark is a pure
+like-for-like timing comparison.  Backend measurements are interleaved and
+the best of several repetitions is kept, using CPU time, which cancels
+machine-load drift between the two sides.
+
+The *reference workload* for the headline speedup is RMAV on 100 terminals:
+RMAV's MAC layer is the thinnest of the six protocols (one competitive slot
+per frame, no request queue), so its frames/sec is the purest measure of
+the frame-loop cost this refactor targets — traffic generation, deadline
+expiry, channel advance, grant execution and metrics accumulation.  The
+per-protocol table shows the speedup including each protocol's own MAC
+overhead (which both backends share).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.mac.registry import available_protocols
+from repro.sim.engine import UplinkSimulationEngine
+from repro.sim.scenario import Scenario
+
+pytestmark = pytest.mark.slow
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_engine.json"
+
+PARAMS = SimulationParameters()
+
+#: The reference workload: 100 terminals at the paper's 80/20 voice/data mix.
+N_VOICE = 80
+N_DATA = 20
+SEED = 1
+DURATION_S = 1.0
+WARMUP_S = 0.25
+REPETITIONS = 4
+
+REFERENCE_PROTOCOL = "rmav"
+
+
+def _frames_per_second(protocol: str, backend: str) -> float:
+    scenario = Scenario(
+        protocol=protocol,
+        n_voice=N_VOICE,
+        n_data=N_DATA,
+        duration_s=DURATION_S,
+        warmup_s=WARMUP_S,
+        seed=SEED,
+        engine_backend=backend,
+    )
+    engine = UplinkSimulationEngine(scenario, PARAMS)
+    start = time.process_time()
+    engine.run()
+    elapsed = time.process_time() - start
+    return engine.frame_index / elapsed
+
+
+def measure() -> dict:
+    """Interleaved best-of-N frames/sec for both backends, per protocol."""
+    protocols = {}
+    for protocol in available_protocols():
+        best = {"object": 0.0, "columnar": 0.0}
+        for _ in range(REPETITIONS):
+            for backend in ("object", "columnar"):
+                best[backend] = max(best[backend], _frames_per_second(protocol, backend))
+        protocols[protocol] = {
+            "object_fps": round(best["object"], 1),
+            "columnar_fps": round(best["columnar"], 1),
+            "speedup": round(best["columnar"] / best["object"], 3),
+        }
+    return protocols
+
+
+def test_bench_hotpath_backends():
+    protocols = measure()
+    reference = protocols[REFERENCE_PROTOCOL]
+    record = {
+        "workload": {
+            "n_terminals": N_VOICE + N_DATA,
+            "n_voice": N_VOICE,
+            "n_data": N_DATA,
+            "seed": SEED,
+            "measured_s": DURATION_S,
+            "warmup_s": WARMUP_S,
+            "repetitions": REPETITIONS,
+            "timer": "process_time, interleaved best-of-N",
+        },
+        "reference": {
+            "protocol": REFERENCE_PROTOCOL,
+            "why": "thinnest MAC layer; isolates the frame-loop cost",
+            **reference,
+        },
+        "protocols": protocols,
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+    history = []
+    if RECORD_PATH.exists():
+        try:
+            previous = json.loads(RECORD_PATH.read_text())
+            history = previous.get("history", [])
+            if "latest" in previous:
+                history.append(previous["latest"])
+        except (json.JSONDecodeError, OSError):
+            history = []
+    RECORD_PATH.write_text(
+        json.dumps({"latest": record, "history": history[-19:]}, indent=2)
+        + "\n"
+    )
+
+    table = "\n".join(
+        f"  {name:10s} object {row['object_fps']:9.0f} fps   "
+        f"columnar {row['columnar_fps']:9.0f} fps   {row['speedup']:.2f}x"
+        for name, row in protocols.items()
+    )
+    print(f"\nhot-path backends @ {N_VOICE + N_DATA} terminals:\n{table}")
+
+    # Correctness floor: the columnar backend must beat the object backend
+    # decisively on every protocol; the reference workload's headline
+    # speedup is recorded in BENCH_engine.json.
+    for name, row in protocols.items():
+        assert row["speedup"] > 1.5, (name, row)
+    assert reference["speedup"] > 2.0, reference

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+from scipy.signal import lfilter
 
 from repro.channel.doppler import DopplerModel
 from repro.channel.fading import clarke_correlation
@@ -53,11 +54,30 @@ class ChannelSnapshot:
         return int(self.amplitude.shape[0])
 
     def amplitude_of(self, user_id: int) -> float:
-        """Composite amplitude of a single user."""
+        """Composite amplitude of a single user.
+
+        ``user_id`` must be the user's dense population index (the engine
+        validates ``terminal_id == index`` at construction); out-of-range
+        ids raise instead of silently wrapping around like raw negative
+        NumPy indexing would.
+        """
+        if not 0 <= user_id < self.amplitude.shape[0]:
+            raise IndexError(
+                f"user_id {user_id} outside the snapshot's dense 0.."
+                f"{self.amplitude.shape[0] - 1} population (terminal ids "
+                f"double as channel rows)"
+            )
         return float(self.amplitude[user_id])
 
     def snr_db_of(self, user_id: int) -> float:
-        """Instantaneous SNR (dB) of a single user."""
+        """Instantaneous SNR (dB) of a single user (dense id, like
+        :meth:`amplitude_of`)."""
+        if not 0 <= user_id < self.snr_db.shape[0]:
+            raise IndexError(
+                f"user_id {user_id} outside the snapshot's dense 0.."
+                f"{self.snr_db.shape[0] - 1} population (terminal ids "
+                f"double as channel rows)"
+            )
         return float(self.snr_db[user_id])
 
 
@@ -125,10 +145,27 @@ class ChannelManager:
             [clarke_correlation(d.doppler_hz, self._dt) for d in dopplers], dtype=float
         )
         self._a_shadow = math.exp(-self._dt / self._shadow_tau)
+        # Innovation scales are constants of the run; precomputing them keeps
+        # the per-frame update to the draws plus one multiply-add per process.
+        sigma = math.sqrt(0.5)
+        self._innovation_scale = sigma * np.sqrt(1.0 - self._rho_fast**2)
+        self._shadow_shock_std = self._shadow_std_db * math.sqrt(
+            1.0 - self._a_shadow * self._a_shadow
+        )
 
-        # Stationary initial states.
+        # Whether every user shares one fast-fading correlation (the usual
+        # single-Doppler configuration); block advancing exploits it.
+        self._uniform_rho = bool(
+            self._n == 0 or np.all(self._rho_fast == self._rho_fast[0])
+        )
+
+        # Stationary initial states.  The shadowing state is stored as the
+        # dB *deviation* from the mean, so the per-frame update is the pure
+        # AR(1) recursion ``dev' = a * dev + shock`` — the same float
+        # expression a linear-filter block evaluation produces, which keeps
+        # frame-by-frame and block advancing bit-identical.
         self._gain = self._draw_stationary_fast()
-        self._shadow_db = self._draw_stationary_shadow()
+        self._shadow_dev = self._draw_stationary_shadow_dev()
 
     # ------------------------------------------------------------------ API
     @property
@@ -153,7 +190,7 @@ class ChannelManager:
 
     def amplitudes(self) -> np.ndarray:
         """Current composite amplitude per user."""
-        shadow_gain = 10.0 ** (self._shadow_db / 20.0)
+        shadow_gain = 10.0 ** ((self._shadow_mean_db + self._shadow_dev) / 20.0)
         return np.abs(self._gain) * shadow_gain
 
     def snr_db(self) -> np.ndarray:
@@ -165,37 +202,101 @@ class ChannelManager:
 
     def snapshot(self) -> ChannelSnapshot:
         """Immutable snapshot of the current channel state."""
+        amplitude = self.amplitudes()
+        with np.errstate(divide="ignore"):
+            amp_db = 20.0 * np.log10(amplitude)
         return ChannelSnapshot(
-            amplitude=self.amplitudes(),
-            snr_db=self.snr_db(),
+            amplitude=amplitude,
+            snr_db=self._mean_snr_db + amp_db,
             frame_index=self._frame_index,
         )
 
     def advance_frame(self) -> ChannelSnapshot:
         """Advance every user's channel by one frame and return a snapshot."""
         if self._n > 0:
-            sigma = math.sqrt(0.5)
-            innovation_scale = sigma * np.sqrt(1.0 - self._rho_fast**2)
             noise = self._rng.normal(size=self._n) + 1j * self._rng.normal(size=self._n)
-            self._gain = self._rho_fast * self._gain + innovation_scale * noise
+            self._gain = self._rho_fast * self._gain + self._innovation_scale * noise
 
             if self._shadow_std_db > 0.0:
-                a = self._a_shadow
-                shock = self._rng.normal(
-                    scale=self._shadow_std_db * math.sqrt(1.0 - a * a), size=self._n
-                )
-                self._shadow_db = (
-                    self._shadow_mean_db
-                    + a * (self._shadow_db - self._shadow_mean_db)
-                    + shock
-                )
+                shock = self._rng.normal(scale=self._shadow_shock_std, size=self._n)
+                self._shadow_dev = self._a_shadow * self._shadow_dev + shock
         self._frame_index += 1
         return self.snapshot()
+
+    def advance_block(self, n_frames: int) -> List[ChannelSnapshot]:
+        """Advance ``n_frames`` frames at once and return their snapshots.
+
+        One batched noise draw plus one linear-filter evaluation per fading
+        process replaces ``n_frames`` per-frame updates.  The returned
+        snapshots — and the generator state left behind — are **bit
+        identical** to calling :meth:`advance_frame` ``n_frames`` times:
+
+        * the noise block consumes the ``channel`` stream in exactly the
+          per-frame order (real, imaginary, shadow slices per frame);
+        * the AR(1) recursions are evaluated by ``scipy.signal.lfilter``,
+          whose update ``y[k] = x[k] + rho * y[k-1]`` is the same float
+          expression as the per-frame code (addition commutes exactly).
+
+        Requires a population-wide uniform Doppler (the standard engine
+        configuration); mixed-speed populations fall back to per-frame
+        stepping automatically.
+        """
+        if n_frames < 0:
+            raise ValueError("n_frames must be non-negative")
+        if n_frames == 0:
+            return []
+        if self._n == 0:
+            return [self.advance_frame() for _ in range(n_frames)]
+        if not self._uniform_rho:
+            return [self.advance_frame() for _ in range(n_frames)]
+
+        n = self._n
+        with_shadow = self._shadow_std_db > 0.0
+        lanes = 3 if with_shadow else 2
+        noise = self._rng.standard_normal(lanes * n_frames * n).reshape(
+            n_frames, lanes, n
+        )
+        innovation = self._innovation_scale * (
+            noise[:, 0, :] + 1j * noise[:, 1, :]
+        )
+        rho = float(self._rho_fast[0])
+        gains, _ = lfilter(
+            [1.0], [1.0, -rho], innovation, axis=0, zi=(rho * self._gain)[None, :]
+        )
+        self._gain = gains[-1]
+
+        if with_shadow:
+            shocks = self._shadow_shock_std * noise[:, 2, :]
+            a = self._a_shadow
+            deviations, _ = lfilter(
+                [1.0], [1.0, -a], shocks, axis=0, zi=(a * self._shadow_dev)[None, :]
+            )
+            self._shadow_dev = deviations[-1]
+            shadow_db = self._shadow_mean_db + deviations
+        else:
+            shadow_db = np.broadcast_to(
+                self._shadow_mean_db + self._shadow_dev, (n_frames, n)
+            )
+
+        amplitude = np.abs(gains) * 10.0 ** (shadow_db / 20.0)
+        with np.errstate(divide="ignore"):
+            snr_db = self._mean_snr_db + 20.0 * np.log10(amplitude)
+        snapshots = []
+        for offset in range(n_frames):
+            self._frame_index += 1
+            snapshots.append(
+                ChannelSnapshot(
+                    amplitude=amplitude[offset],
+                    snr_db=snr_db[offset],
+                    frame_index=self._frame_index,
+                )
+            )
+        return snapshots
 
     def reset(self) -> None:
         """Redraw all per-user states from their stationary distributions."""
         self._gain = self._draw_stationary_fast()
-        self._shadow_db = self._draw_stationary_shadow()
+        self._shadow_dev = self._draw_stationary_shadow_dev()
         self._frame_index = 0
 
     # ------------------------------------------------------------ internals
@@ -205,9 +306,7 @@ class ChannelManager:
             scale=sigma, size=self._n
         )
 
-    def _draw_stationary_shadow(self) -> np.ndarray:
+    def _draw_stationary_shadow_dev(self) -> np.ndarray:
         if self._shadow_std_db == 0.0:
-            return np.full(self._n, self._shadow_mean_db, dtype=float)
-        return self._rng.normal(
-            loc=self._shadow_mean_db, scale=self._shadow_std_db, size=self._n
-        )
+            return np.zeros(self._n, dtype=float)
+        return self._rng.normal(scale=self._shadow_std_db, size=self._n)

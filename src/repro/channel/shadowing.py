@@ -18,6 +18,7 @@ import math
 from typing import Optional
 
 import numpy as np
+from scipy.signal import lfilter
 
 __all__ = ["LogNormalShadowing"]
 
@@ -113,14 +114,42 @@ class LogNormalShadowing:
         return self.gain
 
     def trace_db(self, n_samples: int, dt: Optional[float] = None) -> np.ndarray:
-        """Generate ``n_samples`` successive dB-level samples."""
+        """Generate ``n_samples`` successive dB-level samples.
+
+        Vectorised: one batched shock draw (the same draw order as repeated
+        :meth:`advance` calls) plus a linear-filter evaluation of the
+        deviation-form AR(1) recursion, equivalent to the per-step loop up
+        to floating-point association.
+        """
         if n_samples < 0:
             raise ValueError("n_samples must be non-negative")
-        out = np.empty(n_samples, dtype=float)
-        for i in range(n_samples):
-            self.advance(dt)
-            out[i] = self._state_db
-        return out
+        if n_samples == 0:
+            return np.empty(0, dtype=float)
+        a = self._step_coefficient(dt)
+        if self._std_db == 0.0:
+            self._state_db = self._mean_db
+            return np.full(n_samples, self._mean_db, dtype=float)
+        shocks = self._rng.normal(
+            scale=self._std_db * math.sqrt(1.0 - a * a), size=n_samples
+        )
+        return self._trace_db_from_shocks(shocks, a)
+
+    def _step_coefficient(self, dt: Optional[float]) -> float:
+        if dt is None or dt == self._dt:
+            return self._a
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        return math.exp(-dt / self._tau)
+
+    def _trace_db_from_shocks(self, shocks: np.ndarray, a: float) -> np.ndarray:
+        """Run the dB-deviation AR(1) recursion over pre-drawn shocks."""
+        deviation = self._state_db - self._mean_db
+        deviations, _ = lfilter(
+            [1.0], [1.0, -a], shocks, zi=np.array([a * deviation], dtype=float)
+        )
+        levels = self._mean_db + deviations
+        self._state_db = float(levels[-1])
+        return levels
 
     # ------------------------------------------------------------ internals
     def _draw_stationary(self) -> float:

@@ -12,8 +12,11 @@ Python:
   regenerates each;
 * ``cache`` — inspect (``stats``), compact (``gc``) or empty (``clear``) an
   on-disk result store (see ``--cache`` on ``run``/``compare``);
+* ``profile`` — cProfile the engine's frame loop on a chosen scenario and
+  print the top-N functions (hot-path work belongs here first);
 * ``selftest`` (also reachable as ``python -m repro --selftest``) — smoke-run
-  one tiny experiment through every executor, check they agree, and
+  one tiny experiment through every executor, check they agree, verify the
+  columnar and object engine backends produce identical results, and
   round-trip the result store in a temporary directory.
 
 All simulation commands funnel through :mod:`repro.api`; ``--cache DIR``
@@ -91,10 +94,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of the result store",
     )
 
+    profile_parser = sub.add_parser(
+        "profile", help="cProfile the engine frame loop on one scenario"
+    )
+    _add_scenario_arguments(profile_parser)
+    profile_parser.add_argument(
+        "--top", type=int, default=25,
+        help="number of functions to print (sorted by cumulative time)",
+    )
+    profile_parser.add_argument(
+        "--sort", choices=("cumulative", "tottime"), default="cumulative",
+        help="profile sort order",
+    )
+
     sub.add_parser(
         "selftest",
         help="run one tiny experiment through each executor, compare them, "
-             "and round-trip the result store",
+             "check columnar/object engine-backend parity, and round-trip "
+             "the result store",
     )
     return parser
 
@@ -114,6 +131,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--speed", type=float, default=None,
                         help="mobile speed in km/h (default: Table 1 value)")
+    parser.add_argument("--backend", choices=("columnar", "object"),
+                        default="columnar",
+                        help="simulation core: vectorised struct-of-arrays "
+                             "(columnar, default) or per-terminal objects "
+                             "(object); both give identical results")
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="serve finished runs from (and persist new runs "
                              "to) the result store in DIR")
@@ -129,6 +151,7 @@ def _scenario_from_args(args: argparse.Namespace, protocol: Optional[str] = None
         warmup_s=args.warmup,
         seed=args.seed,
         mobile_speed_kmh=args.speed,
+        engine_backend=getattr(args, "backend", "columnar"),
     )
 
 
@@ -206,6 +229,49 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    """cProfile one engine run and print the hottest functions."""
+    import cProfile
+    import pstats
+
+    from repro.sim.engine import UplinkSimulationEngine
+
+    params = SimulationParameters()
+    scenario = _scenario_from_args(args)
+    engine = UplinkSimulationEngine(scenario, params)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = engine.run()
+    profiler.disable()
+    frames = engine.frame_index
+    print(f"profiled {scenario.label()} [{scenario.engine_backend} backend]: "
+          f"{frames} frames")
+    print(f"voice loss {result.voice.loss_rate:.4f}, "
+          f"data throughput {result.data.throughput_packets_per_frame:.3f} pkt/frame")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+def _selftest_backend_parity() -> bool:
+    """Columnar and object backends must produce identical results."""
+    from repro.sim.runner import run_simulation
+
+    for protocol in ("charisma", "dtdma_vr", "rama"):
+        base = Scenario(protocol=protocol, n_voice=6, n_data=2,
+                        use_request_queue=True, duration_s=0.4, warmup_s=0.2,
+                        seed=11)
+        results = {
+            backend: run_simulation(base.with_overrides(engine_backend=backend))
+            for backend in ("columnar", "object")
+        }
+        if results["columnar"].summary() != results["object"].summary():
+            print(f"  MISMATCH: engine backends disagree for {protocol}")
+            return False
+    print("  engine backends    columnar == object for 3 protocols")
+    return True
+
+
 def _command_selftest(_: argparse.Namespace) -> int:
     """Run one tiny grid through each executor and verify they agree."""
     from repro.store import AsyncExecutor, CachingExecutor, ResultStore
@@ -236,6 +302,9 @@ def _command_selftest(_: argparse.Namespace) -> int:
             return 1
     rows = results.aggregate(["voice_loss_rate"], by=("protocol", "n_voice"))
     print(f"  aggregate          {len(rows)} (protocol, n_voice) groups ok")
+
+    if not _selftest_backend_parity():
+        return 1
 
     # Store round-trip: a cold cached run must miss everywhere, a second
     # identical run must hit everywhere and agree byte-for-byte.
@@ -270,6 +339,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "capacity": _command_capacity,
         "experiments": _command_experiments,
         "cache": _command_cache,
+        "profile": _command_profile,
         "selftest": _command_selftest,
     }
     return handlers[args.command](args)

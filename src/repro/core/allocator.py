@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.channel.manager import ChannelSnapshot
 from repro.mac.requests import Allocation, Request
 from repro.phy.abicm import AdaptiveModem
@@ -110,7 +112,8 @@ class CSIRankedAllocator:
         """Grant the frame's information slots to the ranked requests."""
         decision = AllocationDecision()
         slots_left = self._n_slots
-        for request in ranked_requests:
+        capacities = self._capacities_from_csi(ranked_requests)
+        for request, (per_slot, throughput) in zip(ranked_requests, capacities):
             terminal = terminals_by_id.get(request.terminal_id)
             if terminal is None or not terminal.has_pending_packets:
                 continue
@@ -118,7 +121,6 @@ class CSIRankedAllocator:
                 decision.unserved.append(request)
                 continue
 
-            per_slot, throughput = self._capacity_from_csi(request)
             if per_slot == 0:
                 if self._must_serve_despite_outage(request, frame_index):
                     per_slot, throughput = 1, self._modem.mode_table[0].throughput
@@ -140,21 +142,43 @@ class CSIRankedAllocator:
         return decision
 
     # ------------------------------------------------------------ internals
-    def _capacity_from_csi(self, request: Request) -> Tuple[int, Optional[float]]:
-        """Packets per slot (0 in outage) at the request's *estimated* CSI."""
-        if request.csi is None:
-            # No estimate: be conservative and treat as the most robust mode.
-            lowest = self._modem.mode_table[0]
-            return lowest.packets_per_slot(
-                self._modem.mode_table.reference_throughput
-            ), lowest.throughput
-        mode = self._modem.select_mode(request.csi.amplitude)
-        if mode is None:
-            return 0, None
-        return (
-            mode.packets_per_slot(self._modem.mode_table.reference_throughput),
-            mode.throughput,
+    def _capacities_from_csi(
+        self, requests: Sequence[Request]
+    ) -> List[Tuple[int, Optional[float]]]:
+        """Batched per-request capacities: one mode lookup for the frame.
+
+        Requests without an estimate are conservatively treated as the most
+        robust mode; estimated ones get the mode their CSI supports, with
+        ``(0, None)`` marking outage — element-for-element identical to the
+        scalar ``select_mode`` path.
+        """
+        table = self._modem.mode_table
+        reference = table.reference_throughput
+        lowest = table[0]
+        lowest_pair = (lowest.packets_per_slot(reference), lowest.throughput)
+        known = [
+            index for index, request in enumerate(requests) if request.csi is not None
+        ]
+        capacities: List[Tuple[int, Optional[float]]] = [lowest_pair] * len(requests)
+        if not known:
+            return capacities
+        mode_indices = self._modem.mode_index(
+            np.fromiter(
+                (requests[index].csi.amplitude for index in known),
+                dtype=float,
+                count=len(known),
+            )
         )
+        for position, mode_index in zip(known, mode_indices):
+            if mode_index < 0:
+                capacities[position] = (0, None)
+            else:
+                mode = table[mode_index]
+                capacities[position] = (
+                    mode.packets_per_slot(reference),
+                    mode.throughput,
+                )
+        return capacities
 
     def _must_serve_despite_outage(self, request: Request, frame_index: int) -> bool:
         if not request.kind.is_voice:

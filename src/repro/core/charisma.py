@@ -39,7 +39,7 @@ from repro.config import SimulationParameters
 from repro.core.allocator import CSIRankedAllocator
 from repro.core.csi_polling import CSIPoller
 from repro.core.priority import PriorityCalculator
-from repro.mac.base import MACProtocol
+from repro.mac.base import MACProtocol, terminal_lookup
 from repro.mac.contention import run_contention
 from repro.mac.frames import FrameStructure
 from repro.mac.requests import Acknowledgement, FrameOutcome, Request
@@ -101,7 +101,7 @@ class CharismaProtocol(MACProtocol):
     ) -> FrameOutcome:
         self.release_finished_reservations(terminals)
         self.prune_queue(frame_index, terminals)
-        by_id = {t.terminal_id: t for t in terminals}
+        by_id = terminal_lookup(terminals)
         outcome = FrameOutcome(frame_index)
 
         # ----------------------------------------------------- request phase
@@ -113,27 +113,30 @@ class CharismaProtocol(MACProtocol):
         outcome.contention_collisions = contention.collisions
         outcome.idle_request_slots = contention.idle_slots
 
+        # The winners' pilot symbols are estimated with one batched noise
+        # draw (stream-identical to per-winner estimation).
+        winner_estimates = self.csi_estimator.estimate_many(
+            [snapshot.amplitude_of(w.terminal_id) for w in contention.winners],
+            frame_index,
+        )
         new_requests: List[Request] = []
-        for slot, winner in enumerate(contention.winners):
+        for slot, (winner, csi) in enumerate(zip(contention.winners, winner_estimates)):
             outcome.acknowledgements.append(
                 Acknowledgement(winner.terminal_id, slot, frame_index)
-            )
-            csi = self.csi_estimator.estimate(
-                snapshot.amplitude_of(winner.terminal_id), frame_index
             )
             new_requests.append(self.make_request(winner, frame_index, csi=csi))
 
         # Auto-generated requests of voice reservation holders: their ongoing
         # per-period transmissions double as pilots, so the base station has a
         # current estimate of their channel.
-        reservation_requests: List[Request] = []
-        for terminal in self.reservations.reserved_terminals(terminals):
-            csi = self.csi_estimator.estimate(
-                snapshot.amplitude_of(terminal.terminal_id), frame_index
-            )
-            reservation_requests.append(
-                self.make_request(terminal, frame_index, csi=csi, is_reservation=True)
-            )
+        reserved = self.reservations.reserved_terminals(terminals)
+        reserved_estimates = self.csi_estimator.estimate_many(
+            [snapshot.amplitude_of(t.terminal_id) for t in reserved], frame_index
+        )
+        reservation_requests: List[Request] = [
+            self.make_request(terminal, frame_index, csi=csi, is_reservation=True)
+            for terminal, csi in zip(reserved, reserved_estimates)
+        ]
 
         # Backlog from previous frames (with-queue variant only).
         backlog: List[Request] = (
@@ -141,11 +144,20 @@ class CharismaProtocol(MACProtocol):
         )
         self._refresh_voice_deadlines(backlog, by_id, frame_index)
         if backlog and self.enable_csi_polling:
+            # One batched priority evaluation for the whole backlog; the
+            # poller's key then reads precomputed values instead of paying
+            # the vectorised machinery per request.
+            backlog_priority = dict(
+                zip(
+                    map(id, backlog),
+                    self.priority_calculator.priorities(backlog, frame_index),
+                )
+            )
             self.csi_poller.refresh(
                 backlog,
                 snapshot,
                 frame_index,
-                priority_key=lambda r: self.priority_calculator.priority(r, frame_index),
+                priority_key=lambda r: backlog_priority[id(r)],
             )
 
         # -------------------------------------------------- allocation phase

@@ -38,9 +38,63 @@ from repro.traffic.packets import TrafficKind
 from repro.traffic.permission import PermissionPolicy
 from repro.traffic.terminal import Terminal
 
-__all__ = ["MACProtocol", "Modem"]
+__all__ = ["MACProtocol", "Modem", "terminal_lookup"]
 
 Modem = Union[AdaptiveModem, FixedRateModem]
+
+
+class _DenseTerminalLookup:
+    """Mapping-like id lookup over a dense (id == index) terminal sequence.
+
+    Replaces the per-frame ``{t.terminal_id: t for t in terminals}`` dict
+    build — an O(n) Python loop — with direct indexing when the sequence
+    guarantees dense ids (the engine validates the layout at construction).
+    """
+
+    __slots__ = ("_terminals",)
+
+    def __init__(self, terminals: Sequence[Terminal]) -> None:
+        self._terminals = terminals
+
+    def get(self, terminal_id: int, default=None):
+        if 0 <= terminal_id < len(self._terminals):
+            return self._terminals[terminal_id]
+        return default
+
+    def __getitem__(self, terminal_id: int):
+        terminal = self.get(terminal_id)
+        if terminal is None:
+            raise KeyError(terminal_id)
+        return terminal
+
+    def __contains__(self, terminal_id: int) -> bool:
+        return 0 <= terminal_id < len(self._terminals)
+
+
+def snapshot_snr_compatible(modem, params: SimulationParameters) -> bool:
+    """Whether a snapshot's ``snr_db`` can replace the modem's conversion.
+
+    :class:`~repro.channel.manager.ChannelSnapshot` and the modems apply the
+    same ``mean_snr_db + 20 log10(amplitude)`` convention, so precomputed
+    snapshot SNRs are interchangeable with per-grant conversion exactly when
+    the mean-SNR operating points agree (always true for registry-built
+    protocols; custom test modems may differ).  Single source of truth for
+    the engine's and the MAC substrate's reuse decisions.
+    """
+    return getattr(modem, "mean_snr_db", None) == params.mean_snr_db
+
+
+def terminal_lookup(terminals: Sequence[Terminal]):
+    """Return an id -> terminal mapping for a population sequence.
+
+    Sequences that guarantee dense ids (``dense_ids`` attribute, e.g. the
+    columnar backend's :class:`~repro.traffic.population.TerminalViews`)
+    get an O(1) index-based lookup; anything else falls back to the classic
+    dict build, so arbitrary id layouts used in unit tests keep working.
+    """
+    if getattr(terminals, "dense_ids", False):
+        return _DenseTerminalLookup(terminals)
+    return {t.terminal_id: t for t in terminals}
 
 
 class MACProtocol(abc.ABC):
@@ -94,6 +148,7 @@ class MACProtocol(abc.ABC):
             RequestQueue(params.request_queue_capacity) if self.use_request_queue else None
         )
         self.frame_structure = self._build_frame_structure()
+        self._snapshot_snr_usable = snapshot_snr_compatible(modem, params)
 
     # ----------------------------------------------------------- interface
     @abc.abstractmethod
@@ -119,6 +174,9 @@ class MACProtocol(abc.ABC):
         * terminals whose earlier request is still queued at the base station
           do not contend again (they are waiting for the announcement).
         """
+        population = getattr(terminals, "population", None)
+        if population is not None:
+            return self._contention_candidates_columnar(terminals, population)
         candidates: List[Terminal] = []
         for terminal in terminals:
             if not terminal.has_pending_packets:
@@ -134,6 +192,28 @@ class MACProtocol(abc.ABC):
             else:
                 candidates.append(terminal)
         return candidates
+
+    def _contention_candidates_columnar(
+        self, terminals: Sequence[Terminal], population
+    ) -> List[Terminal]:
+        """Array fast path of :meth:`contention_candidates`.
+
+        Computes the candidate mask over the population arrays and returns
+        the matching views in ascending id order — the same order (and the
+        same selection rule) as the per-object loop.
+        """
+        mask = population.occupancy > 0
+        voice_mask = population.is_voice
+        mask &= population.is_data_mask | population.in_talkspurt
+        holders = self.reservations.holder_array()
+        if holders.shape[0]:
+            holders = holders[holders < mask.shape[0]]
+            mask[holders[voice_mask[holders]]] = False
+        if self.request_queue is not None and len(self.request_queue):
+            for request in self.request_queue:
+                if request.terminal_id < len(mask):
+                    mask[request.terminal_id] = False
+        return [terminals[i] for i in mask.nonzero()[0]]
 
     def release_finished_reservations(self, terminals: Sequence[Terminal]) -> int:
         """Release voice reservations whose talkspurt has ended."""
@@ -181,14 +261,68 @@ class MACProtocol(abc.ABC):
             return 1, lowest.throughput
         return mode.packets_per_slot(self.modem.mode_table.reference_throughput), mode.throughput
 
+    def snapshot_snr_for(
+        self, snapshot: ChannelSnapshot, terminals: Sequence[Terminal]
+    ) -> Optional[List[float]]:
+        """Per-terminal snapshot SNRs for a batched modem call, or ``None``.
+
+        Returns ``None`` when the modem's SNR convention differs from the
+        snapshot's (see :func:`snapshot_snr_compatible`), in which case the
+        batched helpers convert from amplitudes instead.
+        """
+        if not self._snapshot_snr_usable:
+            return None
+        snr_db = snapshot.snr_db
+        return [snr_db[t.terminal_id] for t in terminals]
+
+    def slot_capacities(
+        self, amplitudes, snr_db=None
+    ) -> List[Tuple[int, Optional[float]]]:
+        """Vectorised :meth:`slot_capacity` over many channel amplitudes.
+
+        One batched mode-table lookup instead of one scalar modem call per
+        grant; element-for-element identical to :meth:`slot_capacity`
+        (including the outage fallback to one packet at the most robust
+        mode).  ``snr_db`` optionally supplies precomputed SNRs (snapshot
+        convention) to skip the amplitude conversion.
+        """
+        if not self.modem.is_adaptive:
+            return [(1, None)] * len(amplitudes)
+        table = self.modem.mode_table
+        if snr_db is None:
+            snr_db = self.modem.snr_db_from_amplitude(
+                np.asarray(amplitudes, dtype=float)
+            )
+        else:
+            snr_db = np.asarray(snr_db, dtype=float)
+        indices = table.mode_index_for_snr(snr_db)
+        reference = table.reference_throughput
+        lowest = table[0]
+        result: List[Tuple[int, Optional[float]]] = []
+        for index in indices:
+            if index < 0:
+                result.append((1, lowest.throughput))
+            else:
+                mode = table[index]
+                result.append((mode.packets_per_slot(reference), mode.throughput))
+        return result
+
     def build_allocation(
         self,
         terminal: Terminal,
         amplitude: float,
         n_slots: int,
+        capacity: Optional[Tuple[int, Optional[float]]] = None,
     ) -> Allocation:
-        """Create an :class:`Allocation` of ``n_slots`` for ``terminal``."""
-        per_slot, throughput = self.slot_capacity(amplitude)
+        """Create an :class:`Allocation` of ``n_slots`` for ``terminal``.
+
+        ``capacity`` optionally supplies a precomputed ``(packets_per_slot,
+        throughput)`` pair (from :meth:`slot_capacities`) so batched callers
+        skip the per-grant modem lookup.
+        """
+        per_slot, throughput = (
+            capacity if capacity is not None else self.slot_capacity(amplitude)
+        )
         return Allocation(
             terminal_id=terminal.terminal_id,
             n_slots=n_slots,
@@ -219,14 +353,20 @@ class MACProtocol(abc.ABC):
         user owns a slot per voice-packet period, independent of its channel
         state.  Returns the number of slots consumed.
         """
-        used = 0
-        for terminal in self.reservations.reserved_terminals(terminals):
-            if used >= slots_available:
-                break
-            amplitude = snapshot.amplitude_of(terminal.terminal_id)
-            allocations.append(self.build_allocation(terminal, amplitude, 1))
-            used += 1
-        return used
+        reserved = self.reservations.reserved_terminals(terminals)
+        if not reserved:
+            return 0
+        served = reserved[: max(0, slots_available)]
+        amplitude = snapshot.amplitude
+        amplitudes = [amplitude[t.terminal_id] for t in served]
+        capacities = self.slot_capacities(
+            amplitudes, snr_db=self.snapshot_snr_for(snapshot, served)
+        )
+        for terminal, amplitude, capacity in zip(served, amplitudes, capacities):
+            allocations.append(
+                self.build_allocation(terminal, amplitude, 1, capacity=capacity)
+            )
+        return len(served)
 
     def queue_unserved(self, requests: Sequence[Request]) -> int:
         """Store unserved requests in the base-station queue, if enabled."""
@@ -246,7 +386,7 @@ class MACProtocol(abc.ABC):
         if self.request_queue is None:
             return
         self.request_queue.drop_expired(frame_index)
-        by_id = {t.terminal_id: t for t in terminals}
+        by_id = terminal_lookup(terminals)
         for request in list(self.request_queue):
             terminal = by_id.get(request.terminal_id)
             if terminal is None or not terminal.has_pending_packets:

@@ -82,18 +82,28 @@ def run_contention(
     if n_minislots < 0:
         raise ValueError("n_minislots must be non-negative")
     remaining = list(candidates)
+    # One permission probability per contender, kept aligned with
+    # ``remaining`` so each minislot costs a single batched uniform draw
+    # (stream-identical to per-candidate ``permission.permits`` calls).
+    voice_probability = permission.voice_probability
+    data_probability = permission.data_probability
+    probabilities = np.array(
+        [voice_probability if t.is_voice else data_probability for t in remaining],
+        dtype=float,
+    )
     result = ContentionResult()
     for _ in range(n_minislots):
         if not remaining:
             result.idle_slots += 1
             continue
-        transmitters = [t for t in remaining if permission.permits(t.kind)]
-        result.attempts += len(transmitters)
-        if len(transmitters) == 1:
-            winner = transmitters[0]
-            result.winners.append(winner)
-            remaining.remove(winner)
-        elif len(transmitters) == 0:
+        permitted = permission.permits_many(probabilities)
+        n_transmitters = int(np.count_nonzero(permitted))
+        result.attempts += n_transmitters
+        if n_transmitters == 1:
+            index = int(np.argmax(permitted))
+            result.winners.append(remaining.pop(index))
+            probabilities = np.delete(probabilities, index)
+        elif n_transmitters == 0:
             result.idle_slots += 1
         else:
             result.collisions += 1

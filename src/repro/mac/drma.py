@@ -22,7 +22,7 @@ from collections import deque
 from typing import Deque, Sequence
 
 from repro.channel.manager import ChannelSnapshot
-from repro.mac.base import MACProtocol
+from repro.mac.base import MACProtocol, terminal_lookup
 from repro.mac.contention import run_contention
 from repro.mac.frames import FrameStructure
 from repro.mac.requests import Acknowledgement, FrameOutcome, Request
@@ -64,7 +64,7 @@ class DRMAProtocol(MACProtocol):
     ) -> FrameOutcome:
         self.release_finished_reservations(terminals)
         self.prune_queue(frame_index, terminals)
-        by_id = {t.terminal_id: t for t in terminals}
+        by_id = terminal_lookup(terminals)
         outcome = FrameOutcome(frame_index)
 
         # Service order within the frame: reservation holders, then requests

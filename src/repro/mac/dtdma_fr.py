@@ -12,10 +12,11 @@ packet per slot irrespective of the channel state.
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence
 
 from repro.channel.manager import ChannelSnapshot
-from repro.mac.base import MACProtocol
+from repro.mac.base import MACProtocol, terminal_lookup
 from repro.mac.contention import run_contention
 from repro.mac.frames import FrameStructure
 from repro.mac.requests import Acknowledgement, FrameOutcome, Request
@@ -51,7 +52,7 @@ class DTDMAFRProtocol(MACProtocol):
     ) -> FrameOutcome:
         self.release_finished_reservations(terminals)
         self.prune_queue(frame_index, terminals)
-        by_id = {t.terminal_id: t for t in terminals}
+        by_id = terminal_lookup(terminals)
         outcome = FrameOutcome(frame_index)
         slots_left = self.frame_structure.info_slots
 
@@ -106,15 +107,23 @@ class DTDMAFRProtocol(MACProtocol):
         outcome: FrameOutcome,
         unserved: List[Request],
     ) -> int:
-        for request in requests:
-            terminal = by_id.get(request.terminal_id)
-            if terminal is None or not terminal.has_pending_packets:
-                continue
+        actionable = self._actionable(requests, by_id)
+        if not actionable:
+            return slots_left
+        amplitudes = [snapshot.amplitude[t.terminal_id] for _, t in actionable]
+        capacities = self.slot_capacities(
+            amplitudes,
+            snr_db=self.snapshot_snr_for(snapshot, [t for _, t in actionable]),
+        )
+        for (request, terminal), amplitude, capacity in zip(
+            actionable, amplitudes, capacities
+        ):
             if slots_left < 1:
                 unserved.append(request)
                 continue
-            amplitude = snapshot.amplitude_of(terminal.terminal_id)
-            outcome.allocations.append(self.build_allocation(terminal, amplitude, 1))
+            outcome.allocations.append(
+                self.build_allocation(terminal, amplitude, 1, capacity=capacity)
+            )
             slots_left -= 1
             self.reservations.grant(terminal.terminal_id, frame_index)
         return slots_left
@@ -128,17 +137,40 @@ class DTDMAFRProtocol(MACProtocol):
         outcome: FrameOutcome,
         unserved: List[Request],
     ) -> int:
-        for request in requests:
-            terminal = by_id.get(request.terminal_id)
-            if terminal is None or not terminal.has_pending_packets:
-                continue
+        actionable = self._actionable(requests, by_id)
+        if not actionable:
+            return slots_left
+        amplitudes = [snapshot.amplitude[t.terminal_id] for _, t in actionable]
+        capacities = self.slot_capacities(
+            amplitudes,
+            snr_db=self.snapshot_snr_for(snapshot, [t for _, t in actionable]),
+        )
+        for (request, terminal), amplitude, capacity in zip(
+            actionable, amplitudes, capacities
+        ):
             if slots_left < 1:
                 unserved.append(request)
                 continue
-            amplitude = snapshot.amplitude_of(terminal.terminal_id)
-            n_slots = self.slots_needed_for_data(terminal, amplitude, slots_left)
+            per_slot = max(1, capacity[0])
+            needed = math.ceil(terminal.buffer_occupancy / per_slot)
+            n_slots = max(1, min(slots_left, needed))
             outcome.allocations.append(
-                self.build_allocation(terminal, amplitude, n_slots)
+                self.build_allocation(terminal, amplitude, n_slots, capacity=capacity)
             )
             slots_left -= n_slots
         return slots_left
+
+    @staticmethod
+    def _actionable(requests: List[Request], by_id) -> List[tuple]:
+        """The (request, terminal) pairs that can still be served.
+
+        Buffer states only change when the engine executes the frame's
+        grants, so filtering before the batched capacity lookup preserves
+        the per-request loop's behaviour exactly.
+        """
+        actionable = []
+        for request in requests:
+            terminal = by_id.get(request.terminal_id)
+            if terminal is not None and terminal.has_pending_packets:
+                actionable.append((request, terminal))
+        return actionable

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.channel.manager import ChannelSnapshot
-from repro.mac.base import MACProtocol
+from repro.mac.base import MACProtocol, terminal_lookup
 from repro.mac.frames import FrameStructure
 from repro.mac.requests import Acknowledgement, FrameOutcome, Request
 from repro.traffic.terminal import Terminal
@@ -72,7 +72,7 @@ class RAMAProtocol(MACProtocol):
     ) -> FrameOutcome:
         self.release_finished_reservations(terminals)
         self.prune_queue(frame_index, terminals)
-        by_id = {t.terminal_id: t for t in terminals}
+        by_id = terminal_lookup(terminals)
         outcome = FrameOutcome(frame_index)
         slots_left = self.frame_structure.info_slots
 

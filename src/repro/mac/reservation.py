@@ -14,7 +14,9 @@ in the current frame.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
 
 from repro.traffic.terminal import Terminal
 
@@ -26,6 +28,20 @@ class ReservationTable:
 
     def __init__(self) -> None:
         self._granted_frame: Dict[int, int] = {}
+        self._holder_array: Optional[np.ndarray] = None
+
+    def holder_array(self) -> np.ndarray:
+        """Current holder ids as a sorted array (cached between changes).
+
+        The columnar fast paths consult the holders every frame while
+        grants/releases are rare events, so the array is rebuilt lazily.
+        """
+        if self._holder_array is None:
+            self._holder_array = np.fromiter(
+                sorted(self._granted_frame), dtype=np.int64,
+                count=len(self._granted_frame),
+            )
+        return self._holder_array
 
     # ------------------------------------------------------------------ API
     def __len__(self) -> int:
@@ -48,11 +64,14 @@ class ReservationTable:
             raise ValueError("terminal_id must be non-negative")
         if frame_index < 0:
             raise ValueError("frame_index must be non-negative")
-        self._granted_frame.setdefault(terminal_id, frame_index)
+        if terminal_id not in self._granted_frame:
+            self._granted_frame[terminal_id] = frame_index
+            self._holder_array = None
 
     def release(self, terminal_id: int) -> None:
         """Release a reservation (no-op if not held)."""
-        self._granted_frame.pop(terminal_id, None)
+        if self._granted_frame.pop(terminal_id, None) is not None:
+            self._holder_array = None
 
     def granted_at(self, terminal_id: int) -> int:
         """Frame at which the reservation was granted."""
@@ -65,7 +84,25 @@ class ReservationTable:
         and left the talkspurt state — the paper's "until the current
         talkspurt terminates" rule.  Returns the number of reservations
         released.
+
+        On a columnar population (a sequence exposing ``population``) only
+        the current holders are inspected, against the state arrays, instead
+        of walking every terminal.
         """
+        population = getattr(terminals, "population", None)
+        if population is not None:
+            if not self._granted_frame:
+                return 0
+            ids = self.holder_array()
+            ids = ids[ids < len(population)]
+            releasable = ids[
+                population.is_voice[ids]
+                & ~population.in_talkspurt[ids]
+                & (population.occupancy[ids] == 0)
+            ]
+            for terminal_id in releasable:
+                self.release(int(terminal_id))
+            return int(releasable.shape[0])
         released = 0
         for terminal in terminals:
             if not terminal.is_voice:
@@ -79,7 +116,22 @@ class ReservationTable:
         return released
 
     def reserved_terminals(self, terminals: Iterable[Terminal]) -> List[Terminal]:
-        """Reservation holders among ``terminals`` that have packets to send."""
+        """Reservation holders among ``terminals`` that have packets to send.
+
+        Returned in ascending terminal-id order (the object loop's order,
+        since populations are laid out by id); the columnar fast path only
+        touches the holders instead of the whole population.
+        """
+        population = getattr(terminals, "population", None)
+        if population is not None:
+            if not self._granted_frame:
+                return []
+            ids = self.holder_array()
+            ids = ids[ids < len(population)]
+            eligible = ids[
+                population.is_voice[ids] & (population.occupancy[ids] > 0)
+            ]
+            return [terminals[terminal_id] for terminal_id in eligible]
         return [
             t
             for t in terminals
@@ -89,3 +141,4 @@ class ReservationTable:
     def clear(self) -> None:
         """Drop all reservations (used between independent runs)."""
         self._granted_frame.clear()
+        self._holder_array = None

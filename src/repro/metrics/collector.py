@@ -10,13 +10,13 @@ and :class:`~repro.metrics.data.DataMetrics` the experiments report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import List
 
 from repro.config import SimulationParameters
 from repro.mac.requests import FrameOutcome
 from repro.metrics.data import DataMetrics
 from repro.metrics.voice import VoiceMetrics
-from repro.traffic.terminal import Terminal
+from repro.traffic.population import TerminalPopulation
 
 __all__ = ["MacStats", "MetricsCollector"]
 
@@ -120,15 +120,35 @@ class MetricsCollector:
         self._data_delivered_per_frame.append(int(data_delivered))
         self._voice_loss_events_per_frame.append(int(voice_losses))
 
-    def voice_metrics(self, terminals: Iterable[Terminal]) -> VoiceMetrics:
-        """Aggregate voice metrics from the terminal population."""
+    def voice_metrics(self, terminals) -> VoiceMetrics:
+        """Aggregate voice metrics from terminals or a columnar population.
+
+        Accepts an iterable of :class:`Terminal` (object backend), a
+        :class:`~repro.traffic.population.TerminalPopulation` or any
+        sequence exposing one via a ``population`` attribute (columnar
+        backend) — the array path avoids per-object iteration.
+        """
+        population = self._population_of(terminals)
+        if population is not None:
+            return VoiceMetrics.from_population(population)
         return VoiceMetrics.from_terminals(terminals)
 
-    def data_metrics(self, terminals: Iterable[Terminal]) -> DataMetrics:
-        """Aggregate data metrics from the terminal population."""
+    def data_metrics(self, terminals) -> DataMetrics:
+        """Aggregate data metrics from terminals or a columnar population."""
+        population = self._population_of(terminals)
+        if population is not None:
+            return DataMetrics.from_population(
+                population, self._n_frames, self._params.frame_duration_s
+            )
         return DataMetrics.from_terminals(
             terminals, self._n_frames, self._params.frame_duration_s
         )
+
+    @staticmethod
+    def _population_of(terminals):
+        if isinstance(terminals, TerminalPopulation):
+            return terminals
+        return getattr(terminals, "population", None)
 
     def mac_stats(self) -> MacStats:
         """Aggregate MAC-layer statistics."""

@@ -93,6 +93,23 @@ class DataMetrics:
         return self.mean_delay_s <= max_delay_s and per_user >= min_throughput_per_user
 
     @classmethod
+    def from_population(
+        cls,
+        population,
+        n_frames: int,
+        frame_duration_s: float,
+    ) -> "DataMetrics":
+        """Aggregate a columnar :class:`TerminalPopulation`'s data arrays."""
+        return cls(
+            generated=int(population.data_generated.sum()),
+            delivered=int(population.data_delivered.sum()),
+            retransmissions=int(population.data_retransmissions.sum()),
+            delay_frames=population.all_data_delays(),
+            n_frames=n_frames,
+            frame_duration_s=frame_duration_s,
+        )
+
+    @classmethod
     def from_terminals(
         cls,
         terminals: Iterable[Terminal],

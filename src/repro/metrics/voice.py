@@ -88,3 +88,13 @@ class VoiceMetrics:
             dropped += stats.voice_dropped
         return cls(generated=generated, delivered=delivered,
                    errored=errored, dropped=dropped)
+
+    @classmethod
+    def from_population(cls, population) -> "VoiceMetrics":
+        """Aggregate a columnar :class:`TerminalPopulation`'s voice arrays."""
+        return cls(
+            generated=int(population.voice_generated.sum()),
+            delivered=int(population.voice_delivered.sum()),
+            errored=int(population.voice_errored.sum()),
+            dropped=int(population.voice_dropped.sum()),
+        )

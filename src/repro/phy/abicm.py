@@ -22,7 +22,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.phy.ber import ber_approximation, packet_success_probability, snr_db_to_linear
+from repro.phy.ber import (
+    ber_approximation,
+    packet_success_probability,
+    packet_success_probability_for_snr_db,
+    snr_db_to_linear,
+)
 from repro.phy.modes import OUTAGE_MODE_INDEX, ModeTable, TransmissionMode
 
 __all__ = ["AdaptiveModem"]
@@ -138,6 +143,49 @@ class AdaptiveModem:
             packet_success_probability(
                 self.instantaneous_ber(amplitude, throughput), self._packet_bits
             )
+        )
+
+    def packet_success_probabilities(
+        self, amplitudes, throughputs=None, snr_db=None
+    ) -> np.ndarray:
+        """Vectorised :meth:`packet_success_probability` over many grants.
+
+        Parameters
+        ----------
+        amplitudes:
+            Composite channel amplitude per grant, shape ``(n,)``.
+        throughputs:
+            Announced transmission mode per grant; ``None`` (or ``np.nan``
+            entries) means "the mode the modem would currently select",
+            falling back to the most robust mode in outage — exactly the
+            scalar default.  The result is bit-identical to calling
+            :meth:`packet_success_probability` element by element.
+        snr_db:
+            Optional precomputed instantaneous SNR per grant (e.g. gathered
+            from a :class:`~repro.channel.manager.ChannelSnapshot`, which
+            applies the same amplitude-to-SNR convention); skips the
+            per-call conversion.
+        """
+        if snr_db is None:
+            snr_db = self.snr_db_from_amplitude(np.asarray(amplitudes, dtype=float))
+        else:
+            snr_db = np.asarray(snr_db, dtype=float)
+        if throughputs is None:
+            eta = np.full(snr_db.shape, np.nan)
+        else:
+            eta = np.asarray(throughputs, dtype=float)
+        missing = np.isnan(eta)
+        if missing.any():
+            selected = self._modes.throughput_for_snr(snr_db[missing])
+            selected = np.where(
+                np.asarray(selected, dtype=float) > 0.0,
+                selected,
+                self._modes[0].throughput,
+            )
+            eta = eta.copy()
+            eta[missing] = selected
+        return packet_success_probability_for_snr_db(
+            snr_db, np.power(2.0, eta) - 1.0, self._packet_bits
         )
 
     def in_outage(self, amplitude) -> np.ndarray:

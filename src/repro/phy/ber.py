@@ -29,6 +29,7 @@ __all__ = [
     "snr_db_to_linear",
     "snr_linear_to_db",
     "packet_success_probability",
+    "packet_success_probability_for_snr_db",
 ]
 
 #: Multiplicative constant of the exponential BER approximation.
@@ -98,6 +99,29 @@ def required_snr_linear(throughput: float, target_ber: float) -> float:
 def required_snr_db(throughput: float, target_ber: float) -> float:
     """Minimum SNR in dB at which ``throughput`` sustains ``target_ber``."""
     return float(snr_linear_to_db(required_snr_linear(throughput, target_ber)))
+
+
+def packet_success_probability_for_snr_db(
+    snr_db, throughput_denominator, packet_bits: int
+) -> np.ndarray:
+    """Batched packet success probability straight from SNR values (dB).
+
+    ``throughput_denominator`` is the ``2**eta - 1`` term of
+    :func:`ber_approximation` — a scalar for a single-rate modem or an
+    array with one entry per grant.  Element for element this evaluates
+    exactly the scalar chain ``packet_success_probability(
+    ber_approximation(eta, snr_linear), packet_bits)`` (the upper BER clamp
+    uses ``minimum`` because the approximation is never negative), which is
+    what keeps the batched PHY bit-identical to the scalar path.
+    """
+    if packet_bits < 1:
+        raise ValueError("packet_bits must be at least 1")
+    snr_linear = np.power(10.0, np.asarray(snr_db, dtype=float) / 10.0)
+    ber = BER_COEFFICIENT * np.exp(
+        -BER_SNR_FACTOR * snr_linear / throughput_denominator
+    )
+    ber = np.minimum(ber, 0.5)
+    return np.power(1.0 - ber, packet_bits)
 
 
 def packet_success_probability(ber, packet_bits: int):

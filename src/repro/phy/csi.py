@@ -142,5 +142,29 @@ class CSIEstimator:
         )
 
     def estimate_many(self, true_amplitudes, frame_index: int) -> list[CSIEstimate]:
-        """Vector convenience wrapper around :meth:`estimate`."""
-        return [self.estimate(float(a), frame_index) for a in np.asarray(true_amplitudes)]
+        """Estimate several amplitudes with one batched noise draw.
+
+        Consumes the random stream exactly as the equivalent sequence of
+        :meth:`estimate` calls would (the estimation noise draw is batched;
+        ``Generator.normal`` fills arrays element by element), so scalar and
+        batched estimation stay bit-identical — the property the columnar
+        engine's parity with the object backend relies on.
+        """
+        amplitudes = np.asarray(true_amplitudes, dtype=float)
+        if amplitudes.size == 0:
+            return []
+        if np.any(amplitudes < 0):
+            raise ValueError("true_amplitude must be non-negative")
+        if self._perfect:
+            values = amplitudes
+        else:
+            std = self.estimation_std(0.0)
+            values = amplitudes + self._rng.normal(scale=std, size=amplitudes.shape[0])
+        return [
+            CSIEstimate(
+                amplitude=max(0.0, float(value)),
+                frame_index=int(frame_index),
+                validity_frames=self._validity,
+            )
+            for value in values
+        ]

@@ -78,3 +78,67 @@ class PacketErrorModel:
             return 0
         p = self.success_probability(amplitude, throughput)
         return int(self._rng.binomial(n_packets, p))
+
+    def success_probabilities(
+        self, amplitudes, throughputs=None, snr_db=None
+    ) -> np.ndarray:
+        """Vectorised per-grant success probabilities.
+
+        ``throughputs`` may be ``None`` or contain ``np.nan`` entries, which
+        select the modem's default mode at the corresponding amplitude —
+        bit-identical to calling :meth:`success_probability` per element.
+        ``snr_db`` optionally supplies the per-grant SNRs (snapshot
+        convention) to skip the amplitude conversion.
+        """
+        return self._modem.packet_success_probabilities(
+            amplitudes, throughputs, snr_db=snr_db
+        )
+
+    def transmit_batch(
+        self, amplitudes, n_packets, throughputs=None, snr_db=None
+    ) -> np.ndarray:
+        """Simulate one frame's grants in a single vectorised call.
+
+        Parameters
+        ----------
+        amplitudes:
+            Channel amplitude per grant at transmission time, shape ``(n,)``.
+        n_packets:
+            Packets transmitted per grant (all positive; zero-packet grants
+            must be filtered out by the caller, matching the scalar path
+            where :meth:`transmit_packets` returns early without consuming
+            randomness).
+        throughputs:
+            Announced transmission mode per grant; ``np.nan`` entries (or
+            ``None`` for the whole batch) select the modem default.
+        snr_db:
+            Optional precomputed per-grant SNRs (the channel snapshot's
+            convention), skipping the amplitude-to-SNR conversion.
+
+        Returns
+        -------
+        numpy.ndarray
+            Packets received without error per grant.
+
+        RNG-stream compatibility
+        ------------------------
+        NumPy's :meth:`~numpy.random.Generator.binomial` consumes the
+        underlying bit stream element by element, so this single batched
+        draw returns exactly the values (and leaves exactly the generator
+        state) that sequential :meth:`transmit_packets` calls over the same
+        grants would — the property the columnar engine backend's
+        bit-for-bit parity with the object backend rests on.
+        """
+        counts = np.asarray(n_packets, dtype=np.int64)
+        if counts.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if counts.min() <= 0:
+            raise ValueError(
+                "transmit_batch requires positive per-grant packet counts; "
+                "filter zero-packet grants out (the scalar path skips them "
+                "without drawing)"
+            )
+        probabilities = self.success_probabilities(
+            amplitudes, throughputs, snr_db=snr_db
+        )
+        return self._rng.binomial(counts, probabilities)

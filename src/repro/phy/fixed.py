@@ -20,6 +20,7 @@ import numpy as np
 from repro.phy.ber import (
     ber_approximation,
     packet_success_probability,
+    packet_success_probability_for_snr_db,
     required_snr_db,
     snr_db_to_linear,
 )
@@ -66,6 +67,10 @@ class FixedRateModem:
             throughput=self._throughput,
             snr_threshold_db=required_snr_db(self._throughput, self._target_ber),
         )
+        # Constant of the BER approximation at the fixed rate; dividing the
+        # batched SNR vector by this scalar is bit-identical to evaluating
+        # ``2**eta - 1`` per element.
+        self._ber_denominator = 2.0**self._throughput - 1.0
 
     # ------------------------------------------------------------------ API
     @property
@@ -145,6 +150,35 @@ class FixedRateModem:
             packet_success_probability(
                 self.instantaneous_ber(amplitude, throughput), self._packet_bits
             )
+        )
+
+    def packet_success_probabilities(
+        self, amplitudes, throughputs=None, snr_db=None
+    ) -> np.ndarray:
+        """Vectorised :meth:`packet_success_probability` over many grants.
+
+        ``throughputs`` may be ``None`` or contain ``np.nan`` entries, both
+        meaning the fixed reference rate; explicit values override it (the
+        engine never does this on the fixed PHY, but the adaptive interface
+        is mirrored).  ``snr_db`` optionally supplies precomputed per-grant
+        SNRs (same convention as the channel snapshot).  Bit-identical to
+        the scalar method per element.
+        """
+        if snr_db is None:
+            snr_db = self.snr_db_from_amplitude(np.asarray(amplitudes, dtype=float))
+        else:
+            snr_db = np.asarray(snr_db, dtype=float)
+        if throughputs is None:
+            denominator = self._ber_denominator
+        else:
+            eta = np.asarray(throughputs, dtype=float)
+            missing = np.isnan(eta)
+            if missing.any():
+                eta = eta.copy()
+                eta[missing] = self._throughput
+            denominator = np.power(2.0, eta) - 1.0
+        return packet_success_probability_for_snr_db(
+            snr_db, denominator, self._packet_bits
         )
 
     def in_outage(self, amplitude) -> np.ndarray:

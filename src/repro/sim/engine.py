@@ -16,16 +16,42 @@ simulation platform" too).  Each call to :meth:`step` advances exactly one
 5. the metrics collector records the frame.
 
 A warm-up period can be discarded so that measurements reflect steady state.
+
+Backends
+--------
+Two interchangeable simulation cores implement the frame loop:
+
+* ``"columnar"`` (the default): traffic state lives in a struct-of-arrays
+  :class:`~repro.traffic.population.TerminalPopulation`, advanced by
+  vectorised kernels; the frame's grants are transmitted through one batched
+  :meth:`~repro.phy.error_model.PacketErrorModel.transmit_batch` call; the
+  MAC layer sees thin per-index views and uses array fast paths for
+  candidate selection and reservation bookkeeping.
+* ``"object"``: the original per-:class:`~repro.traffic.terminal.Terminal`
+  Python loop, retained for differential testing.
+
+Both backends consume the run's random streams in exactly the same order
+(batched draws are stream-compatible with their scalar equivalents), so
+they produce **bit-identical** :class:`~repro.sim.results.SimulationResult`
+values under a common seed; ``tests/sim/test_backend_parity.py`` asserts it
+for all six protocols.
+
+Terminal ids must be dense (``terminal_id == population index``): both the
+:class:`~repro.channel.manager.ChannelSnapshot` row lookup and the columnar
+kernels index arrays by id.  The engine validates this at construction and
+raises a clear error for custom populations that violate it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.channel.doppler import DopplerModel
 from repro.channel.manager import ChannelManager, ChannelSnapshot
 from repro.config import SimulationParameters
-from repro.mac.base import MACProtocol
+from repro.mac.base import MACProtocol, snapshot_snr_compatible
 from repro.mac.registry import create_protocol
 from repro.mac.requests import FrameOutcome
 from repro.metrics.collector import MetricsCollector
@@ -34,6 +60,7 @@ from repro.sim.results import SimulationResult
 from repro.sim.rng import RandomStreams
 from repro.sim.scenario import Scenario
 from repro.traffic.generator import build_population
+from repro.traffic.population import TerminalPopulation
 from repro.traffic.terminal import Terminal
 
 __all__ = ["UplinkSimulationEngine"]
@@ -45,7 +72,8 @@ class UplinkSimulationEngine:
     Parameters
     ----------
     scenario:
-        The run description (protocol, traffic mix, queueing, seed, speed).
+        The run description (protocol, traffic mix, queueing, seed, speed,
+        engine backend).
     params:
         The shared simulation parameters (Table 1).
     protocol:
@@ -62,6 +90,7 @@ class UplinkSimulationEngine:
         self.scenario = scenario
         self.params = params if params is not None else SimulationParameters()
         self.streams = RandomStreams(scenario.seed)
+        self.backend = scenario.engine_backend
 
         speed = (
             scenario.mobile_speed_kmh
@@ -79,9 +108,18 @@ class UplinkSimulationEngine:
             shadow_decorrelation_s=self.params.shadow_decorrelation_s,
             mean_snr_db=self.params.mean_snr_db,
         )
-        self.terminals: List[Terminal] = build_population(
-            self.params, scenario.n_voice, scenario.n_data, self.streams["traffic"]
-        )
+
+        self.population: Optional[TerminalPopulation] = None
+        if self.backend == "columnar":
+            self.population = TerminalPopulation(
+                self.params, scenario.n_voice, scenario.n_data, self.streams["traffic"]
+            )
+            self.terminals: Sequence = self.population.views
+        else:
+            self.terminals = build_population(
+                self.params, scenario.n_voice, scenario.n_data, self.streams["traffic"]
+            )
+        self._validate_dense_ids(self.terminals)
         self._by_id: Dict[int, Terminal] = {t.terminal_id: t for t in self.terminals}
 
         if protocol is None:
@@ -93,10 +131,22 @@ class UplinkSimulationEngine:
             )
         self.protocol = protocol
         self.error_model = PacketErrorModel(self.protocol.modem, self.streams["error"])
+        self._reuse_snapshot_snr = snapshot_snr_compatible(
+            self.protocol.modem, self.params
+        )
         self.collector = MetricsCollector(
             self.params, self.protocol.frame_structure.info_slots
         )
         self._frame_index = 0
+        # Channel snapshots for the columnar backend are produced in blocks
+        # (one batched draw + one linear-filter evaluation per block, bit
+        # identical to per-frame advancing); the buffer holds the frames the
+        # channel has produced ahead of the simulation.
+        self._snapshot_buffer: List[ChannelSnapshot] = []
+        self._snapshot_cursor = 0
+
+    #: Frames advanced per batched channel evaluation on the columnar backend.
+    CHANNEL_BLOCK_FRAMES = 64
 
     # ------------------------------------------------------------------ API
     @property
@@ -106,6 +156,33 @@ class UplinkSimulationEngine:
 
     def step(self) -> FrameOutcome:
         """Advance the whole system by one TDMA frame."""
+        if self.population is not None:
+            return self._step_columnar()
+        return self._step_object()
+
+    def run(self) -> SimulationResult:
+        """Run warm-up plus the measured period and return the results."""
+        warmup = self.scenario.warmup_frames(self.params)
+        measured = self.scenario.measured_frames(self.params)
+        for _ in range(warmup):
+            self.step()
+        self._reset_statistics()
+        for _ in range(measured):
+            self.step()
+        return self.collect_results()
+
+    def collect_results(self) -> SimulationResult:
+        """Aggregate the metrics collected since the last statistics reset."""
+        source = self.population if self.population is not None else self.terminals
+        return SimulationResult(
+            scenario=self.scenario,
+            voice=self.collector.voice_metrics(source),
+            data=self.collector.data_metrics(source),
+            mac=self.collector.mac_stats(),
+        )
+
+    # ------------------------------------------------------- object backend
+    def _step_object(self) -> FrameOutcome:
         frame = self._frame_index
         snapshot = self.channels.advance_frame()
 
@@ -122,27 +199,6 @@ class UplinkSimulationEngine:
         self._frame_index += 1
         return outcome
 
-    def run(self) -> SimulationResult:
-        """Run warm-up plus the measured period and return the results."""
-        warmup = self.scenario.warmup_frames(self.params)
-        measured = self.scenario.measured_frames(self.params)
-        for _ in range(warmup):
-            self.step()
-        self._reset_statistics()
-        for _ in range(measured):
-            self.step()
-        return self.collect_results()
-
-    def collect_results(self) -> SimulationResult:
-        """Aggregate the metrics collected since the last statistics reset."""
-        return SimulationResult(
-            scenario=self.scenario,
-            voice=self.collector.voice_metrics(self.terminals),
-            data=self.collector.data_metrics(self.terminals),
-            mac=self.collector.mac_stats(),
-        )
-
-    # ------------------------------------------------------------ internals
     def _execute_allocations(
         self, outcome: FrameOutcome, snapshot: ChannelSnapshot, frame: int
     ) -> int:
@@ -176,6 +232,126 @@ class UplinkSimulationEngine:
             if t.is_voice
         )
 
+    # ----------------------------------------------------- columnar backend
+    def _next_snapshot(self) -> ChannelSnapshot:
+        if self._snapshot_cursor >= len(self._snapshot_buffer):
+            self._snapshot_buffer = self.channels.advance_block(
+                self.CHANNEL_BLOCK_FRAMES
+            )
+            self._snapshot_cursor = 0
+        snapshot = self._snapshot_buffer[self._snapshot_cursor]
+        self._snapshot_cursor += 1
+        return snapshot
+
+    def _step_columnar(self) -> FrameOutcome:
+        frame = self._frame_index
+        population = self.population
+        snapshot = self._next_snapshot()
+
+        voice_losses_before = population.voice_loss_total
+        population.advance_frame(frame)
+        population.drop_expired(frame)
+
+        outcome = self.protocol.run_frame(frame, self.terminals, snapshot)
+        data_delivered = self._execute_allocations_batch(outcome, snapshot, frame)
+
+        voice_losses = population.voice_loss_total - voice_losses_before
+        self.collector.record_frame(outcome, data_delivered, voice_losses)
+        self._frame_index += 1
+        return outcome
+
+    def _execute_allocations_batch(
+        self, outcome: FrameOutcome, snapshot: ChannelSnapshot, frame: int
+    ) -> int:
+        """Batched grant execution: one PHY evaluation + one binomial draw.
+
+        Grants are accumulated and transmitted in a single
+        :meth:`~repro.phy.error_model.PacketErrorModel.transmit_batch` call.
+        If a terminal appears in more than one allocation of the frame (a
+        protocol may split a grant), the pending batch is flushed first so
+        the later allocation sees the buffer state its predecessors left —
+        preserving both the semantics and the RNG draw order of the
+        sequential path exactly.
+        """
+        allocations = outcome.allocations
+        if not allocations:
+            return 0
+        population = self.population
+        n = len(population)
+        amplitude = snapshot.amplitude
+        snr_db = snapshot.snr_db
+        occupancy = population.occupancy
+        reuse_snr = self._reuse_snapshot_snr
+
+        data_delivered = 0
+        batch_ids: List[int] = []
+        batch_caps: List[int] = []
+        batch_n: List[int] = []
+        batch_chan: List[float] = []  # snr_db when reused, amplitude otherwise
+        batch_thr: List[float] = []
+        any_throughput = False
+        batched = set()
+
+        def flush() -> None:
+            nonlocal data_delivered, any_throughput
+            if not batch_ids:
+                return
+            channel = np.asarray(batch_chan, dtype=float)
+            delivered = self.error_model.transmit_batch(
+                None if reuse_snr else channel,
+                np.asarray(batch_n, dtype=np.int64),
+                np.asarray(batch_thr, dtype=float) if any_throughput else None,
+                snr_db=channel if reuse_snr else None,
+            )
+            data_delivered += population.apply_grants(
+                batch_ids, batch_caps, delivered, frame
+            )
+            batch_ids.clear()
+            batch_caps.clear()
+            batch_n.clear()
+            batch_chan.clear()
+            batch_thr.clear()
+            any_throughput = False
+            batched.clear()
+
+        for allocation in allocations:
+            tid = allocation.terminal_id
+            if tid in batched:
+                flush()
+            if tid >= n or occupancy[tid] == 0:
+                continue
+            batched.add(tid)
+            batch_ids.append(tid)
+            batch_caps.append(allocation.packet_capacity)
+            batch_n.append(min(allocation.packet_capacity, int(occupancy[tid])))
+            batch_chan.append(snr_db[tid] if reuse_snr else amplitude[tid])
+            throughput = allocation.throughput
+            if throughput is None:
+                batch_thr.append(np.nan)
+            else:
+                batch_thr.append(throughput)
+                any_throughput = True
+        flush()
+        return data_delivered
+
+    # ------------------------------------------------------------ internals
+    def _validate_dense_ids(self, terminals: Sequence) -> None:
+        """Require ``terminal_id == index`` (0..n-1) across the population.
+
+        The channel snapshot, the columnar arrays and the MAC fast paths all
+        index per-user state by terminal id; a sparse or permuted id layout
+        would silently read the wrong user's channel.  This was previously
+        an implicit assumption — now it fails fast with a clear error.
+        """
+        for index, terminal in enumerate(terminals):
+            if terminal.terminal_id != index:
+                raise ValueError(
+                    f"terminal ids must be dense 0..n-1 (id == population "
+                    f"index): found id {terminal.terminal_id} at index "
+                    f"{index}; channel rows and columnar kernels index "
+                    f"per-user state by terminal id"
+                )
+
     def _reset_statistics(self) -> None:
         # Outcomes must be attributed to the same measurement window as the
         # generation events, or conservation (delivered + errored + dropped
@@ -187,6 +363,9 @@ class UplinkSimulationEngine:
         # counter (generated stays the pure in-window traffic, which also
         # keeps common-random-number traffic realisations comparable across
         # protocols).
-        for terminal in self.terminals:
-            terminal.begin_measurement(self._frame_index)
+        if self.population is not None:
+            self.population.begin_measurement(self._frame_index)
+        else:
+            for terminal in self.terminals:
+                terminal.begin_measurement(self._frame_index)
         self.collector.reset()

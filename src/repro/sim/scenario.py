@@ -34,6 +34,13 @@ class Scenario:
     mobile_speed_kmh:
         Optional override of the population's mobile speed (the Section 5.3.3
         speed ablation); ``None`` keeps the parameter default.
+    engine_backend:
+        Simulation-core implementation: ``"columnar"`` (default) drives the
+        struct-of-arrays :class:`~repro.traffic.population.TerminalPopulation`
+        kernels and the batched PHY; ``"object"`` walks per-terminal Python
+        objects.  Both produce bit-identical results under a common seed
+        (the columnar kernels preserve the RNG call order); the object
+        backend is retained for differential testing.
     """
 
     protocol: str
@@ -44,6 +51,7 @@ class Scenario:
     warmup_s: float = 1.0
     seed: int = 0
     mobile_speed_kmh: Optional[float] = None
+    engine_backend: str = "columnar"
 
     def __post_init__(self) -> None:
         if not self.protocol:
@@ -58,6 +66,11 @@ class Scenario:
             raise ValueError("seed must be non-negative")
         if self.mobile_speed_kmh is not None and self.mobile_speed_kmh < 0:
             raise ValueError("mobile_speed_kmh must be non-negative")
+        if self.engine_backend not in ("columnar", "object"):
+            raise ValueError(
+                f"engine_backend must be 'columnar' or 'object', "
+                f"got {self.engine_backend!r}"
+            )
 
     @property
     def n_terminals(self) -> int:

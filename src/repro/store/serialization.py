@@ -34,7 +34,7 @@ __all__ = [
 
 #: Version of the serialised result format.  Bump on any change to the
 #: result dataclasses; the store invalidates entries from other versions.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2  # v2: Scenario gained engine_backend (PR 3)
 
 
 class SerializationError(ValueError):

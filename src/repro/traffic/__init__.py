@@ -26,12 +26,16 @@ Public classes
     The ``p_v`` / ``p_d`` gating of request transmissions.
 :func:`~repro.traffic.generator.build_population`
     Factory creating the mixed voice/data terminal population of a scenario.
+:class:`~repro.traffic.population.TerminalPopulation`
+    Struct-of-arrays population state driving the columnar engine backend
+    (with :class:`~repro.traffic.population.TerminalView` per-index views).
 """
 
 from repro.traffic.data import DataSource
 from repro.traffic.generator import build_population
 from repro.traffic.packets import Packet, TrafficKind
 from repro.traffic.permission import PermissionPolicy
+from repro.traffic.population import TerminalPopulation, TerminalView, TerminalViews
 from repro.traffic.terminal import DataTerminal, Terminal, TerminalStats, VoiceTerminal
 from repro.traffic.voice import VoiceActivity, VoiceSource
 
@@ -41,7 +45,10 @@ __all__ = [
     "Packet",
     "PermissionPolicy",
     "Terminal",
+    "TerminalPopulation",
     "TerminalStats",
+    "TerminalView",
+    "TerminalViews",
     "TrafficKind",
     "VoiceActivity",
     "VoiceSource",

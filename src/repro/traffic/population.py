@@ -1,0 +1,551 @@
+"""Struct-of-arrays terminal population for the columnar engine backend.
+
+The object backend walks one Python :class:`~repro.traffic.terminal.Terminal`
+per user per 2.5 ms frame, which dominates the run time at paper scale
+(tens of thousands of frames x up to ~200 terminals x six protocols).
+:class:`TerminalPopulation` keeps the whole population's traffic state in
+NumPy arrays — buffer occupancy, head-of-line created frames, talkspurt and
+burst countdowns, per-kind outcome counters — and advances it with a handful
+of vectorised operations per frame, looping in Python only over the rare
+*events* of a frame (talkspurt toggles, burst arrivals, deadline expiries,
+grants).
+
+RNG-stream compatibility
+------------------------
+The population draws from the same ``traffic`` stream as the object
+population, in exactly the same order:
+
+* construction draws one exponential per voice terminal (initial silence)
+  followed by one per data terminal (initial inter-arrival), like
+  :func:`~repro.traffic.generator.build_population`;
+* :meth:`advance_frame` draws scalar exponentials only for the terminals
+  whose state toggles this frame, in ascending terminal-id order — the same
+  order in which the engine's object loop would reach them (voice ids always
+  precede data ids).
+
+Because of this the columnar backend is *bit-identical* to the object
+backend under a common seed; the differential tests in
+``tests/sim/test_backend_parity.py`` assert exactly that.
+
+MAC protocols keep working unchanged: :class:`TerminalView` is a thin
+per-index view exposing the read API of :class:`Terminal` (occupancy, head
+deadlines, talkspurt state, statistics) backed by the arrays, and
+:class:`TerminalViews` is the sequence of views the engine hands to
+``protocol.run_frame``.  Its ``population`` attribute is the capability flag
+the MAC layer's vectorised fast paths key on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SimulationParameters
+from repro.traffic.packets import Packet, TrafficKind
+from repro.traffic.terminal import TerminalStats
+
+__all__ = ["TerminalPopulation", "TerminalView", "TerminalViews"]
+
+
+class TerminalPopulation:
+    """Columnar (struct-of-arrays) state of a whole terminal population.
+
+    Voice terminals occupy indices ``0 .. n_voice-1`` and data terminals the
+    following ``n_data`` indices, so a terminal's id doubles as its row in
+    every array and in the :class:`~repro.channel.manager.ChannelManager` —
+    the same dense layout :func:`~repro.traffic.generator.build_population`
+    produces.
+
+    Parameters
+    ----------
+    params:
+        Shared simulation parameters.
+    n_voice, n_data:
+        Population sizes per service class.
+    rng:
+        The run's ``traffic`` random stream (shared with the object
+        population; the draw order is identical, see the module docstring).
+    """
+
+    def __init__(
+        self,
+        params: SimulationParameters,
+        n_voice: int,
+        n_data: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if n_voice < 0 or n_data < 0:
+            raise ValueError("population sizes must be non-negative")
+        self.params = params
+        self._rng = rng
+        self.n_voice = int(n_voice)
+        self.n_data = int(n_data)
+        n = self.n_voice + self.n_data
+        self._n = n
+        self._dt = params.frame_duration_s
+        self._period = params.frames_per_voice_period
+        self._deadline = params.voice_deadline_frames
+
+        self.is_voice = np.zeros(n, dtype=bool)
+        self.is_voice[: self.n_voice] = True
+        self.is_data_mask = ~self.is_voice
+
+        # Talkspurt/burst state machines (columnar mirror of Voice/DataSource).
+        # ``countdown`` unifies the two per-terminal timers — frames to the
+        # next talkspurt/silence toggle for voice rows, frames to the next
+        # burst arrival for data rows — so one vector compare per frame
+        # finds every source event.
+        self.in_talkspurt = np.zeros(n, dtype=bool)
+        self.countdown = np.zeros(n, dtype=np.int64)
+        self.frames_since_packet = np.zeros(n, dtype=np.int64)
+        # Talkspurt-start events are stamped with their frame instead of a
+        # per-frame boolean reset: view.talkspurt_started() compares against
+        # the frame most recently advanced.
+        self._talkspurt_started_frame = np.full(n, -2, dtype=np.int64)
+        self._current_frame = -1
+
+        # Transmit buffers: occupancy + head-of-line created frame per
+        # terminal, with the full FIFO content as (created_frame, count)
+        # segments — one segment per voice packet, one per data burst — so
+        # the per-frame cost is O(events), not O(packets).
+        self.occupancy = np.zeros(n, dtype=np.int64)
+        self.head_created = np.full(n, -1, dtype=np.int64)
+        self._segments: List[Deque[List[int]]] = [deque() for _ in range(n)]
+
+        # Per-terminal outcome counters (the columnar TerminalStats).
+        self.voice_generated = np.zeros(n, dtype=np.int64)
+        self.voice_delivered = np.zeros(n, dtype=np.int64)
+        self.voice_errored = np.zeros(n, dtype=np.int64)
+        self.voice_dropped = np.zeros(n, dtype=np.int64)
+        self.data_generated = np.zeros(n, dtype=np.int64)
+        self.data_delivered = np.zeros(n, dtype=np.int64)
+        self.data_retransmissions = np.zeros(n, dtype=np.int64)
+        self._data_delays: List[List[int]] = [[] for _ in range(n)]
+
+        self._measure_from = 0
+        self._voice_loss_total = 0
+
+        # Initial state draws, in build_population order: every voice
+        # terminal starts in a silence period of random exponential length,
+        # every data terminal draws its first burst inter-arrival.
+        mean_silence = params.mean_silence_s
+        for i in range(self.n_voice):
+            self.countdown[i] = self._duration_frames(rng.exponential(mean_silence))
+        mean_arrival = params.mean_data_interarrival_s
+        for j in range(self.n_voice, n):
+            self.countdown[j] = self._duration_frames(rng.exponential(mean_arrival))
+
+        self.views = TerminalViews(self)
+
+    # ------------------------------------------------------------------ API
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_terminals(self) -> int:
+        """Total number of terminals."""
+        return self._n
+
+    @property
+    def voice_loss_total(self) -> int:
+        """Running total of voice losses (dropped + errored) this window."""
+        return self._voice_loss_total
+
+    @property
+    def measure_from_frame(self) -> int:
+        """First frame of the current measurement window."""
+        return self._measure_from
+
+    # -------------------------------------------------------------- traffic
+    def advance_frame(self, frame_index: int) -> None:
+        """Generate traffic for one frame across the whole population.
+
+        Vectorised counters, with scalar RNG draws only for the terminals
+        whose on/off state toggles or whose burst arrives this frame — in
+        ascending id order, matching the object backend's draw order.
+        """
+        if frame_index < 0:
+            raise ValueError("frame_index must be non-negative")
+        nv = self.n_voice
+        params = self.params
+        rng = self._rng
+        self._current_frame = frame_index
+
+        countdown = self.countdown
+        events = countdown == 0
+        # Terminals firing an event get a fresh duration below, so the
+        # global decrement may briefly take them negative.
+        countdown -= 1
+        if events.any():
+            # Ascending index order keeps the scalar draws in exactly the
+            # object backend's per-terminal order (voice ids precede data).
+            for i in events.nonzero()[0]:
+                if i < nv:
+                    if self.in_talkspurt[i]:
+                        self.in_talkspurt[i] = False
+                        duration = rng.exponential(params.mean_silence_s)
+                    else:
+                        self.in_talkspurt[i] = True
+                        self._talkspurt_started_frame[i] = frame_index
+                        self.frames_since_packet[i] = 0
+                        duration = rng.exponential(params.mean_talkspurt_s)
+                    countdown[i] = self._duration_frames(duration)
+                else:
+                    size = max(
+                        1,
+                        int(round(rng.exponential(params.mean_data_burst_packets))),
+                    )
+                    countdown[i] = self._duration_frames(
+                        rng.exponential(params.mean_data_interarrival_s)
+                    )
+                    self.data_generated[i] += size
+                    self.occupancy[i] += size
+                    self._segments[i].append([frame_index, size])
+                    if self.head_created[i] < 0:
+                        self.head_created[i] = frame_index
+
+        if nv:
+            talking = self.in_talkspurt[:nv]
+            since = self.frames_since_packet[:nv]
+            generating = talking & (since % self._period == 0)
+            since += talking
+            if generating.any():
+                self.voice_generated[:nv] += generating
+                self.occupancy[:nv] += generating
+                for i in generating.nonzero()[0]:
+                    self._segments[i].append([frame_index, 1])
+                    if self.head_created[i] < 0:
+                        self.head_created[i] = frame_index
+
+    def drop_expired(self, current_frame: int) -> int:
+        """Drop buffered voice packets whose 20 ms deadline has passed.
+
+        Returns the total number of packets removed; only in-window drops
+        count towards the statistics, exactly like
+        :meth:`Terminal.drop_expired`.
+        """
+        nv = self.n_voice
+        if not nv:
+            return 0
+        heads = self.head_created[:nv]
+        # head_created is -1 exactly when the buffer is empty, so a single
+        # range test finds the expired heads.
+        expired_mask = (heads >= 0) & (heads <= current_frame - self._deadline)
+        if not expired_mask.any():
+            return 0
+        total = 0
+        for i in expired_mask.nonzero()[0]:
+            segments = self._segments[i]
+            dropped = 0
+            counted = 0
+            while segments and segments[0][0] + self._deadline <= current_frame:
+                created, count = segments.popleft()
+                dropped += count
+                if created >= self._measure_from:
+                    counted += count
+            self.occupancy[i] -= dropped
+            self.head_created[i] = segments[0][0] if segments else -1
+            if counted:
+                self.voice_dropped[i] += counted
+                self._voice_loss_total += counted
+            total += dropped
+        return total
+
+    # --------------------------------------------------------- transmission
+    def transmit(
+        self, index: int, max_packets: int, n_delivered: int, current_frame: int
+    ) -> int:
+        """Record a transmission opportunity's outcome for one terminal.
+
+        Mirrors :meth:`Terminal.transmit` exactly, including the measurement
+        -window filtering of outcomes: voice pops every transmitted packet
+        (errored ones are lost), data pops only the delivered ones and
+        counts the rest as retransmissions.
+        """
+        if max_packets < 0:
+            raise ValueError("max_packets must be non-negative")
+        occupancy = int(self.occupancy[index])
+        n_transmitted = min(max_packets, occupancy)
+        if n_delivered < 0 or n_delivered > n_transmitted:
+            raise ValueError("n_delivered must lie in [0, n_transmitted]")
+        if n_transmitted == 0:
+            return 0
+        segments = self._segments[index]
+        window = self._measure_from
+
+        if self.is_voice[index]:
+            delivered = 0
+            errored = 0
+            for position in range(n_transmitted):
+                created, count = segments.popleft()
+                if created < window:
+                    continue
+                if position < n_delivered:
+                    delivered += count
+                else:
+                    errored += count
+            self.occupancy[index] -= n_transmitted
+            self.head_created[index] = segments[0][0] if segments else -1
+            if delivered:
+                self.voice_delivered[index] += delivered
+            if errored:
+                self.voice_errored[index] += errored
+                self._voice_loss_total += errored
+            return n_transmitted
+
+        remaining = n_delivered
+        delays = self._data_delays[index]
+        while remaining:
+            segment = segments[0]
+            created, count = segment
+            take = min(remaining, count)
+            if created >= window:
+                self.data_delivered[index] += take
+                delay = max(0, current_frame - created)
+                delays.extend([delay] * take)
+            if take == count:
+                segments.popleft()
+            else:
+                segment[1] = count - take
+            remaining -= take
+        self.occupancy[index] -= n_delivered
+        self.head_created[index] = segments[0][0] if segments else -1
+        self.data_retransmissions[index] += n_transmitted - n_delivered
+        return n_delivered
+
+    def apply_grants(
+        self, indices, capacities, delivered_counts, current_frame: int
+    ) -> int:
+        """Apply one executed batch of grants; return delivered data packets.
+
+        Equivalent to calling :meth:`transmit` per grant (same order, same
+        accounting); consolidated so the engine's hot loop crosses the
+        population boundary once per batch instead of once per grant.
+        """
+        data_delivered = 0
+        voice = self.is_voice
+        for index, capacity, n_delivered in zip(indices, capacities, delivered_counts):
+            n_ok = int(n_delivered)
+            taken = self.transmit(
+                index, max_packets=capacity, n_delivered=n_ok,
+                current_frame=current_frame,
+            )
+            if not voice[index]:
+                data_delivered += n_ok
+            if taken > capacity:
+                raise AssertionError("terminal consumed more packets than granted")
+        return data_delivered
+
+    # ------------------------------------------------------------ accounting
+    def begin_measurement(self, frame_index: int) -> None:
+        """Start a fresh measurement window at ``frame_index``.
+
+        Zeroes every outcome counter and excludes packets created before the
+        window from all future outcome accounting — the PR-2 epoch-tagging
+        semantics (``delivered + errored + dropped <= generated``) carried
+        over to array counters.
+        """
+        if frame_index < 0:
+            raise ValueError("frame_index must be non-negative")
+        for array in (
+            self.voice_generated,
+            self.voice_delivered,
+            self.voice_errored,
+            self.voice_dropped,
+            self.data_generated,
+            self.data_delivered,
+            self.data_retransmissions,
+        ):
+            array[:] = 0
+        self._data_delays = [[] for _ in range(self._n)]
+        self._measure_from = int(frame_index)
+        self._voice_loss_total = 0
+
+    # ------------------------------------------------------------- plumbing
+    def data_delays(self, index: int) -> List[int]:
+        """Access delays (frames) of the terminal's delivered data packets."""
+        return self._data_delays[index]
+
+    def all_data_delays(self) -> List[int]:
+        """Every recorded data access delay, in terminal-id order."""
+        merged: List[int] = []
+        for index in range(self.n_voice, self._n):
+            merged.extend(self._data_delays[index])
+        return merged
+
+    def stats_of(self, index: int) -> TerminalStats:
+        """Materialise one terminal's counters as a :class:`TerminalStats`."""
+        return TerminalStats(
+            voice_generated=int(self.voice_generated[index]),
+            voice_delivered=int(self.voice_delivered[index]),
+            voice_errored=int(self.voice_errored[index]),
+            voice_dropped=int(self.voice_dropped[index]),
+            data_generated=int(self.data_generated[index]),
+            data_delivered=int(self.data_delivered[index]),
+            data_retransmissions=int(self.data_retransmissions[index]),
+            data_delay_frames=list(self._data_delays[index]),
+        )
+
+    def packets_of(self, index: int, n: Optional[int] = None) -> List[Packet]:
+        """Materialise (a prefix of) a terminal's buffer as packet objects.
+
+        The synthesised packets carry fresh debug sequence numbers; their
+        kind, creation frame and deadline match the buffered state.
+        """
+        kind = TrafficKind.VOICE if self.is_voice[index] else TrafficKind.DATA
+        packets: List[Packet] = []
+        budget = int(self.occupancy[index]) if n is None else max(0, int(n))
+        for created, count in self._segments[index]:
+            for _ in range(min(count, budget - len(packets))):
+                packets.append(
+                    Packet(
+                        kind=kind,
+                        terminal_id=index,
+                        created_frame=int(created),
+                        deadline_frame=(
+                            int(created) + self._deadline if kind.is_voice else None
+                        ),
+                    )
+                )
+            if len(packets) >= budget:
+                break
+        return packets
+
+    def _duration_frames(self, duration_s: float) -> int:
+        return max(1, int(round(duration_s / self._dt)))
+
+
+class TerminalView:
+    """Thin per-index read/transmit view over a :class:`TerminalPopulation`.
+
+    Exposes the :class:`~repro.traffic.terminal.Terminal` API the MAC layer
+    and the engine consume, backed by the population arrays.  State advance
+    must go through the population's vectorised kernels (advancing a single
+    view would reorder the shared RNG stream), so :meth:`advance_frame` and
+    :meth:`drop_expired` raise.
+    """
+
+    __slots__ = ("population", "_index", "kind", "is_voice", "is_data")
+
+    def __init__(self, population: TerminalPopulation, index: int) -> None:
+        self.population = population
+        self._index = int(index)
+        # The service class is immutable, so it is cached as plain Python
+        # attributes — the MAC layer reads these in per-candidate loops.
+        self.is_voice = bool(population.is_voice[self._index])
+        self.is_data = not self.is_voice
+        self.kind = TrafficKind.VOICE if self.is_voice else TrafficKind.DATA
+
+    # ------------------------------------------------------------------ API
+    @property
+    def terminal_id(self) -> int:
+        """Population index of this device (dense, equals the array row)."""
+        return self._index
+
+    @property
+    def buffer_occupancy(self) -> int:
+        """Number of packets awaiting transmission."""
+        return int(self.population.occupancy[self._index])
+
+    @property
+    def has_pending_packets(self) -> bool:
+        """Whether at least one packet awaits transmission."""
+        return self.population.occupancy[self._index] > 0
+
+    @property
+    def in_talkspurt(self) -> bool:
+        """Whether the device is currently in a talkspurt (False for data)."""
+        return bool(self.population.in_talkspurt[self._index])
+
+    def talkspurt_started(self) -> bool:
+        """Whether a new talkspurt began at the latest frame boundary."""
+        population = self.population
+        return bool(
+            population._talkspurt_started_frame[self._index]
+            == population._current_frame
+        )
+
+    @property
+    def stats(self) -> TerminalStats:
+        """Snapshot of this terminal's counters (materialised on access)."""
+        return self.population.stats_of(self._index)
+
+    def peek_packets(self, n: int) -> List[Packet]:
+        """Materialise (without removing) the first ``n`` buffered packets."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return self.population.packets_of(self._index, n)
+
+    def head_deadline_frames(self, current_frame: int) -> Optional[int]:
+        """Frames to the head-of-line packet's deadline (None if no deadline)."""
+        pop = self.population
+        head = pop.head_created[self._index]
+        if head < 0 or not pop.is_voice[self._index]:
+            return None
+        return max(0, int(head) + pop.params.voice_deadline_frames - current_frame)
+
+    def head_waiting_frames(self, current_frame: int) -> int:
+        """Frames the head-of-line packet has been waiting (0 if empty)."""
+        head = self.population.head_created[self._index]
+        if head < 0:
+            return 0
+        return max(0, current_frame - int(head))
+
+    def transmit(self, max_packets: int, n_delivered: int, current_frame: int) -> int:
+        """Record a transmission outcome (delegates to the population)."""
+        return self.population.transmit(
+            self._index, max_packets, n_delivered, current_frame
+        )
+
+    def begin_measurement(self, frame_index: int) -> None:
+        """Unsupported per view: the window is population-wide."""
+        raise RuntimeError(
+            "begin_measurement is population-wide on the columnar backend; "
+            "call TerminalPopulation.begin_measurement instead"
+        )
+
+    def advance_frame(self, frame_index: int) -> int:
+        """Unsupported per view: advancing one terminal would desynchronise
+        the shared traffic RNG stream — advance the TerminalPopulation."""
+        raise RuntimeError(
+            "advance the TerminalPopulation, not an individual TerminalView"
+        )
+
+    def drop_expired(self, current_frame: int) -> int:
+        """Unsupported per view; use TerminalPopulation.drop_expired."""
+        raise RuntimeError(
+            "drop expired packets through TerminalPopulation.drop_expired"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TerminalView(id={self._index}, kind={self.kind.value}, "
+            f"occupancy={self.buffer_occupancy})"
+        )
+
+
+class TerminalViews(Sequence):
+    """Sequence of :class:`TerminalView` handed to ``protocol.run_frame``.
+
+    Iteration order is ascending terminal id, matching the object backend's
+    population list.  The ``population`` attribute (and ``dense_ids`` flag)
+    let the MAC layer's fast paths swap per-object loops for array kernels.
+    """
+
+    #: Terminal ids are guaranteed dense 0..n-1 (id == sequence index).
+    dense_ids = True
+
+    def __init__(self, population: TerminalPopulation) -> None:
+        self.population = population
+        self._views = [TerminalView(population, i) for i in range(len(population))]
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __getitem__(self, index):
+        return self._views[index]
+
+    def __iter__(self) -> Iterator[TerminalView]:
+        return iter(self._views)

@@ -120,3 +120,42 @@ class TestPriority:
         request_lo = voice_request(lo, deadline_frame=frames_left)
         request_hi = voice_request(hi, deadline_frame=frames_left)
         assert c.priority(request_hi, 0) >= c.priority(request_lo, 0)
+
+
+class TestBatchedPriorities:
+    """The vectorised path must agree with the scalar term helpers."""
+
+    def test_priorities_match_scalar_term_composition(self):
+        c = calc()
+        w = PARAMS.priority
+        requests = [
+            voice_request(3.0, deadline_frame=4),
+            voice_request(0.05, deadline_frame=10),
+            data_request(2.0, arrival=0),
+            data_request(0.4, arrival=3),
+            Request(terminal_id=5, kind=TrafficKind.DATA, arrival_frame=0),  # no CSI
+        ]
+        frame = 6
+        batch = c.priorities(requests, frame)
+        for request, value in zip(requests, batch):
+            channel = c.channel_term(request)
+            urgency = c.urgency_term(request, frame)
+            if request.kind.is_voice:
+                expected = w.alpha_voice * channel + urgency + w.voice_offset
+            else:
+                expected = w.alpha_data * channel + urgency
+            assert value == pytest.approx(expected, rel=1e-12)
+            assert c.priority(request, frame) == value
+
+    def test_rank_matches_sort_by_priority(self):
+        c = calc()
+        requests = [voice_request(a, deadline_frame=8 + i)
+                    for i, a in enumerate((0.2, 3.0, 1.0))]
+        requests += [data_request(a, arrival=i) for i, a in enumerate((0.5, 2.5))]
+        ranked = c.rank(requests, current_frame=5)
+        values = [c.priority(r, 5) for r in ranked]
+        assert values == sorted(values, reverse=True)
+        assert sorted(map(id, ranked)) == sorted(map(id, requests))
+
+    def test_priorities_empty(self):
+        assert calc().priorities([], 0).shape == (0,)

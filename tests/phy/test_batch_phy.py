@@ -1,0 +1,109 @@
+"""Batched PHY: vectorised success probabilities and transmissions.
+
+``transmit_batch`` must be a drop-in replacement for a sequence of scalar
+``transmit_packets`` calls: same success probabilities (bitwise), same
+random-stream consumption, same delivered counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.phy.abicm import AdaptiveModem
+from repro.phy.error_model import PacketErrorModel
+from repro.phy.fixed import FixedRateModem
+from repro.phy.modes import ModeTable
+
+
+def adaptive_modem() -> AdaptiveModem:
+    return AdaptiveModem(ModeTable(), mean_snr_db=28.5)
+
+
+def sample_grants(seed=0, n=64):
+    rng = np.random.default_rng(seed)
+    amplitudes = rng.gamma(2.0, 0.6, size=n)
+    throughputs = rng.choice([0.5, 1.0, 2.0, 3.0, 4.0, 5.0], size=n)
+    counts = rng.integers(1, 9, size=n)
+    return amplitudes, throughputs, counts
+
+
+class TestSuccessProbabilities:
+    @pytest.mark.parametrize("modem_factory", [adaptive_modem, FixedRateModem])
+    def test_batch_matches_scalar_bitwise(self, modem_factory):
+        modem = modem_factory()
+        amplitudes, throughputs, _ = sample_grants()
+        batch = modem.packet_success_probabilities(amplitudes, throughputs)
+        scalar = np.array(
+            [
+                modem.packet_success_probability(float(a), float(t))
+                for a, t in zip(amplitudes, throughputs)
+            ]
+        )
+        assert np.array_equal(batch, scalar)
+
+    @pytest.mark.parametrize("modem_factory", [adaptive_modem, FixedRateModem])
+    def test_nan_selects_modem_default(self, modem_factory):
+        modem = modem_factory()
+        amplitudes, _, _ = sample_grants(seed=2, n=32)
+        batch = modem.packet_success_probabilities(
+            amplitudes, np.full(32, np.nan)
+        )
+        scalar = np.array(
+            [modem.packet_success_probability(float(a)) for a in amplitudes]
+        )
+        assert np.array_equal(batch, scalar)
+        default = modem.packet_success_probabilities(amplitudes, None)
+        assert np.array_equal(default, scalar)
+
+    def test_precomputed_snr_matches_amplitude_path(self):
+        modem = adaptive_modem()
+        amplitudes, throughputs, _ = sample_grants(seed=4)
+        snr_db = modem.snr_db_from_amplitude(amplitudes)
+        via_snr = modem.packet_success_probabilities(
+            None, throughputs, snr_db=snr_db
+        )
+        via_amp = modem.packet_success_probabilities(amplitudes, throughputs)
+        assert np.array_equal(via_snr, via_amp)
+
+    def test_outage_amplitude_falls_back_to_most_robust_mode(self):
+        modem = adaptive_modem()
+        probability = modem.packet_success_probabilities(np.array([1e-6]), None)
+        expected = modem.packet_success_probability(1e-6)
+        assert probability[0] == expected
+        assert 0.0 <= probability[0] < 1e-6
+
+
+class TestTransmitBatch:
+    @pytest.mark.parametrize("modem_factory", [adaptive_modem, FixedRateModem])
+    def test_stream_compatible_with_scalar_calls(self, modem_factory):
+        amplitudes, throughputs, counts = sample_grants(seed=7)
+        scalar_model = PacketErrorModel(modem_factory(), np.random.default_rng(9))
+        batch_model = PacketErrorModel(modem_factory(), np.random.default_rng(9))
+        scalar = [
+            scalar_model.transmit_packets(float(a), int(n), float(t))
+            for a, n, t in zip(amplitudes, counts, throughputs)
+        ]
+        batch = batch_model.transmit_batch(amplitudes, counts, throughputs)
+        assert list(batch) == scalar
+        assert (
+            scalar_model._rng.bit_generator.state
+            == batch_model._rng.bit_generator.state
+        )
+
+    def test_empty_batch(self):
+        model = PacketErrorModel(FixedRateModem(), np.random.default_rng(0))
+        state = model._rng.bit_generator.state
+        result = model.transmit_batch(np.empty(0), np.empty(0, dtype=int))
+        assert result.shape == (0,)
+        assert model._rng.bit_generator.state == state
+
+    def test_zero_packet_grants_rejected(self):
+        model = PacketErrorModel(FixedRateModem(), np.random.default_rng(0))
+        with pytest.raises(ValueError, match="positive"):
+            model.transmit_batch(np.array([1.0, 1.0]), np.array([3, 0]))
+
+    def test_delivered_counts_bounded_by_grants(self):
+        amplitudes, throughputs, counts = sample_grants(seed=12, n=200)
+        model = PacketErrorModel(adaptive_modem(), np.random.default_rng(1))
+        delivered = model.transmit_batch(amplitudes, counts, throughputs)
+        assert np.all(delivered >= 0)
+        assert np.all(delivered <= counts)
