@@ -1,0 +1,102 @@
+"""Opt-in performance-regression guard against the committed benchmark record.
+
+Re-times the committed ``BENCH_engine.json`` workload on the columnar
+backend and fails if any protocol's frames/sec falls more than 25 % below
+the recorded baseline — the tripwire for "a refactor quietly made the hot
+path slow again".
+
+The guard is **opt-in** (``REPRO_BENCH_GUARD=1``) because wall-clock
+performance assertions are inherently machine-dependent: a laptop on
+battery, a loaded CI box or a different CPU generation can all sit far from
+the committed numbers without any code regression.  Run it on the machine
+that produced the record (or after regenerating the record there):
+
+    REPRO_BENCH_GUARD=1 python -m pytest benchmarks/test_bench_guard.py -m bench
+
+The 25 % margin plus interleaved best-of-two CPU timing absorbs normal
+scheduler jitter; a real hot-path regression (accidental per-frame object
+churn, a dropped fast path) typically costs well over 25 %.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.sim.engine import UplinkSimulationEngine
+from repro.sim.scenario import Scenario
+
+pytestmark = [pytest.mark.slow, pytest.mark.bench]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_engine.json"
+
+#: Fraction of the committed fps a protocol may lose before the guard trips.
+ALLOWED_DROP = 0.25
+REPETITIONS = 2
+
+PARAMS = SimulationParameters()
+
+
+def _guard_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_GUARD", "") == "1"
+
+
+def _committed_record() -> dict:
+    if not RECORD_PATH.exists():
+        pytest.skip("no committed BENCH_engine.json to guard against")
+    return json.loads(RECORD_PATH.read_text())
+
+
+def _frames_per_second(protocol: str, workload: dict) -> float:
+    scenario = Scenario(
+        protocol=protocol,
+        n_voice=workload["n_voice"],
+        n_data=workload["n_data"],
+        duration_s=workload["measured_s"],
+        warmup_s=workload["warmup_s"],
+        seed=workload["seed"],
+        engine_backend="columnar",
+    )
+    engine = UplinkSimulationEngine(scenario, PARAMS)
+    start = time.process_time()
+    engine.run()
+    return engine.frame_index / (time.process_time() - start)
+
+
+@pytest.mark.skipif(
+    not _guard_enabled(),
+    reason="perf guard is opt-in: set REPRO_BENCH_GUARD=1 on the machine "
+           "that produced BENCH_engine.json",
+)
+def test_columnar_fps_not_regressed():
+    record = _committed_record()
+    latest = record.get("latest", {})
+    protocols = latest.get("protocols", {})
+    workload = latest.get("workload", {})
+    if not protocols or not workload:
+        pytest.skip("committed BENCH_engine.json has no protocol table")
+
+    measured = {name: 0.0 for name in protocols}
+    for _ in range(REPETITIONS):
+        for name in protocols:
+            measured[name] = max(measured[name], _frames_per_second(name, workload))
+
+    failures = {}
+    for name, row in protocols.items():
+        floor = row["columnar_fps"] * (1.0 - ALLOWED_DROP)
+        if measured[name] < floor:
+            failures[name] = {
+                "committed_fps": row["columnar_fps"],
+                "measured_fps": round(measured[name], 1),
+                "floor_fps": round(floor, 1),
+            }
+    assert not failures, (
+        "columnar frames/sec regressed more than "
+        f"{ALLOWED_DROP:.0%} below the committed BENCH_engine.json: {failures}"
+    )

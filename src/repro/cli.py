@@ -106,12 +106,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--sort", choices=("cumulative", "tottime"), default="cumulative",
         help="profile sort order",
     )
+    profile_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON report (frames/sec, per-phase "
+             "traffic/channel/MAC/PHY/metrics split, top functions) instead "
+             "of the pstats table",
+    )
 
     sub.add_parser(
         "selftest",
         help="run one tiny experiment through each executor, compare them, "
-             "check columnar/object engine-backend parity, and round-trip "
-             "the result store",
+             "check columnar/object engine-backend parity, cross-check the "
+             "fast RNG mode, and round-trip the result store",
     )
     return parser
 
@@ -136,6 +142,13 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser,
                         help="simulation core: vectorised struct-of-arrays "
                              "(columnar, default) or per-terminal objects "
                              "(object); both give identical results")
+    parser.add_argument("--rng-mode", choices=("parity", "fast"),
+                        default="parity", dest="rng_mode",
+                        help="random-draw batching: parity (default) is "
+                             "bit-identical to the object backend; fast "
+                             "batches whole-frame draws from per-subsystem "
+                             "child streams (statistically equivalent, "
+                             "fastest for paper-scale sweeps)")
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="serve finished runs from (and persist new runs "
                              "to) the result store in DIR")
@@ -152,6 +165,7 @@ def _scenario_from_args(args: argparse.Namespace, protocol: Optional[str] = None
         seed=args.seed,
         mobile_speed_kmh=args.speed,
         engine_backend=getattr(args, "backend", "columnar"),
+        rng_mode=getattr(args, "rng_mode", "parity"),
     )
 
 
@@ -230,14 +244,72 @@ def _command_cache(args: argparse.Namespace) -> int:
 
 
 def _command_profile(args: argparse.Namespace) -> int:
-    """cProfile one engine run and print the hottest functions."""
+    """cProfile one engine run and print the hottest functions.
+
+    With ``--json`` the command instead reports a machine-readable summary:
+    an *uninstrumented-profiler* pass measures frames/sec and the per-phase
+    traffic/channel/MAC/PHY/metrics split (cProfile skews small functions,
+    so the split comes from the engine's own phase timers), then a cProfile
+    pass ranks the top functions.
+    """
     import cProfile
+    import json
     import pstats
+    import time as _time
 
     from repro.sim.engine import UplinkSimulationEngine
 
     params = SimulationParameters()
     scenario = _scenario_from_args(args)
+
+    if args.as_json:
+        engine = UplinkSimulationEngine(scenario, params)
+        phases = engine.enable_phase_timing()
+        started = _time.process_time()
+        result = engine.run()
+        elapsed = _time.process_time() - started
+        frames = engine.frame_index
+        total_phase = sum(phases.values()) or 1.0
+
+        profiled = UplinkSimulationEngine(scenario, params)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        profiled.run()
+        profiler.disable()
+        rows = []
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(args.sort)
+        for func in stats.fcn_list[: args.top]:
+            cc, nc, tt, ct, _callers = stats.stats[func]
+            filename, line, name = func
+            rows.append(
+                {
+                    "function": f"{filename}:{line}({name})",
+                    "ncalls": nc,
+                    "tottime_s": round(tt, 6),
+                    "cumtime_s": round(ct, 6),
+                }
+            )
+        report = {
+            "scenario": scenario.label(),
+            "backend": scenario.engine_backend,
+            "rng_mode": scenario.rng_mode,
+            "frames": frames,
+            "cpu_seconds": round(elapsed, 6),
+            "frames_per_second": round(frames / elapsed, 1) if elapsed else None,
+            "voice_loss_rate": result.voice.loss_rate,
+            "data_throughput_packets_per_frame":
+                result.data.throughput_packets_per_frame,
+            "phase_seconds": {k: round(v, 6) for k, v in phases.items()},
+            "phase_fraction": {
+                k: round(v / total_phase, 4) for k, v in phases.items()
+            },
+            "top_functions": rows,
+            "sort": args.sort,
+        }
+        print(json.dumps(report, indent=2))
+        return 0
+
     engine = UplinkSimulationEngine(scenario, params)
     profiler = cProfile.Profile()
     profiler.enable()
@@ -269,6 +341,26 @@ def _selftest_backend_parity() -> bool:
             print(f"  MISMATCH: engine backends disagree for {protocol}")
             return False
     print("  engine backends    columnar == object for 3 protocols")
+    return True
+
+
+def _selftest_rng_fast() -> bool:
+    """Fast RNG mode must run clean and keep the accounting invariants."""
+    from repro.sim.runner import run_simulation
+
+    for protocol in ("charisma", "drma", "dtdma_fr"):
+        scenario = Scenario(protocol=protocol, n_voice=6, n_data=2,
+                            use_request_queue=True, duration_s=0.4,
+                            warmup_s=0.2, seed=11, rng_mode="fast")
+        result = run_simulation(scenario)
+        voice, data = result.voice, result.data
+        if voice.delivered + voice.errored + voice.dropped > voice.generated:
+            print(f"  MISMATCH: fast-mode voice conservation broke for {protocol}")
+            return False
+        if data.delivered > data.generated or not 0.0 <= voice.loss_rate <= 1.0:
+            print(f"  MISMATCH: fast-mode data accounting broke for {protocol}")
+            return False
+    print("  rng_mode=fast      conservation holds for 3 protocols")
     return True
 
 
@@ -304,6 +396,8 @@ def _command_selftest(_: argparse.Namespace) -> int:
     print(f"  aggregate          {len(rows)} (protocol, n_voice) groups ok")
 
     if not _selftest_backend_parity():
+        return 1
+    if not _selftest_rng_fast():
         return 1
 
     # Store round-trip: a cold cached run must miss everywhere, a second

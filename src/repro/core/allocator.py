@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.channel.manager import ChannelSnapshot
-from repro.mac.requests import Allocation, Request
+from repro.mac.requests import Allocation, GrantColumns, Request, RequestColumns
 from repro.phy.abicm import AdaptiveModem
 from repro.traffic.terminal import Terminal
 
@@ -90,6 +90,7 @@ class CSIRankedAllocator:
         self._modem = modem
         self._n_slots = int(n_info_slots)
         self._margin = int(defer_deadline_margin)
+        self._column_lut: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def n_info_slots(self) -> int:
@@ -141,7 +142,113 @@ class CSIRankedAllocator:
             decision.slots_used += n_slots
         return decision
 
+    def allocate_columns(
+        self,
+        columns: RequestColumns,
+        order: np.ndarray,
+        population,
+        frame_index: int,
+        grants: GrantColumns,
+        per_slot: Optional[np.ndarray] = None,
+        throughput: Optional[np.ndarray] = None,
+    ) -> Tuple[List[int], List[int]]:
+        """Column form of :meth:`allocate` for the array-native CHARISMA.
+
+        ``order`` is the priority ranking (row indices, best first); grants
+        land in ``grants`` and the method returns ``(unserved_rows,
+        deferred_rows)`` so the protocol can queue the leftovers.  Decision
+        for decision identical to :meth:`allocate` on the materialised
+        ranked requests: the per-row capacities come from one vectorised
+        mode lookup over the estimated CSIs (zero packets marks outage; a
+        missing estimate falls back to the most robust mode), and the
+        sequential slots-left walk runs over plain Python scalars.
+        ``per_slot``/``throughput`` optionally supply the capacity columns
+        from a caller that already performed the frame's mode lookup.
+        """
+        n = len(columns)
+        unserved: List[int] = []
+        deferred: List[int] = []
+        if n == 0:
+            return unserved, deferred
+        if per_slot is None or throughput is None:
+            packs_lut, thr_lut = self._column_tables()
+            per_slot = np.zeros(n, dtype=np.int64)
+            throughput = np.zeros(n, dtype=float)
+            known = ~np.isnan(columns.csi_amplitudes)
+            unknown = ~known
+            if unknown.any():
+                per_slot[unknown] = packs_lut[1]
+                throughput[unknown] = thr_lut[1]
+            if known.any():
+                # mode_index yields -1 for outage, i for mode i; +1 lands on
+                # the LUT rows (0 = outage, i + 1 = mode i).
+                indices = self._modem.mode_index(columns.csi_amplitudes[known]) + 1
+                per_slot[known] = packs_lut[indices]
+                throughput[known] = thr_lut[indices]
+
+        occupancies = population.occupancy[columns.terminal_ids]
+        tid_list = columns.terminal_ids.tolist()
+        voice_list = columns.is_voice.tolist()
+        occupancy_list = occupancies.tolist()
+        per_list = per_slot.tolist()
+        throughput_list = throughput.tolist()
+        deadline_list = columns.deadline_frames.tolist()
+        lowest_throughput = self._modem.mode_table[0].throughput
+        margin = self._margin
+        append = grants.append
+        slots_left = self._n_slots
+
+        for row in order.tolist():
+            occupancy = occupancy_list[row]
+            if occupancy == 0:
+                continue
+            if slots_left <= 0:
+                unserved.append(row)
+                continue
+            packets = per_list[row]
+            mode_throughput = throughput_list[row]
+            if packets == 0:
+                deadline = deadline_list[row]
+                if (
+                    voice_list[row]
+                    and deadline >= 0
+                    and max(0, deadline - frame_index) <= margin
+                ):
+                    packets, mode_throughput = 1, lowest_throughput
+                else:
+                    deferred.append(row)
+                    continue
+            if voice_list[row]:
+                n_slots = 1
+            else:
+                needed = math.ceil(occupancy / max(1, packets))
+                n_slots = max(1, min(slots_left, needed))
+            append(tid_list[row], n_slots, packets * n_slots, mode_throughput)
+            slots_left -= n_slots
+        return unserved, deferred
+
     # ------------------------------------------------------------ internals
+    def _column_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-mode (packets, throughput) lookup: row 0 outage, row 1+ modes.
+
+        Row 0 encodes outage as zero packets (NaN throughput, never
+        granted); row ``mode_index + 1`` holds the mode's capacity pair —
+        the vectorised twin of :meth:`_capacities_from_csi`'s scalar cases,
+        with "no estimate" mapping to row 1 (the most robust mode).
+        """
+        if self._column_lut is None:
+            table = self._modem.mode_table
+            reference = table.reference_throughput
+            packs = [0] + [
+                table[i].packets_per_slot(reference) for i in range(len(table))
+            ]
+            thrs = [np.nan] + [table[i].throughput for i in range(len(table))]
+            self._column_lut = (
+                np.asarray(packs, dtype=np.int64),
+                np.asarray(thrs, dtype=float),
+            )
+        return self._column_lut
+
     def _capacities_from_csi(
         self, requests: Sequence[Request]
     ) -> List[Tuple[int, Optional[float]]]:

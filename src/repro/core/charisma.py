@@ -40,9 +40,14 @@ from repro.core.allocator import CSIRankedAllocator
 from repro.core.csi_polling import CSIPoller
 from repro.core.priority import PriorityCalculator
 from repro.mac.base import MACProtocol, terminal_lookup
-from repro.mac.contention import run_contention
+from repro.mac.contention import run_contention, run_contention_ids
 from repro.mac.frames import FrameStructure
-from repro.mac.requests import Acknowledgement, FrameOutcome, Request
+from repro.mac.requests import (
+    Acknowledgement,
+    FrameOutcome,
+    Request,
+    RequestColumns,
+)
 from repro.phy.abicm import AdaptiveModem
 from repro.phy.csi import CSIEstimator
 from repro.traffic.terminal import Terminal
@@ -67,10 +72,19 @@ class CharismaProtocol(MACProtocol):
         use_request_queue: bool = False,
         csi_estimator: Optional[CSIEstimator] = None,
         enable_csi_polling: bool = True,
+        rng_mode: str = "parity",
+        contention_rng: Optional[np.random.Generator] = None,
     ) -> None:
         if not modem.is_adaptive:
             raise ValueError("CHARISMA requires the adaptive physical layer")
-        super().__init__(params, modem, rng, use_request_queue=use_request_queue)
+        super().__init__(
+            params,
+            modem,
+            rng,
+            use_request_queue=use_request_queue,
+            rng_mode=rng_mode,
+            contention_rng=contention_rng,
+        )
         self.csi_estimator = csi_estimator or CSIEstimator(
             n_pilot_symbols=params.pilot_symbols_per_request,
             mean_snr_db=params.mean_snr_db,
@@ -180,6 +194,213 @@ class CharismaProtocol(MACProtocol):
         self.queue_unserved(decision.leftovers)
         outcome.queued_requests = self.queued_count()
         return outcome
+
+    def run_frame_batch(
+        self,
+        frame_index: int,
+        population,
+        snapshot: ChannelSnapshot,
+    ) -> FrameOutcome:
+        """Array-native frame: the whole request pool lives in columns.
+
+        Contention resolves over id arrays, CSI estimation returns amplitude
+        columns, the priority metric and the mode lookup evaluate over the
+        pooled :class:`RequestColumns`, and the ranked allocation walk emits
+        grant columns — the only per-request Python objects left are the
+        acknowledgements and any leftovers re-entering the request queue.
+        """
+        self.reservations.release_ended_population(population)
+        self.prune_queue_batch(frame_index, population)
+        outcome = FrameOutcome(frame_index)
+        grants = outcome.use_grant_columns()
+        validity = self.csi_estimator.validity_frames
+
+        # ----------------------------------------------------- request phase
+        ids, probabilities = self.contention_candidate_ids(population)
+        contention = run_contention_ids(
+            ids,
+            probabilities,
+            self.frame_structure.request_minislots,
+            self.contention_rng,
+            fast=self.rng_fast,
+        )
+        outcome.contention_attempts = contention.attempts
+        outcome.contention_collisions = contention.collisions
+        outcome.idle_request_slots = contention.idle_slots
+
+        winner_ids = np.asarray(contention.winner_ids, dtype=np.int64)
+        acknowledgements = outcome.acknowledgements
+        for slot, winner in enumerate(contention.winner_ids):
+            acknowledgements.append(Acknowledgement(winner, slot, frame_index))
+
+        # CSI estimation: the winners' pilot symbols plus the auto-polled
+        # reservation holders (their ongoing per-period transmissions double
+        # as pilots).  Parity mode keeps the object path's two draws in
+        # order; fast mode folds both groups into one batched draw.
+        reserved = self.reservations.reserved_ids(population)
+        amplitude = snapshot.amplitude
+        if self.rng_fast:
+            estimates = self.csi_estimator.estimate_amplitudes(
+                amplitude[np.concatenate([reserved, winner_ids])], frame_index
+            )
+        else:
+            winner_estimates = self.csi_estimator.estimate_amplitudes(
+                amplitude[winner_ids], frame_index
+            )
+            reserved_estimates = self.csi_estimator.estimate_amplitudes(
+                amplitude[reserved], frame_index
+            )
+            estimates = np.concatenate([reserved_estimates, winner_estimates])
+        base_columns = self._pending_columns(
+            population, reserved, winner_ids, estimates, frame_index
+        )
+
+        # Backlog from previous frames (with-queue variant only).
+        backlog = (
+            self.request_queue.pop_all() if self.request_queue is not None else []
+        )
+        if backlog:
+            backlog_columns = RequestColumns.from_requests(
+                backlog, csi_validity=validity
+            )
+            self._refresh_voice_deadline_columns(
+                backlog_columns, population, frame_index
+            )
+            if self.enable_csi_polling:
+                backlog_priorities = self.priority_calculator.priorities_columns(
+                    backlog_columns, frame_index
+                )
+                self.csi_poller.refresh_columns(
+                    backlog_columns, snapshot, frame_index, backlog_priorities
+                )
+            pending = RequestColumns.concatenate(
+                [base_columns, backlog_columns]
+            )
+        else:
+            pending = base_columns
+
+        # -------------------------------------------------- allocation phase
+        # One amplitude-to-mode conversion feeds both the priority metric's
+        # channel term (f(CSI), 0 when unknown) and the allocator's capacity
+        # columns (packets 0 marks outage; unknown falls back to the most
+        # robust mode) — the two phases share the frame's mode lookup.
+        table = self.modem.mode_table
+        amplitudes = pending.csi_amplitudes
+        known = ~np.isnan(amplitudes)
+        all_known = known.all()
+        n_pending = len(pending)
+        if all_known:
+            indices_p1 = self.modem.mode_index(amplitudes) + 1
+        else:
+            # Unknown estimates sit on LUT row 1 (the most robust mode) —
+            # the allocator's fallback; their priority channel term is
+            # masked to 0 below.
+            indices_p1 = np.ones(n_pending, dtype=np.int64)
+            if known.any():
+                indices_p1[known] = self.modem.mode_index(amplitudes[known]) + 1
+        throughput = table.throughput_by_mode_index[indices_p1]
+        per_slot = table.packets_by_mode_index[indices_p1]
+        channel = throughput if all_known else np.where(known, throughput, 0.0)
+        values = self.priority_calculator.priorities_columns(
+            pending, frame_index, channel=channel
+        )
+        order = np.argsort(-values, kind="stable")
+        unserved_rows, deferred_rows = self.allocator.allocate_columns(
+            pending,
+            order,
+            population,
+            frame_index,
+            grants,
+            per_slot=per_slot,
+            throughput=throughput,
+        )
+
+        # Newly served voice requests acquire a reservation.  Only the rows
+        # after the reservation-holder prefix can be "newly served", so the
+        # scan skips the prefix outright.
+        if grants.terminal_ids and len(pending) > reserved.shape[0]:
+            allocated_ids = set(grants.terminal_ids)
+            n_reserved = reserved.shape[0]
+            self.reservations.grant_many(
+                (
+                    tid
+                    for tid, voice in zip(
+                        pending.terminal_ids[n_reserved:].tolist(),
+                        pending.is_voice[n_reserved:].tolist(),
+                    )
+                    if voice and tid in allocated_ids
+                ),
+                frame_index,
+            )
+
+        # Unserved / deferred requests go back to the queue (or are dropped).
+        self.queue_unserved_rows(pending, unserved_rows + deferred_rows)
+        outcome.queued_requests = self.queued_count()
+        return outcome
+
+    def _pending_columns(
+        self,
+        population,
+        reserved: np.ndarray,
+        winner_ids: np.ndarray,
+        csi_amplitudes: np.ndarray,
+        frame_index: int,
+    ) -> RequestColumns:
+        """Fused request columns for the frame's reservations + winners.
+
+        One pass over the concatenated id array (reservation holders first,
+        matching the pending pool's priority-phase order) instead of two
+        :meth:`request_columns_for` calls and a concatenate; row-for-row
+        identical to building the parts separately.
+        """
+        terminal_ids = np.concatenate([reserved, winner_ids])
+        n = terminal_ids.shape[0]
+        is_voice = population.is_voice[terminal_ids]
+        head = population.head_created[terminal_ids]
+        deadline = np.where(
+            is_voice & (head >= 0),
+            frame_index
+            + np.maximum(
+                0, head + self.params.voice_deadline_frames - frame_index
+            ),
+            -1,
+        )
+        is_reservation = np.zeros(n, dtype=bool)
+        is_reservation[: reserved.shape[0]] = True
+        return RequestColumns(
+            terminal_ids=terminal_ids,
+            is_voice=is_voice,
+            arrival_frames=np.full(n, frame_index, dtype=np.int64),
+            desired_packets=np.maximum(1, population.occupancy[terminal_ids]),
+            deadline_frames=deadline,
+            is_reservation=is_reservation,
+            csi_amplitudes=csi_amplitudes,
+            csi_frames=np.full(n, frame_index, dtype=np.int64),
+            csi_validity=self.csi_estimator.validity_frames,
+        )
+
+    def _refresh_voice_deadline_columns(
+        self, columns: RequestColumns, population, frame_index: int
+    ) -> None:
+        """Column form of :meth:`_refresh_voice_deadlines`.
+
+        The object path skips unknown terminal ids (``by_id.get`` misses);
+        here they must be masked *before* the gather or the fancy index
+        itself raises.
+        """
+        tids = columns.terminal_ids
+        known = tids < len(population)
+        if not known.all():
+            tids = np.where(known, tids, 0)
+        heads = population.head_created[tids]
+        refresh = columns.is_voice & known & (heads >= 0)
+        if refresh.any():
+            remaining = np.maximum(
+                0, heads + self.params.voice_deadline_frames - frame_index
+            )
+            columns.deadline_frames[refresh] = (
+                frame_index + remaining[refresh]
+            )
 
     # ------------------------------------------------------------ internals
     def _refresh_voice_deadlines(

@@ -11,7 +11,9 @@ valid for another couple of frames.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.channel.manager import ChannelSnapshot
 from repro.mac.requests import Request
@@ -94,3 +96,35 @@ class CSIPoller:
             refreshed += 1
             self._polls_sent += 1
         return refreshed
+
+    def refresh_columns(
+        self,
+        columns,
+        snapshot: ChannelSnapshot,
+        frame_index: int,
+        priorities: Optional[np.ndarray] = None,
+    ) -> int:
+        """Column form of :meth:`refresh` over a request-column backlog.
+
+        Staleness comes from the CSI frame-stamp column, the polling short
+        list from a stable descending sort on ``priorities`` (FIFO when
+        omitted), and the refreshed estimates from one batched estimator
+        call — which consumes the noise stream exactly as :meth:`refresh`'s
+        per-request scalar estimates would, in the same short-list order.
+        """
+        stale = np.nonzero(
+            (columns.csi_frames < 0)
+            | (frame_index - columns.csi_frames >= columns.csi_validity)
+        )[0]
+        if priorities is not None and stale.shape[0] > 1:
+            stale = stale[np.argsort(-priorities[stale], kind="stable")]
+        polled = stale[: self._n_pilot_slots]
+        if not polled.shape[0]:
+            return 0
+        estimates = self._estimator.estimate_amplitudes(
+            snapshot.amplitude[columns.terminal_ids[polled]], frame_index
+        )
+        columns.csi_amplitudes[polled] = estimates
+        columns.csi_frames[polled] = frame_index
+        self._polls_sent += int(polled.shape[0])
+        return int(polled.shape[0])

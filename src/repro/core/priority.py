@@ -23,7 +23,7 @@ suggests.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -132,6 +132,61 @@ class PriorityCalculator:
         alpha = np.where(voice, w.alpha_voice, w.alpha_data)
         offset = np.where(voice, w.voice_offset, 0.0)
         return alpha * channel + urgency + offset
+
+    def priorities_columns(
+        self,
+        columns,
+        current_frame: int,
+        channel: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Priority evaluation directly over request columns.
+
+        The column twin of :meth:`priorities`: reads a
+        :class:`~repro.mac.requests.RequestColumns` pool (NaN amplitude =
+        no estimate, deadline ``-1`` = none) and performs the same
+        floating-point operations in the same order, so the returned values
+        are bit-identical to evaluating materialised :class:`Request`
+        objects.  ``channel`` optionally supplies the precomputed
+        ``f(CSI)`` column (0 where no estimate is attached) so a caller
+        that already performed the frame's mode lookup shares it instead of
+        paying a second amplitude-to-mode conversion.
+        """
+        n = len(columns)
+        if n == 0:
+            return np.zeros(0, dtype=float)
+        w = self._weights
+        voice = columns.is_voice
+        if channel is None:
+            amplitudes = columns.csi_amplitudes
+            known = ~np.isnan(amplitudes)
+            if known.all():
+                channel = np.asarray(
+                    self._modem.throughput(amplitudes), dtype=float
+                )
+            else:
+                channel = np.zeros(n, dtype=float)
+                if known.any():
+                    channel[known] = np.asarray(
+                        self._modem.throughput(amplitudes[known]), dtype=float
+                    )
+        # A ``-1`` (no-deadline) sentinel clamps to horizon 0 on its own,
+        # exactly like the object path's ``frames_to_deadline(...) or 0``.
+        horizon = np.where(
+            voice,
+            np.maximum(0, columns.deadline_frames - current_frame),
+            np.maximum(0, current_frame - columns.arrival_frames),
+        ).astype(float)
+        urgency = np.where(
+            voice,
+            w.urgency_weight_voice * np.power(w.beta_voice, horizon),
+            w.urgency_weight_data * (1.0 - np.power(w.beta_data, horizon)),
+        )
+        if w.alpha_voice == w.alpha_data:
+            weighted = w.alpha_voice * channel
+        else:
+            weighted = np.where(voice, w.alpha_voice, w.alpha_data) * channel
+        offset = np.where(voice, w.voice_offset, 0.0)
+        return weighted + urgency + offset
 
     def rank(self, requests, current_frame: int) -> List[Request]:
         """Return the requests sorted by decreasing priority (stable)."""

@@ -7,10 +7,24 @@ five state-of-the-art protocols the paper compares CHARISMA against
 (Section 3): RAMA, RMAV, DRMA, D-TDMA/FR and D-TDMA/VR.  CHARISMA itself
 lives in :mod:`repro.core` but registers through the same
 :mod:`repro.mac.registry`.
+
+Every protocol exists in two interchangeable forms: the view-walking
+``run_frame`` path over per-terminal objects/views, and an array-native
+``run_frame_batch`` kernel operating directly on
+:class:`~repro.traffic.population.TerminalPopulation` columns (id-array
+contention via :func:`run_contention_ids`, columnar request pools via
+:class:`~repro.mac.requests.RequestColumns`, grant emission via
+:class:`~repro.mac.requests.GrantColumns`).  In parity RNG mode the two are
+bit-identical; see ``tests/mac/test_kernel_equivalence.py``.
 """
 
 from repro.mac.base import MACProtocol
-from repro.mac.contention import ContentionResult, run_contention
+from repro.mac.contention import (
+    ContentionResult,
+    IndexContentionResult,
+    run_contention,
+    run_contention_ids,
+)
 from repro.mac.drma import DRMAProtocol
 from repro.mac.dtdma_fr import DTDMAFRProtocol
 from repro.mac.dtdma_vr import DTDMAVRProtocol
@@ -23,7 +37,14 @@ from repro.mac.registry import (
     protocol_class,
 )
 from repro.mac.request_queue import RequestQueue
-from repro.mac.requests import Acknowledgement, Allocation, FrameOutcome, Request
+from repro.mac.requests import (
+    Acknowledgement,
+    Allocation,
+    FrameOutcome,
+    GrantColumns,
+    Request,
+    RequestColumns,
+)
 from repro.mac.reservation import ReservationTable
 from repro.mac.rmav import RMAVProtocol
 
@@ -36,10 +57,13 @@ __all__ = [
     "DTDMAVRProtocol",
     "FrameOutcome",
     "FrameStructure",
+    "GrantColumns",
+    "IndexContentionResult",
     "MACProtocol",
     "RAMAProtocol",
     "RMAVProtocol",
     "Request",
+    "RequestColumns",
     "RequestQueue",
     "ReservationTable",
     "available_protocols",
@@ -47,4 +71,5 @@ __all__ = [
     "create_protocol",
     "protocol_class",
     "run_contention",
+    "run_contention_ids",
 ]

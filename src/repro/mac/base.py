@@ -30,7 +30,13 @@ from repro.channel.manager import ChannelSnapshot
 from repro.config import SimulationParameters
 from repro.mac.frames import FrameStructure
 from repro.mac.request_queue import RequestQueue
-from repro.mac.requests import Allocation, FrameOutcome, Request
+from repro.mac.requests import (
+    Allocation,
+    FrameOutcome,
+    GrantColumns,
+    Request,
+    RequestColumns,
+)
 from repro.mac.reservation import ReservationTable
 from repro.phy.abicm import AdaptiveModem
 from repro.phy.fixed import FixedRateModem
@@ -114,6 +120,17 @@ class MACProtocol(abc.ABC):
     use_request_queue:
         Whether the base station keeps the optional request queue of
         Section 4.5.  Ignored for protocols that do not support one (RMAV).
+    rng_mode:
+        ``"parity"`` (default) keeps every stochastic decision's draw order
+        identical to the scalar object-backend path, so the array-native
+        ``run_frame_batch`` kernels stay bit-identical to ``run_frame``.
+        ``"fast"`` lets the kernels batch a frame's draws into single calls
+        against a dedicated contention child stream — statistically
+        equivalent, not bit-identical.
+    contention_rng:
+        The independent child stream fast mode draws contention from
+        (see :meth:`repro.sim.rng.RandomStreams.child`); derived from
+        ``rng`` when omitted.  Unused in parity mode.
     """
 
     #: Short machine-readable identifier (registry key).
@@ -133,10 +150,22 @@ class MACProtocol(abc.ABC):
         modem: Modem,
         rng: np.random.Generator,
         use_request_queue: bool = False,
+        rng_mode: str = "parity",
+        contention_rng: Optional[np.random.Generator] = None,
     ) -> None:
+        if rng_mode not in ("parity", "fast"):
+            raise ValueError(f"rng_mode must be 'parity' or 'fast', got {rng_mode!r}")
         self.params = params
         self.modem = modem
         self.rng = rng
+        self.rng_mode = rng_mode
+        self.rng_fast = rng_mode == "fast"
+        if self.rng_fast and contention_rng is None:
+            contention_rng = rng.spawn(1)[0]
+        #: Stream contention draws come from: the shared MAC stream in
+        #: parity mode (scalar call order preserved), a dedicated child in
+        #: fast mode (whole-frame batched draws).
+        self.contention_rng = contention_rng if self.rng_fast else rng
         self.permission = PermissionPolicy(
             params.voice_permission_probability,
             params.data_permission_probability,
@@ -149,6 +178,8 @@ class MACProtocol(abc.ABC):
         )
         self.frame_structure = self._build_frame_structure()
         self._snapshot_snr_usable = snapshot_snr_compatible(modem, params)
+        self._capacity_lut: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._probability_template: Optional[np.ndarray] = None
 
     # ----------------------------------------------------------- interface
     @abc.abstractmethod
@@ -395,6 +426,317 @@ class MACProtocol(abc.ABC):
     def queued_count(self) -> int:
         """Number of requests currently queued at the base station."""
         return len(self.request_queue) if self.request_queue is not None else 0
+
+    # ------------------------------------------------- array-native kernels
+    def run_frame_batch(
+        self,
+        frame_index: int,
+        population,
+        snapshot: ChannelSnapshot,
+    ) -> FrameOutcome:
+        """Columnar :meth:`run_frame`: one frame directly on population arrays.
+
+        The six shipped protocols override this with kernels that read the
+        :class:`~repro.traffic.population.TerminalPopulation` arrays and
+        emit :class:`~repro.mac.requests.GrantColumns`, never materialising
+        per-terminal views in the hot loop.  In parity RNG mode the kernels
+        are bit-identical to :meth:`run_frame` (same decisions, same draw
+        order); in fast mode they additionally batch a frame's random draws
+        into single calls.  This default keeps custom protocol subclasses
+        working on the columnar engine backend by delegating to their
+        :meth:`run_frame` over the population's views.
+        """
+        return self.run_frame(frame_index, population.views, snapshot)
+
+    def contention_candidate_ids(
+        self, population
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Id-array twin of :meth:`contention_candidates`.
+
+        Returns ``(ids, probabilities)``: the candidate terminal ids in
+        ascending order (the object loop's order) aligned with each
+        candidate's permission probability — ready for
+        :func:`~repro.mac.contention.run_contention_ids`.
+        """
+        mask = population.occupancy > 0
+        mask &= population.is_data_mask | population.in_talkspurt
+        holders = self.reservations.holder_array()
+        if holders.shape[0]:
+            holders = holders[holders < mask.shape[0]]
+            mask[holders[population.is_voice[holders]]] = False
+        if self.request_queue is not None and len(self.request_queue):
+            queued = self.request_queue.terminal_id_array()
+            queued = queued[queued < mask.shape[0]]
+            mask[queued] = False
+        ids = mask.nonzero()[0]
+        # Per-terminal permission probabilities are static (the service
+        # class never changes), so the full-population template is built
+        # once and gathered per frame.
+        template = self._probability_template
+        if template is None or template.shape[0] != len(population):
+            template = np.where(
+                population.is_voice,
+                self.permission.voice_probability,
+                self.permission.data_probability,
+            )
+            self._probability_template = template
+        return ids, template[ids]
+
+    def request_columns_for(
+        self,
+        population,
+        ids: np.ndarray,
+        frame_index: int,
+        is_reservation: bool = False,
+        csi_amplitudes: Optional[np.ndarray] = None,
+        csi_validity: int = 2,
+    ) -> RequestColumns:
+        """Columnar :meth:`make_request` over many terminals at once.
+
+        Row-for-row equivalent to calling :meth:`make_request` per id in
+        order: the voice deadline is the current head-of-line packet's, the
+        desired packet count is the buffer occupancy (at least one).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        n = ids.shape[0]
+        is_voice = population.is_voice[ids]
+        head = population.head_created[ids]
+        deadline = np.full(n, -1, dtype=np.int64)
+        has_deadline = is_voice & (head >= 0)
+        if has_deadline.any():
+            remaining = np.maximum(
+                0, head + self.params.voice_deadline_frames - frame_index
+            )
+            deadline[has_deadline] = frame_index + remaining[has_deadline]
+        return RequestColumns(
+            terminal_ids=ids,
+            is_voice=is_voice,
+            arrival_frames=np.full(n, frame_index, dtype=np.int64),
+            desired_packets=np.maximum(1, population.occupancy[ids]),
+            deadline_frames=deadline,
+            is_reservation=np.full(n, bool(is_reservation)),
+            csi_amplitudes=csi_amplitudes,
+            csi_frames=(
+                np.full(n, frame_index, dtype=np.int64)
+                if csi_amplitudes is not None
+                else None
+            ),
+            csi_validity=csi_validity,
+        )
+
+    def _capacity_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-mode (packets-per-slot, throughput) lookup, outage at index 0.
+
+        Row ``mode_index + 1`` holds the mode's capacity pair; row 0 holds
+        the outage fallback — one packet at the most robust mode — so a
+        vectorised ``mode_index_for_snr`` result indexes the tables with a
+        single ``+1`` shift.
+        """
+        if self._capacity_lut is None:
+            table = self.modem.mode_table
+            reference = table.reference_throughput
+            packs = [1] + [
+                table[i].packets_per_slot(reference) for i in range(len(table))
+            ]
+            thrs = [table[0].throughput] + [
+                table[i].throughput for i in range(len(table))
+            ]
+            self._capacity_lut = (
+                np.asarray(packs, dtype=np.int64),
+                np.asarray(thrs, dtype=float),
+            )
+        return self._capacity_lut
+
+    def grant_capacity_columns(
+        self, ids: np.ndarray, snapshot: ChannelSnapshot
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Per-terminal slot capacities straight from the channel snapshot.
+
+        Returns ``(packets_per_slot, throughputs)`` aligned with ``ids``;
+        ``throughputs`` is ``None`` on the fixed-rate PHY (every grant
+        carries one packet per slot at the nominal mode).  Element-for-
+        element identical to :meth:`slot_capacities` on the same channel
+        states, including the outage fallback.
+        """
+        if not self.modem.is_adaptive:
+            return np.ones(len(ids), dtype=np.int64), None
+        if self._snapshot_snr_usable:
+            snr_db = snapshot.snr_db[ids]
+        else:
+            snr_db = self.modem.snr_db_from_amplitude(snapshot.amplitude[ids])
+        indices = self.modem.mode_table.mode_index_for_snr(snr_db) + 1
+        packs, thrs = self._capacity_tables()
+        return packs[indices], thrs[indices]
+
+    def allocate_reserved_voice_batch(
+        self,
+        population,
+        snapshot: ChannelSnapshot,
+        slots_available: int,
+        grants: GrantColumns,
+    ) -> np.ndarray:
+        """Array-native :meth:`allocate_reserved_voice`; returns served ids."""
+        reserved = self.reservations.reserved_ids(population)
+        if not reserved.shape[0]:
+            return reserved
+        served = reserved[: max(0, slots_available)]
+        per_slot, throughputs = self.grant_capacity_columns(served, snapshot)
+        append = grants.append
+        if throughputs is None:
+            for tid in served.tolist():
+                append(tid, 1, 1, None)
+        else:
+            for tid, packets, throughput in zip(
+                served.tolist(), per_slot.tolist(), throughputs.tolist()
+            ):
+                append(tid, 1, packets, throughput)
+        return served
+
+    def prune_queue_batch(self, frame_index: int, population) -> None:
+        """Array-native :meth:`prune_queue` (population occupancy lookups)."""
+        if self.request_queue is None:
+            return
+        self.request_queue.drop_expired(frame_index)
+        occupancy = population.occupancy
+        n = len(population)
+        for request in list(self.request_queue):
+            tid = request.terminal_id
+            if tid >= n or occupancy[tid] == 0:
+                self.request_queue.remove_terminal(tid)
+
+    def queue_unserved_rows(
+        self, columns: RequestColumns, rows: Sequence[int]
+    ) -> int:
+        """Queue the given (non-reservation) rows of a request-column pool."""
+        if self.request_queue is None or not len(rows):
+            return 0
+        keep = [row for row in rows if not columns.is_reservation[row]]
+        if not keep:
+            return 0
+        return self.request_queue.extend(columns.to_requests(keep))
+
+    def make_request_for_id(
+        self,
+        population,
+        terminal_id: int,
+        frame_index: int,
+        is_reservation: bool = False,
+    ) -> Request:
+        """Scalar :meth:`make_request` straight from population arrays."""
+        terminal_id = int(terminal_id)
+        deadline = None
+        if population.is_voice[terminal_id]:
+            head = int(population.head_created[terminal_id])
+            if head >= 0:
+                deadline = frame_index + max(
+                    0, head + self.params.voice_deadline_frames - frame_index
+                )
+        return Request(
+            terminal_id=terminal_id,
+            kind=(
+                TrafficKind.VOICE
+                if population.is_voice[terminal_id]
+                else TrafficKind.DATA
+            ),
+            arrival_frame=frame_index,
+            desired_packets=max(1, int(population.occupancy[terminal_id])),
+            deadline_frame=deadline,
+            is_reservation=is_reservation,
+        )
+
+    def _serve_voice_rows_batch(
+        self,
+        pending: RequestColumns,
+        rows: np.ndarray,
+        population,
+        snapshot: ChannelSnapshot,
+        frame_index: int,
+        slots_left: int,
+        grants: GrantColumns,
+        unserved_rows: List[int],
+    ) -> int:
+        """FCFS voice service over column rows (one slot each, reservation).
+
+        Row-for-row identical to the view paths' voice loops: rows whose
+        terminal has drained its buffer are skipped outright, the first
+        ``slots_left`` remaining rows are granted one slot each (acquiring a
+        reservation), and the rest land in ``unserved_rows``.
+        """
+        if not rows.shape[0]:
+            return slots_left
+        tids = pending.terminal_ids[rows]
+        live = population.occupancy[tids] > 0
+        if not live.all():
+            rows = rows[live]
+            tids = tids[live]
+            if not rows.shape[0]:
+                return slots_left
+        n_served = max(0, min(slots_left, tids.shape[0]))
+        served = tids[:n_served]
+        per_slot, throughputs = self.grant_capacity_columns(served, snapshot)
+        append = grants.append
+        if throughputs is None:
+            for tid in served.tolist():
+                append(tid, 1, 1, None)
+        else:
+            for tid, packets, throughput in zip(
+                served.tolist(), per_slot.tolist(), throughputs.tolist()
+            ):
+                append(tid, 1, packets, throughput)
+        self.reservations.grant_many(served, frame_index)
+        unserved_rows.extend(rows[n_served:].tolist())
+        return slots_left - n_served
+
+    def _serve_data_rows_batch(
+        self,
+        pending: RequestColumns,
+        rows: np.ndarray,
+        population,
+        snapshot: ChannelSnapshot,
+        slots_left: int,
+        grants: GrantColumns,
+        unserved_rows: List[int],
+    ) -> int:
+        """FCFS data service over column rows (buffer-draining grants).
+
+        Mirrors the view paths' data loops: each live row gets enough slots
+        to drain its buffer at its channel's packets-per-slot, bounded by
+        what remains; once the frame is full the remaining rows become
+        unserved.
+        """
+        if not rows.shape[0]:
+            return slots_left
+        tids = pending.terminal_ids[rows]
+        occupancy = population.occupancy[tids]
+        live = occupancy > 0
+        if not live.all():
+            rows = rows[live]
+            tids = tids[live]
+            occupancy = occupancy[live]
+            if not rows.shape[0]:
+                return slots_left
+        per_slot, throughputs = self.grant_capacity_columns(tids, snapshot)
+        tid_list = tids.tolist()
+        occ_list = occupancy.tolist()
+        per_list = per_slot.tolist()
+        thr_list = throughputs.tolist() if throughputs is not None else None
+        row_list = rows.tolist()
+        append = grants.append
+        for position, tid in enumerate(tid_list):
+            if slots_left < 1:
+                unserved_rows.append(row_list[position])
+                continue
+            packets = per_list[position]
+            needed = math.ceil(occ_list[position] / max(1, packets))
+            n_slots = max(1, min(slots_left, needed))
+            append(
+                tid,
+                n_slots,
+                packets * n_slots,
+                thr_list[position] if thr_list is not None else None,
+            )
+            slots_left -= n_slots
+        return slots_left
 
     # ------------------------------------------------------------ metadata
     def describe(self) -> dict:

@@ -12,14 +12,19 @@ the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.traffic.permission import PermissionPolicy
 from repro.traffic.terminal import Terminal
 
-__all__ = ["ContentionResult", "run_contention"]
+__all__ = [
+    "ContentionResult",
+    "IndexContentionResult",
+    "run_contention",
+    "run_contention_ids",
+]
 
 
 @dataclass
@@ -107,4 +112,156 @@ def run_contention(
             result.idle_slots += 1
         else:
             result.collisions += 1
+    return result
+
+
+@dataclass
+class IndexContentionResult:
+    """Outcome of an index-native contention phase (no terminal objects).
+
+    ``winner_ids`` lists the successful terminals in minislot-resolution
+    order; ``remaining_ids`` / ``remaining_probabilities`` are the still
+    unserved contenders (aligned plain lists) for callers that continue a
+    request phase over multiple calls.  (DRMA manages its own candidate
+    lists instead — it must selectively *re-admit* data winners with deep
+    buffers, which a pure remainder cannot express.)
+    """
+
+    winner_ids: List[int] = field(default_factory=list)
+    attempts: int = 0
+    collisions: int = 0
+    idle_slots: int = 0
+    remaining_ids: List[int] = field(default_factory=list)
+    remaining_probabilities: List[float] = field(default_factory=list)
+
+
+#: Candidate count below which per-minislot resolution runs on plain Python
+#: scalars (the draw itself stays one batched ``rng.random(n)`` either way).
+_SCALAR_RESOLUTION_LIMIT = 24
+
+
+def run_contention_ids(
+    ids,
+    probabilities,
+    n_minislots: int,
+    rng: np.random.Generator,
+    fast: bool = False,
+) -> IndexContentionResult:
+    """Slotted contention over id/probability columns instead of objects.
+
+    The array-native twin of :func:`run_contention`: candidates are a dense
+    id sequence (array or list) plus an aligned per-candidate
+    permission-probability sequence, and winners come back as plain ids.
+    With ``fast=False`` the draws are one ``rng.random(n_remaining)`` per
+    non-empty minislot in minislot order — exactly the calls (sizes, order,
+    comparisons) the object path makes through
+    :meth:`PermissionPolicy.permits_many`, so the resolution is
+    bit-identical to :func:`run_contention` on the same candidates.  Small
+    pools resolve the comparison on Python scalars (cheaper than three
+    array kernels per minislot), large ones vectorise; the decisions are
+    identical either way.
+
+    With ``fast=True`` the whole request phase costs a single
+    ``rng.random((n_minislots, n_candidates))`` draw up front; already
+    successful candidates are masked out of later minislots instead of
+    shrinking the draw.  Each candidate's per-minislot transmission events
+    are still independent Bernoulli(p) trials, so the resolution process is
+    distributed identically to the scalar path — just not bit-identical,
+    which is why fast mode feeds this from a dedicated child stream.
+    """
+    if n_minislots < 0:
+        raise ValueError("n_minislots must be non-negative")
+    result = IndexContentionResult()
+    n = len(ids)
+    if n == 0:
+        result.idle_slots = n_minislots
+        return result
+
+    # The matrix draw only pays for itself when the request phase is large
+    # enough to amortise its fixed array cost; below that, fast mode keeps
+    # the scalar per-minislot resolution (drawing from its child stream —
+    # the processes are identically distributed either way).
+    if fast and n_minislots >= 6:
+        ids = np.asarray(ids, dtype=np.int64)
+        probabilities = np.asarray(probabilities, dtype=float)
+        # One draw and one comparison for the whole request phase; the
+        # per-minislot work is plain-int bookkeeping, with array fix-ups
+        # only on the rare minislots that produce a winner (whose later
+        # transmissions must stop counting).
+        transmitting = rng.random((n_minislots, n)) < probabilities
+        counts = transmitting.sum(axis=1, dtype=np.int64)
+        counts_list = counts.tolist()
+        active: Optional[np.ndarray] = None
+        n_active = n
+        for slot in range(n_minislots):
+            if n_active == 0:
+                result.idle_slots += n_minislots - slot
+                break
+            n_transmitters = counts_list[slot]
+            result.attempts += n_transmitters
+            if n_transmitters == 1:
+                row = transmitting[slot]
+                if active is None:
+                    index = int(np.argmax(row))
+                    active = np.ones(n, dtype=bool)
+                else:
+                    index = int(np.argmax(row & active))
+                result.winner_ids.append(int(ids[index]))
+                active[index] = False
+                n_active -= 1
+                if slot + 1 < n_minislots:
+                    later = transmitting[slot + 1 :, index]
+                    if later.any():
+                        corrected = counts[slot + 1 :] - later
+                        counts[slot + 1 :] = corrected
+                        counts_list[slot + 1 :] = corrected.tolist()
+            elif n_transmitters == 0:
+                result.idle_slots += 1
+            else:
+                result.collisions += 1
+        if active is None:
+            result.remaining_ids = ids.tolist()
+            result.remaining_probabilities = probabilities.tolist()
+        else:
+            result.remaining_ids = ids[active].tolist()
+            result.remaining_probabilities = probabilities[active].tolist()
+        return result
+
+    id_list = ids.tolist() if isinstance(ids, np.ndarray) else list(ids)
+    prob_list = (
+        probabilities.tolist()
+        if isinstance(probabilities, np.ndarray)
+        else list(probabilities)
+    )
+    prob_array: Optional[np.ndarray] = None
+    for _ in range(n_minislots):
+        k = len(id_list)
+        if k == 0:
+            result.idle_slots += 1
+            continue
+        draws = rng.random(size=k)
+        if k <= _SCALAR_RESOLUTION_LIMIT:
+            n_transmitters = 0
+            index = -1
+            for position, draw in enumerate(draws.tolist()):
+                if draw < prob_list[position]:
+                    n_transmitters += 1
+                    index = position
+        else:
+            if prob_array is None:
+                prob_array = np.asarray(prob_list, dtype=float)
+            permitted = draws < prob_array
+            n_transmitters = int(np.count_nonzero(permitted))
+            index = int(np.argmax(permitted)) if n_transmitters == 1 else -1
+        result.attempts += n_transmitters
+        if n_transmitters == 1:
+            result.winner_ids.append(id_list.pop(index))
+            prob_list.pop(index)
+            prob_array = None
+        elif n_transmitters == 0:
+            result.idle_slots += 1
+        else:
+            result.collisions += 1
+    result.remaining_ids = id_list
+    result.remaining_probabilities = prob_list
     return result

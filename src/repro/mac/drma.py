@@ -19,11 +19,13 @@ base-station request queue helps it very little (Section 5.1).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Sequence
+from typing import Deque, List, Optional, Sequence
+
+import numpy as np
 
 from repro.channel.manager import ChannelSnapshot
 from repro.mac.base import MACProtocol, terminal_lookup
-from repro.mac.contention import run_contention
+from repro.mac.contention import run_contention, run_contention_ids
 from repro.mac.frames import FrameStructure
 from repro.mac.requests import Acknowledgement, FrameOutcome, Request
 from repro.traffic.terminal import Terminal
@@ -123,6 +125,149 @@ class DRMAProtocol(MACProtocol):
         # Requests that succeeded too late in the frame to get a slot.
         leftovers = [r for r in to_serve if not r.is_reservation]
         self.queue_unserved(leftovers)
+        outcome.queued_requests = self.queued_count()
+        return outcome
+
+    def run_frame_batch(
+        self,
+        frame_index: int,
+        population,
+        snapshot: ChannelSnapshot,
+    ) -> FrameOutcome:
+        """Array-native frame: cursor-driven service, id-array contention.
+
+        The pending pool (reservation holders, backlog, same-frame winners)
+        lives in three parallel Python lists advanced by an integer cursor —
+        the index-array replacement for the deque of ``Request`` objects.
+        Each entry is visited at most once per frame (the cursor never moves
+        backwards), so service stays O(pending) even with hundreds of
+        backlogged data requests, and entries the frame never reaches remain
+        beyond the cursor exactly like unpopped deque entries — they are the
+        leftovers the queue-enabled variant stores.
+        """
+        self.reservations.release_ended_population(population)
+        self.prune_queue_batch(frame_index, population)
+        outcome = FrameOutcome(frame_index)
+        grants = outcome.use_grant_columns()
+
+        # Pending pool: reservation holders first, then the queued backlog.
+        reserved = self.reservations.reserved_ids(population)
+        pending_ids: List[int] = reserved.tolist()
+        pending_is_reservation: List[bool] = [True] * len(pending_ids)
+        # Backlog rows keep their Request object so re-queueing a leftover
+        # preserves its arrival frame; winner rows synthesise one on demand.
+        pending_requests: List[Optional[Request]] = [None] * len(pending_ids)
+        if self.request_queue is not None:
+            for request in self.request_queue.pop_all():
+                pending_ids.append(request.terminal_id)
+                pending_is_reservation.append(False)
+                pending_requests.append(request)
+
+        candidate_array, probability_array = self.contention_candidate_ids(
+            population
+        )
+        candidate_ids = candidate_array.tolist()
+        candidate_probabilities = probability_array.tolist()
+        if pending_ids:
+            already_served = set(pending_ids)
+            kept = [
+                (tid, probability)
+                for tid, probability in zip(candidate_ids, candidate_probabilities)
+                if tid not in already_served
+            ]
+            candidate_ids = [tid for tid, _ in kept]
+            candidate_probabilities = [probability for _, probability in kept]
+
+        # Whole-population scalar state as plain Python lists: the per-slot
+        # loop below reads them one entry at a time, where list indexing
+        # beats NumPy scalar extraction severalfold.
+        occupancy_list = population.occupancy.tolist()
+        voice_list = population.is_voice.tolist()
+        n = len(population)
+        adaptive = self.modem.is_adaptive
+        amplitude = snapshot.amplitude if adaptive else None
+        minislots = self.params.drma_minislots_per_info_slot
+        acknowledgements = outcome.acknowledgements
+        append_grant = grants.append
+        cursor = 0
+        request_slot_counter = 0
+
+        for _ in range(self.frame_structure.info_slots):
+            # Serve the next pending entry whose terminal still has packets
+            # (buffer states are frozen during the frame, so a skipped entry
+            # can never become serviceable again — the cursor drops it).
+            served_id = -1
+            while cursor < len(pending_ids):
+                tid = pending_ids[cursor]
+                is_reservation = pending_is_reservation[cursor]
+                cursor += 1
+                if 0 <= tid < n and occupancy_list[tid] > 0:
+                    served_id = tid
+                    break
+            if served_id >= 0:
+                if adaptive:
+                    per_slot, throughput = self.slot_capacity(
+                        float(amplitude[served_id])
+                    )
+                else:
+                    per_slot, throughput = 1, None
+                append_grant(served_id, 1, per_slot, throughput)
+                if voice_list[served_id] and not is_reservation:
+                    self.reservations.grant(served_id, frame_index)
+                continue
+
+            # Idle information slot: convert it into N_x request minislots.
+            contention = run_contention_ids(
+                candidate_ids,
+                candidate_probabilities,
+                minislots,
+                self.contention_rng,
+                fast=self.rng_fast,
+            )
+            outcome.contention_attempts += contention.attempts
+            outcome.contention_collisions += contention.collisions
+            outcome.idle_request_slots += contention.idle_slots
+            if not contention.winner_ids:
+                continue
+            dropped: List[int] = []
+            for winner in contention.winner_ids:
+                acknowledgements.append(
+                    Acknowledgement(winner, request_slot_counter, frame_index)
+                )
+                request_slot_counter += 1
+                pending_ids.append(winner)
+                pending_is_reservation.append(False)
+                pending_requests.append(None)
+                # A voice winner is about to obtain a reservation and stops
+                # contending; a data winner only gets a single slot per
+                # request, so if it has more packets than that it keeps
+                # contending in later converted slots of the same frame.
+                if voice_list[winner] or occupancy_list[winner] <= 1:
+                    dropped.append(winner)
+            if dropped:
+                drop = set(dropped)
+                kept = [
+                    (tid, probability)
+                    for tid, probability in zip(
+                        candidate_ids, candidate_probabilities
+                    )
+                    if tid not in drop
+                ]
+                candidate_ids = [tid for tid, _ in kept]
+                candidate_probabilities = [probability for _, probability in kept]
+
+        # Requests that succeeded too late in the frame to get a slot.
+        if self.request_queue is not None:
+            leftovers = [
+                pending_requests[index]
+                if pending_requests[index] is not None
+                else self.make_request_for_id(
+                    population, pending_ids[index], frame_index
+                )
+                for index in range(cursor, len(pending_ids))
+                if not pending_is_reservation[index]
+            ]
+            self.queue_unserved(leftovers)
         outcome.queued_requests = self.queued_count()
         return outcome
 

@@ -15,11 +15,18 @@ from __future__ import annotations
 import math
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.channel.manager import ChannelSnapshot
 from repro.mac.base import MACProtocol, terminal_lookup
-from repro.mac.contention import run_contention
+from repro.mac.contention import run_contention, run_contention_ids
 from repro.mac.frames import FrameStructure
-from repro.mac.requests import Acknowledgement, FrameOutcome, Request
+from repro.mac.requests import (
+    Acknowledgement,
+    FrameOutcome,
+    Request,
+    RequestColumns,
+)
 from repro.traffic.terminal import Terminal
 
 __all__ = ["DTDMAFRProtocol"]
@@ -93,6 +100,74 @@ class DTDMAFRProtocol(MACProtocol):
         )
 
         self.queue_unserved(unserved)
+        outcome.queued_requests = self.queued_count()
+        return outcome
+
+    def run_frame_batch(
+        self,
+        frame_index: int,
+        population,
+        snapshot: ChannelSnapshot,
+    ) -> FrameOutcome:
+        """Array-native frame: id-array contention, columnar FCFS service."""
+        self.reservations.release_ended_population(population)
+        self.prune_queue_batch(frame_index, population)
+        outcome = FrameOutcome(frame_index)
+        grants = outcome.use_grant_columns()
+        slots_left = self.frame_structure.info_slots
+
+        # Phase 0: reservation holders transmit without contention.
+        served = self.allocate_reserved_voice_batch(
+            population, snapshot, slots_left, grants
+        )
+        slots_left -= served.shape[0]
+
+        # Phase 1: request contention over the static request subframe.
+        ids, probabilities = self.contention_candidate_ids(population)
+        contention = run_contention_ids(
+            ids,
+            probabilities,
+            self.frame_structure.request_minislots,
+            self.contention_rng,
+            fast=self.rng_fast,
+        )
+        outcome.contention_attempts = contention.attempts
+        outcome.contention_collisions = contention.collisions
+        outcome.idle_request_slots = contention.idle_slots
+        acknowledgements = outcome.acknowledgements
+        for slot, winner in enumerate(contention.winner_ids):
+            acknowledgements.append(Acknowledgement(winner, slot, frame_index))
+        winner_ids = np.asarray(contention.winner_ids, dtype=np.int64)
+
+        # Phase 2: FCFS service — queued requests first, then this frame's,
+        # voice before data within each group.
+        backlog = (
+            self.request_queue.pop_all() if self.request_queue is not None else []
+        )
+        if not backlog and not winner_ids.shape[0]:
+            outcome.queued_requests = self.queued_count()
+            return outcome
+        new_columns = self.request_columns_for(population, winner_ids, frame_index)
+        if backlog:
+            pending = RequestColumns.concatenate(
+                [RequestColumns.from_requests(backlog), new_columns]
+            )
+        else:
+            pending = new_columns
+        voice_rows = np.nonzero(pending.is_voice)[0]
+        data_rows = np.nonzero(~pending.is_voice)[0]
+
+        unserved_rows: List[int] = []
+        slots_left = self._serve_voice_rows_batch(
+            pending, voice_rows, population, snapshot, frame_index,
+            slots_left, grants, unserved_rows,
+        )
+        slots_left = self._serve_data_rows_batch(
+            pending, data_rows, population, snapshot, slots_left, grants,
+            unserved_rows,
+        )
+
+        self.queue_unserved_rows(pending, unserved_rows)
         outcome.queued_requests = self.queued_count()
         return outcome
 

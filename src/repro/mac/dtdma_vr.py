@@ -20,7 +20,14 @@ __all__ = ["DTDMAVRProtocol"]
 
 
 class DTDMAVRProtocol(DTDMAFRProtocol):
-    """D-TDMA/FR's MAC on top of the adaptive physical layer."""
+    """D-TDMA/FR's MAC on top of the adaptive physical layer.
+
+    Inherits D-TDMA/FR's array-native ``run_frame_batch`` unchanged: the
+    shared kernels resolve per-grant capacities through the protocol's own
+    modem, so the adaptive PHY's variable packets-per-slot flows through
+    the same columnar capacity lookup
+    (:meth:`~repro.mac.base.MACProtocol.grant_capacity_columns`).
+    """
 
     name = "dtdma_vr"
     display_name = "D-TDMA/VR"

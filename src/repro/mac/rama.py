@@ -24,10 +24,17 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.channel.manager import ChannelSnapshot
 from repro.mac.base import MACProtocol, terminal_lookup
 from repro.mac.frames import FrameStructure
-from repro.mac.requests import Acknowledgement, FrameOutcome, Request
+from repro.mac.requests import (
+    Acknowledgement,
+    FrameOutcome,
+    Request,
+    RequestColumns,
+)
 from repro.traffic.terminal import Terminal
 
 __all__ = ["RAMAProtocol"]
@@ -133,5 +140,91 @@ class RAMAProtocol(MACProtocol):
             slots_left -= n_slots
 
         self.queue_unserved(unserved)
+        outcome.queued_requests = self.queued_count()
+        return outcome
+
+    def run_frame_batch(
+        self,
+        frame_index: int,
+        population,
+        snapshot: ChannelSnapshot,
+    ) -> FrameOutcome:
+        """Array-native frame: id-array auction, columnar FCFS service.
+
+        The auction's two scalar draws per contested slot (whole-ID tie,
+        uniform winner) are kept in the object path's exact order — the
+        auction is inherently sequential (each slot's pool depends on the
+        previous winners) and makes at most ``N_a`` draw pairs per frame, so
+        there is nothing worth batching even in fast mode.
+        """
+        self.reservations.release_ended_population(population)
+        self.prune_queue_batch(frame_index, population)
+        outcome = FrameOutcome(frame_index)
+        grants = outcome.use_grant_columns()
+        slots_left = self.frame_structure.info_slots
+
+        served = self.allocate_reserved_voice_batch(
+            population, snapshot, slots_left, grants
+        )
+        slots_left -= served.shape[0]
+
+        # Auction phase over candidate id lists (no permission gating); the
+        # pools are small, so plain-list bookkeeping beats array kernels.
+        candidate_array, _ = self.contention_candidate_ids(population)
+        remaining = candidate_array.tolist()
+        voice_flags = population.is_voice[candidate_array].tolist()
+        rng = self.rng
+        winner_ids: List[int] = []
+        acknowledgements = outcome.acknowledgements
+        for auction_slot in range(self.frame_structure.request_minislots):
+            n_remaining = len(remaining)
+            if n_remaining == 0:
+                outcome.idle_request_slots += 1
+                continue
+            outcome.contention_attempts += n_remaining
+            pool = [
+                tid for tid, voice in zip(remaining, voice_flags) if voice
+            ] or remaining
+            if rng.random() < self.whole_id_tie_probability(len(pool)):
+                outcome.contention_collisions += 1
+                continue
+            winner = pool[int(rng.integers(len(pool)))]
+            position = remaining.index(winner)
+            remaining.pop(position)
+            voice_flags.pop(position)
+            winner_ids.append(winner)
+            acknowledgements.append(
+                Acknowledgement(winner, auction_slot, frame_index)
+            )
+
+        backlog = (
+            self.request_queue.pop_all() if self.request_queue is not None else []
+        )
+        if not backlog and not winner_ids:
+            outcome.queued_requests = self.queued_count()
+            return outcome
+        new_columns = self.request_columns_for(
+            population, np.asarray(winner_ids, dtype=np.int64), frame_index
+        )
+        if backlog:
+            pending = RequestColumns.concatenate(
+                [RequestColumns.from_requests(backlog), new_columns]
+            )
+        else:
+            pending = new_columns
+        voice_rows = np.nonzero(pending.is_voice)[0]
+        data_rows = np.nonzero(~pending.is_voice)[0]
+
+        unserved_rows: List[int] = []
+        slots_left = self._serve_voice_rows_batch(
+            pending, voice_rows, population, snapshot, frame_index,
+            slots_left, grants, unserved_rows,
+        )
+        slots_left = self._serve_data_rows_batch(
+            pending, data_rows, population, snapshot, slots_left, grants,
+            unserved_rows,
+        )
+
+        self.queue_unserved_rows(pending, unserved_rows)
         outcome.queued_requests = self.queued_count()
         return outcome

@@ -103,9 +103,22 @@ def create_protocol(
     rng: np.random.Generator,
     use_request_queue: bool = False,
     modem: Optional[Modem] = None,
+    rng_mode: str = "parity",
+    contention_rng: Optional[np.random.Generator] = None,
 ) -> MACProtocol:
-    """Instantiate a protocol (and, unless provided, its physical layer)."""
+    """Instantiate a protocol (and, unless provided, its physical layer).
+
+    ``rng_mode`` / ``contention_rng`` select the protocol's random-draw
+    batching contract (see :class:`~repro.sim.scenario.Scenario.rng_mode`).
+    """
     cls = protocol_class(name)
     if modem is None:
         modem = build_modem(name, params)
-    return cls(params, modem, rng, use_request_queue=use_request_queue)
+    return cls(
+        params,
+        modem,
+        rng,
+        use_request_queue=use_request_queue,
+        rng_mode=rng_mode,
+        contention_rng=contention_rng,
+    )

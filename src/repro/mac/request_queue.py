@@ -15,7 +15,9 @@ order.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional
+
+import numpy as np
 
 from repro.mac.requests import Request
 
@@ -38,6 +40,16 @@ class RequestQueue:
             raise ValueError("capacity must be at least 1")
         self._capacity = int(capacity)
         self._queue: Deque[Request] = deque()
+        # Queued-request count per terminal id, so per-frame membership
+        # checks (every contention candidate is screened against the queue)
+        # are O(1) instead of a deque scan.
+        self._per_terminal: Dict[int, int] = {}
+
+    def _recount(self) -> None:
+        counts: Dict[int, int] = {}
+        for request in self._queue:
+            counts[request.terminal_id] = counts.get(request.terminal_id, 0) + 1
+        self._per_terminal = counts
 
     # ------------------------------------------------------------------ API
     @property
@@ -58,13 +70,26 @@ class RequestQueue:
 
     def contains_terminal(self, terminal_id: int) -> bool:
         """Whether a request from the given terminal is already queued."""
-        return any(r.terminal_id == terminal_id for r in self._queue)
+        return terminal_id in self._per_terminal
+
+    def terminal_id_array(self) -> np.ndarray:
+        """Ids of the terminals with at least one queued request (unsorted).
+
+        Used by the array-native candidate kernels to mask queued terminals
+        out of contention without iterating the deque per frame.
+        """
+        return np.fromiter(
+            self._per_terminal, dtype=np.int64, count=len(self._per_terminal)
+        )
 
     def push(self, request: Request) -> bool:
         """Queue a request; returns ``False`` if the queue is full."""
         if self.is_full:
             return False
         self._queue.append(request)
+        self._per_terminal[request.terminal_id] = (
+            self._per_terminal.get(request.terminal_id, 0) + 1
+        )
         return True
 
     def extend(self, requests: Iterable[Request]) -> int:
@@ -80,6 +105,7 @@ class RequestQueue:
         """Remove and return every queued request in FIFO order."""
         items = list(self._queue)
         self._queue.clear()
+        self._per_terminal.clear()
         return items
 
     def peek_all(self) -> List[Request]:
@@ -88,16 +114,23 @@ class RequestQueue:
 
     def remove_terminal(self, terminal_id: int) -> int:
         """Remove any queued requests of the given terminal."""
+        if terminal_id not in self._per_terminal:
+            return 0
         before = len(self._queue)
         self._queue = deque(r for r in self._queue if r.terminal_id != terminal_id)
+        del self._per_terminal[terminal_id]
         return before - len(self._queue)
 
     def drop_expired(self, current_frame: int) -> int:
         """Discard queued voice requests whose deadline has passed."""
         before = len(self._queue)
         self._queue = deque(r for r in self._queue if not r.is_expired(current_frame))
-        return before - len(self._queue)
+        dropped = before - len(self._queue)
+        if dropped:
+            self._recount()
+        return dropped
 
     def clear(self) -> None:
         """Empty the queue."""
         self._queue.clear()
+        self._per_terminal.clear()

@@ -77,6 +77,33 @@ class ReservationTable:
         """Frame at which the reservation was granted."""
         return self._granted_frame[terminal_id]
 
+    def grant_many(self, terminal_ids: Iterable[int], frame_index: int) -> None:
+        """Grant reservations to several terminals at once (idempotent)."""
+        granted = self._granted_frame
+        changed = False
+        for terminal_id in terminal_ids:
+            terminal_id = int(terminal_id)
+            if terminal_id < 0:
+                raise ValueError("terminal_id must be non-negative")
+            if terminal_id not in granted:
+                granted[terminal_id] = frame_index
+                changed = True
+        if changed:
+            self._holder_array = None
+
+    def reserved_ids(self, population) -> np.ndarray:
+        """Reservation-holding terminal ids with packets buffered (ascending).
+
+        The id-array twin of :meth:`reserved_terminals` for the array-native
+        MAC kernels: reads the population's state arrays directly and never
+        touches a per-terminal view.
+        """
+        if not self._granted_frame:
+            return np.zeros(0, dtype=np.int64)
+        ids = self.holder_array()
+        ids = ids[ids < len(population)]
+        return ids[population.is_voice[ids] & (population.occupancy[ids] > 0)]
+
     def release_ended_talkspurts(self, terminals: Iterable[Terminal]) -> int:
         """Release reservations of voice terminals whose talkspurt has ended.
 
@@ -91,18 +118,7 @@ class ReservationTable:
         """
         population = getattr(terminals, "population", None)
         if population is not None:
-            if not self._granted_frame:
-                return 0
-            ids = self.holder_array()
-            ids = ids[ids < len(population)]
-            releasable = ids[
-                population.is_voice[ids]
-                & ~population.in_talkspurt[ids]
-                & (population.occupancy[ids] == 0)
-            ]
-            for terminal_id in releasable:
-                self.release(int(terminal_id))
-            return int(releasable.shape[0])
+            return self.release_ended_population(population)
         released = 0
         for terminal in terminals:
             if not terminal.is_voice:
@@ -114,6 +130,25 @@ class ReservationTable:
                 self.release(terminal.terminal_id)
                 released += 1
         return released
+
+    def release_ended_population(self, population) -> int:
+        """Array-native :meth:`release_ended_talkspurts` over a population.
+
+        Only the current holders are inspected, against the population's
+        state arrays, instead of walking every terminal.
+        """
+        if not self._granted_frame:
+            return 0
+        ids = self.holder_array()
+        ids = ids[ids < len(population)]
+        releasable = ids[
+            population.is_voice[ids]
+            & ~population.in_talkspurt[ids]
+            & (population.occupancy[ids] == 0)
+        ]
+        for terminal_id in releasable:
+            self.release(int(terminal_id))
+        return int(releasable.shape[0])
 
     def reserved_terminals(self, terminals: Iterable[Terminal]) -> List[Terminal]:
         """Reservation holders among ``terminals`` that have packets to send.

@@ -23,11 +23,12 @@ the paper also notes.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.channel.manager import ChannelSnapshot
 from repro.mac.base import MACProtocol
-from repro.mac.contention import run_contention
+from repro.mac.contention import run_contention, run_contention_ids
 from repro.mac.frames import FrameStructure
 from repro.mac.requests import Acknowledgement, FrameOutcome
 from repro.traffic.terminal import Terminal
@@ -104,6 +105,59 @@ class RMAVProtocol(MACProtocol):
                     )
                     outcome.allocations.append(
                         self.build_allocation(winner, amplitude, n_slots)
+                    )
+                    slots_left -= n_slots
+
+        outcome.queued_requests = 0
+        return outcome
+
+    def run_frame_batch(
+        self,
+        frame_index: int,
+        population,
+        snapshot: ChannelSnapshot,
+    ) -> FrameOutcome:
+        """Array-native frame: reservation ids, one contention draw, one grant."""
+        self.reservations.release_ended_population(population)
+        outcome = FrameOutcome(frame_index)
+        grants = outcome.use_grant_columns()
+        slots_left = self.frame_structure.info_slots
+
+        served = self.allocate_reserved_voice_batch(
+            population, snapshot, slots_left, grants
+        )
+        slots_left -= served.shape[0]
+
+        ids, probabilities = self.contention_candidate_ids(population)
+        contention = run_contention_ids(
+            ids, probabilities, 1, self.contention_rng, fast=self.rng_fast
+        )
+        outcome.contention_attempts = contention.attempts
+        outcome.contention_collisions = contention.collisions
+        outcome.idle_request_slots = contention.idle_slots
+
+        if contention.winner_ids:
+            winner = contention.winner_ids[0]
+            outcome.acknowledgements.append(
+                Acknowledgement(winner, 0, frame_index)
+            )
+            occupancy = int(population.occupancy[winner])
+            if slots_left >= 1 and occupancy > 0:
+                per_slot, throughput = self.slot_capacity(
+                    float(snapshot.amplitude[winner])
+                )
+                if population.is_voice[winner]:
+                    grants.append(winner, 1, per_slot, throughput)
+                    slots_left -= 1
+                    self.reservations.grant(winner, frame_index)
+                else:
+                    needed = math.ceil(occupancy / max(1, per_slot))
+                    n_slots = min(
+                        self.params.rmav_pmax,
+                        max(1, min(slots_left, needed)),
+                    )
+                    grants.append(
+                        winner, n_slots, per_slot * n_slots, throughput
                     )
                     slots_left -= n_slots
 

@@ -168,3 +168,23 @@ class CSIEstimator:
             )
             for value in values
         ]
+
+    def estimate_amplitudes(self, true_amplitudes, frame_index: int) -> np.ndarray:
+        """Column form of :meth:`estimate_many`: estimated amplitudes only.
+
+        Consumes the random stream exactly like :meth:`estimate_many` (and
+        therefore like the equivalent sequence of scalar :meth:`estimate`
+        calls) but returns the clamped amplitude column directly — the
+        array-native MAC kernels keep the frame stamp in their own request
+        columns instead of materialising a :class:`CSIEstimate` per row.
+        """
+        amplitudes = np.asarray(true_amplitudes, dtype=float)
+        if amplitudes.size == 0:
+            return np.zeros(0, dtype=float)
+        if np.any(amplitudes < 0):
+            raise ValueError("true_amplitude must be non-negative")
+        if self._perfect:
+            return amplitudes.astype(float, copy=True)
+        std = self.estimation_std(0.0)
+        values = amplitudes + self._rng.normal(scale=std, size=amplitudes.shape[0])
+        return np.maximum(0.0, values)

@@ -104,6 +104,14 @@ class ModeTable:
             for i, (t, thr) in enumerate(zip(throughputs, thresholds))
         )
         self._thresholds_db = np.asarray(thresholds, dtype=float)
+        # (mode_index + 1)-addressed lookup columns, with row 0 = outage —
+        # shared by every vectorised per-grant capacity/throughput path.
+        self._throughput_lut = np.concatenate(
+            ([0.0], [m.throughput for m in self._modes])
+        )
+        self._packets_lut = np.concatenate(
+            ([0], [m.packets_per_slot(self._reference) for m in self._modes])
+        )
 
     # ------------------------------------------------------------------ API
     @property
@@ -164,12 +172,21 @@ class ModeTable:
             return None
         return self._modes[idx]
 
+    @property
+    def throughput_by_mode_index(self) -> np.ndarray:
+        """Throughput addressed by ``mode_index + 1`` (row 0 = outage = 0.0)."""
+        return self._throughput_lut
+
+    @property
+    def packets_by_mode_index(self) -> np.ndarray:
+        """Packets/slot addressed by ``mode_index + 1`` (row 0 = outage = 0)."""
+        return self._packets_lut
+
     def throughput_for_snr(self, snr_db) -> np.ndarray:
         """Vectorised normalised throughput (0 in outage) — Fig. 7b staircase."""
         snr = np.asarray(snr_db, dtype=float)
         idx = self.mode_index_for_snr(snr)
-        throughputs = np.concatenate(([0.0], [m.throughput for m in self._modes]))
-        result = throughputs[idx + 1]
+        result = self._throughput_lut[idx + 1]
         if np.isscalar(snr_db):
             return float(result)
         return result
@@ -178,10 +195,7 @@ class ModeTable:
         """Vectorised packets-per-slot (0 in outage)."""
         snr = np.asarray(snr_db, dtype=float)
         idx = self.mode_index_for_snr(snr)
-        per_mode = np.concatenate(
-            ([0], [m.packets_per_slot(self._reference) for m in self._modes])
-        )
-        result = per_mode[idx + 1]
+        result = self._packets_lut[idx + 1]
         if np.isscalar(snr_db):
             return int(result)
         return result

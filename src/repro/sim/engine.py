@@ -24,17 +24,22 @@ Two interchangeable simulation cores implement the frame loop:
 * ``"columnar"`` (the default): traffic state lives in a struct-of-arrays
   :class:`~repro.traffic.population.TerminalPopulation`, advanced by
   vectorised kernels; the frame's grants are transmitted through one batched
-  :meth:`~repro.phy.error_model.PacketErrorModel.transmit_batch` call; the
-  MAC layer sees thin per-index views and uses array fast paths for
-  candidate selection and reservation bookkeeping.
+  :meth:`~repro.phy.error_model.PacketErrorModel.transmit_batch` call; and
+  the MAC layer runs its array-native ``run_frame_batch`` kernels, emitting
+  grants as :class:`~repro.mac.requests.GrantColumns` the engine consumes
+  without materialising per-terminal views (``use_batch_mac=False`` forces
+  the retained view-walking ``run_frame`` path for differential testing).
 * ``"object"``: the original per-:class:`~repro.traffic.terminal.Terminal`
   Python loop, retained for differential testing.
 
-Both backends consume the run's random streams in exactly the same order
-(batched draws are stream-compatible with their scalar equivalents), so
-they produce **bit-identical** :class:`~repro.sim.results.SimulationResult`
-values under a common seed; ``tests/sim/test_backend_parity.py`` asserts it
-for all six protocols.
+In the default ``rng_mode="parity"`` both backends (and both MAC paths)
+consume the run's random streams in exactly the same order (batched draws
+are stream-compatible with their scalar equivalents), so they produce
+**bit-identical** :class:`~repro.sim.results.SimulationResult` values under
+a common seed; ``tests/sim/test_backend_parity.py`` asserts it for all six
+protocols.  ``rng_mode="fast"`` lets the columnar backend batch whole-frame
+draws from per-subsystem child streams instead — statistically equivalent,
+not bit-identical (see :class:`~repro.sim.scenario.Scenario`).
 
 Terminal ids must be dense (``terminal_id == population index``): both the
 :class:`~repro.channel.manager.ChannelSnapshot` row lookup and the columnar
@@ -44,6 +49,7 @@ raises a clear error for custom populations that violate it.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -86,11 +92,14 @@ class UplinkSimulationEngine:
         scenario: Scenario,
         params: Optional[SimulationParameters] = None,
         protocol: Optional[MACProtocol] = None,
+        use_batch_mac: Optional[bool] = None,
     ) -> None:
         self.scenario = scenario
         self.params = params if params is not None else SimulationParameters()
         self.streams = RandomStreams(scenario.seed)
         self.backend = scenario.engine_backend
+        self.rng_mode = scenario.rng_mode
+        rng_fast = self.rng_mode == "fast" and self.backend == "columnar"
 
         speed = (
             scenario.mobile_speed_kmh
@@ -112,7 +121,17 @@ class UplinkSimulationEngine:
         self.population: Optional[TerminalPopulation] = None
         if self.backend == "columnar":
             self.population = TerminalPopulation(
-                self.params, scenario.n_voice, scenario.n_data, self.streams["traffic"]
+                self.params,
+                scenario.n_voice,
+                scenario.n_data,
+                self.streams["traffic"],
+                rng_mode=self.rng_mode,
+                toggle_rng=(
+                    self.streams.child("traffic", "toggle") if rng_fast else None
+                ),
+                burst_rng=(
+                    self.streams.child("traffic", "burst") if rng_fast else None
+                ),
             )
             self.terminals: Sequence = self.population.views
         else:
@@ -128,8 +147,21 @@ class UplinkSimulationEngine:
                 self.params,
                 self.streams["mac"],
                 use_request_queue=scenario.use_request_queue,
+                rng_mode=self.rng_mode if self.backend == "columnar" else "parity",
+                contention_rng=(
+                    self.streams.child("mac", "contention") if rng_fast else None
+                ),
             )
         self.protocol = protocol
+        # The array-native MAC kernels drive the columnar backend by
+        # default; ``use_batch_mac=False`` forces the view-walking
+        # ``run_frame`` path instead (the kernel-equivalence suite compares
+        # the two head to head).
+        self._use_batch_mac = (
+            use_batch_mac
+            if use_batch_mac is not None
+            else self.backend == "columnar"
+        )
         self.error_model = PacketErrorModel(self.protocol.modem, self.streams["error"])
         self._reuse_snapshot_snr = snapshot_snr_compatible(
             self.protocol.modem, self.params
@@ -138,6 +170,10 @@ class UplinkSimulationEngine:
             self.params, self.protocol.frame_structure.info_slots
         )
         self._frame_index = 0
+        # Per-phase wall-time accumulators (traffic/channel/MAC/PHY/metrics);
+        # populated only after enable_phase_timing() switches the engine to
+        # the instrumented step, so the normal hot loop pays nothing.
+        self.phase_times: Optional[Dict[str, float]] = None
         # Channel snapshots for the columnar backend are produced in blocks
         # (one batched draw + one linear-filter evaluation per block, bit
         # identical to per-frame advancing); the buffer holds the frames the
@@ -156,9 +192,86 @@ class UplinkSimulationEngine:
 
     def step(self) -> FrameOutcome:
         """Advance the whole system by one TDMA frame."""
+        if self.phase_times is not None:
+            return self._step_timed()
         if self.population is not None:
             return self._step_columnar()
         return self._step_object()
+
+    def enable_phase_timing(self) -> Dict[str, float]:
+        """Switch to the instrumented step and return the accumulator.
+
+        Subsequent frames add their wall time to the returned dictionary
+        under ``traffic`` (source advance + deadline expiry), ``channel``
+        (fading evolution), ``mac`` (the protocol's request/allocation
+        phases), ``phy`` (grant execution through the error model) and
+        ``metrics`` (collection).  The split is what the benchmark harness
+        records in ``BENCH_engine.json`` and ``python -m repro profile
+        --json`` reports, so the next bottleneck is machine-readable.
+        """
+        if self.phase_times is None:
+            self.phase_times = {
+                "traffic": 0.0,
+                "channel": 0.0,
+                "mac": 0.0,
+                "phy": 0.0,
+                "metrics": 0.0,
+            }
+        return self.phase_times
+
+    def _step_timed(self) -> FrameOutcome:
+        """Instrumented twin of the step bodies (kept in sync with both).
+
+        One implementation covers both backends: each phase call dispatches
+        on ``self.population`` exactly like the untimed paths, and the
+        timers bracket the same five sections.
+        """
+        times = self.phase_times
+        frame = self._frame_index
+        population = self.population
+        columnar = population is not None
+
+        t0 = time.perf_counter()
+        snapshot = self._next_snapshot() if columnar else self.channels.advance_frame()
+        t1 = time.perf_counter()
+        times["channel"] += t1 - t0
+
+        if columnar:
+            voice_losses_before = population.voice_loss_total
+            population.advance_frame(frame)
+            population.drop_expired(frame)
+        else:
+            voice_losses_before = self._total_voice_losses()
+            for terminal in self.terminals:
+                terminal.advance_frame(frame)
+                terminal.drop_expired(frame)
+        t2 = time.perf_counter()
+        times["traffic"] += t2 - t1
+
+        if columnar and self._use_batch_mac:
+            outcome = self.protocol.run_frame_batch(frame, population, snapshot)
+        else:
+            outcome = self.protocol.run_frame(frame, self.terminals, snapshot)
+        t3 = time.perf_counter()
+        times["mac"] += t3 - t2
+
+        if columnar and outcome.grants is not None:
+            data_delivered = self._execute_grant_columns(outcome.grants, snapshot, frame)
+        elif columnar:
+            data_delivered = self._execute_allocations_batch(outcome, snapshot, frame)
+        else:
+            data_delivered = self._execute_allocations(outcome, snapshot, frame)
+        t4 = time.perf_counter()
+        times["phy"] += t4 - t3
+
+        if columnar:
+            voice_losses = population.voice_loss_total - voice_losses_before
+        else:
+            voice_losses = self._total_voice_losses() - voice_losses_before
+        self.collector.record_frame(outcome, data_delivered, voice_losses)
+        times["metrics"] += time.perf_counter() - t4
+        self._frame_index += 1
+        return outcome
 
     def run(self) -> SimulationResult:
         """Run warm-up plus the measured period and return the results."""
@@ -252,8 +365,14 @@ class UplinkSimulationEngine:
         population.advance_frame(frame)
         population.drop_expired(frame)
 
-        outcome = self.protocol.run_frame(frame, self.terminals, snapshot)
-        data_delivered = self._execute_allocations_batch(outcome, snapshot, frame)
+        if self._use_batch_mac:
+            outcome = self.protocol.run_frame_batch(frame, population, snapshot)
+        else:
+            outcome = self.protocol.run_frame(frame, self.terminals, snapshot)
+        if outcome.grants is not None:
+            data_delivered = self._execute_grant_columns(outcome.grants, snapshot, frame)
+        else:
+            data_delivered = self._execute_allocations_batch(outcome, snapshot, frame)
 
         voice_losses = population.voice_loss_total - voice_losses_before
         self.collector.record_frame(outcome, data_delivered, voice_losses)
@@ -326,6 +445,123 @@ class UplinkSimulationEngine:
             batch_n.append(min(allocation.packet_capacity, int(occupancy[tid])))
             batch_chan.append(snr_db[tid] if reuse_snr else amplitude[tid])
             throughput = allocation.throughput
+            if throughput is None:
+                batch_thr.append(np.nan)
+            else:
+                batch_thr.append(throughput)
+                any_throughput = True
+        flush()
+        return data_delivered
+
+    def _execute_grant_columns(self, grants, snapshot: ChannelSnapshot, frame: int) -> int:
+        """Consume a batch kernel's grant columns without touching objects.
+
+        The common case — every granted terminal distinct, as emitted by all
+        protocols except DRMA's multi-win frames — is one fancy-indexed
+        channel gather, one :meth:`transmit_batch` call and one
+        :meth:`apply_grants` pass.  Duplicate-terminal frames fall back to
+        the same flush-between-duplicates discipline as the object path, so
+        RNG draw order and buffer semantics stay bit-identical either way.
+        """
+        ids = grants.terminal_ids
+        if not ids:
+            return 0
+        if len(set(ids)) != len(ids):
+            return self._execute_grant_columns_segmented(grants, snapshot, frame)
+        population = self.population
+        ids_arr = np.asarray(ids, dtype=np.int64)
+        occupancy = population.occupancy[ids_arr]
+        caps = np.asarray(grants.packet_capacities, dtype=np.int64)
+        live = occupancy > 0
+        if not live.all():
+            ids_arr = ids_arr[live]
+            if not ids_arr.shape[0]:
+                return 0
+            occupancy = occupancy[live]
+            caps = caps[live]
+            throughputs = [
+                t for t, keep in zip(grants.throughputs, live) if keep
+            ]
+        else:
+            throughputs = grants.throughputs
+        counts = np.minimum(caps, occupancy)
+        reuse_snr = self._reuse_snapshot_snr
+        channel = (snapshot.snr_db if reuse_snr else snapshot.amplitude)[ids_arr]
+        if any(t is not None for t in throughputs):
+            throughput_arr = np.asarray(
+                [np.nan if t is None else t for t in throughputs], dtype=float
+            )
+        else:
+            throughput_arr = None
+        delivered = self.error_model.transmit_batch(
+            None if reuse_snr else channel,
+            counts,
+            throughput_arr,
+            snr_db=channel if reuse_snr else None,
+        )
+        return population.apply_grants(
+            ids_arr.tolist(), caps.tolist(), delivered, frame
+        )
+
+    def _execute_grant_columns_segmented(
+        self, grants, snapshot: ChannelSnapshot, frame: int
+    ) -> int:
+        """Duplicate-terminal grant columns: flush before each repeat.
+
+        Mirrors :meth:`_execute_allocations_batch`'s flush discipline so a
+        terminal's later grant in the same frame sees the buffer state its
+        earlier grants left (and the same RNG draw boundaries).
+        """
+        population = self.population
+        occupancy = population.occupancy
+        amplitude = snapshot.amplitude
+        snr_db = snapshot.snr_db
+        reuse_snr = self._reuse_snapshot_snr
+        n = len(population)
+
+        data_delivered = 0
+        batch_ids: List[int] = []
+        batch_caps: List[int] = []
+        batch_n: List[int] = []
+        batch_chan: List[float] = []
+        batch_thr: List[float] = []
+        any_throughput = False
+        batched = set()
+
+        def flush() -> None:
+            nonlocal data_delivered, any_throughput
+            if not batch_ids:
+                return
+            channel = np.asarray(batch_chan, dtype=float)
+            delivered = self.error_model.transmit_batch(
+                None if reuse_snr else channel,
+                np.asarray(batch_n, dtype=np.int64),
+                np.asarray(batch_thr, dtype=float) if any_throughput else None,
+                snr_db=channel if reuse_snr else None,
+            )
+            data_delivered += population.apply_grants(
+                batch_ids, batch_caps, delivered, frame
+            )
+            batch_ids.clear()
+            batch_caps.clear()
+            batch_n.clear()
+            batch_chan.clear()
+            batch_thr.clear()
+            any_throughput = False
+            batched.clear()
+
+        for tid, capacity, throughput in zip(
+            grants.terminal_ids, grants.packet_capacities, grants.throughputs
+        ):
+            if tid in batched:
+                flush()
+            if tid >= n or occupancy[tid] == 0:
+                continue
+            batched.add(tid)
+            batch_ids.append(tid)
+            batch_caps.append(capacity)
+            batch_n.append(min(capacity, int(occupancy[tid])))
+            batch_chan.append(snr_db[tid] if reuse_snr else amplitude[tid])
             if throughput is None:
                 batch_thr.append(np.nan)
             else:

@@ -41,6 +41,19 @@ class Scenario:
         objects.  Both produce bit-identical results under a common seed
         (the columnar kernels preserve the RNG call order); the object
         backend is retained for differential testing.
+    rng_mode:
+        Random-draw batching contract of the columnar backend.  ``"parity"``
+        (default) preserves the object backend's scalar RNG call order
+        exactly, so both backends stay bit-identical under a common seed —
+        the mode the differential suite and any paired cross-backend
+        comparison must use.  ``"fast"`` relaxes the ordering: stochastic
+        subsystems draw from independent per-subsystem child streams (see
+        :func:`repro.sim.rng.child_stream`) and batch a whole frame's draws
+        into single calls.  Fast-mode runs are statistically equivalent to
+        parity-mode runs (seed-averaged metrics agree within confidence
+        intervals; asserted by ``tests/sim/test_rng_fast_mode.py``) but not
+        bit-identical, which is the right trade for paper-scale sweeps.
+        Ignored by the object backend.
     """
 
     protocol: str
@@ -52,6 +65,7 @@ class Scenario:
     seed: int = 0
     mobile_speed_kmh: Optional[float] = None
     engine_backend: str = "columnar"
+    rng_mode: str = "parity"
 
     def __post_init__(self) -> None:
         if not self.protocol:
@@ -70,6 +84,10 @@ class Scenario:
             raise ValueError(
                 f"engine_backend must be 'columnar' or 'object', "
                 f"got {self.engine_backend!r}"
+            )
+        if self.rng_mode not in ("parity", "fast"):
+            raise ValueError(
+                f"rng_mode must be 'parity' or 'fast', got {self.rng_mode!r}"
             )
 
     @property

@@ -34,7 +34,7 @@ __all__ = [
 
 #: Version of the serialised result format.  Bump on any change to the
 #: result dataclasses; the store invalidates entries from other versions.
-SCHEMA_VERSION = 2  # v2: Scenario gained engine_backend (PR 3)
+SCHEMA_VERSION = 3  # v3: Scenario gained rng_mode (PR 4); v2: engine_backend
 
 
 class SerializationError(ValueError):

@@ -75,11 +75,28 @@ class TerminalPopulation:
         n_voice: int,
         n_data: int,
         rng: np.random.Generator,
+        rng_mode: str = "parity",
+        toggle_rng: Optional[np.random.Generator] = None,
+        burst_rng: Optional[np.random.Generator] = None,
     ) -> None:
         if n_voice < 0 or n_data < 0:
             raise ValueError("population sizes must be non-negative")
+        if rng_mode not in ("parity", "fast"):
+            raise ValueError(f"rng_mode must be 'parity' or 'fast', got {rng_mode!r}")
         self.params = params
         self._rng = rng
+        # Fast RNG mode batches each frame's event draws (talkspurt/silence
+        # toggles, burst arrivals) into single calls against dedicated child
+        # streams; parity mode replays the object backend's scalar draw
+        # order from the shared traffic stream.  Construction draws always
+        # come from the shared stream, so the initial population state is
+        # identical in both modes.
+        self._rng_fast = rng_mode == "fast"
+        if self._rng_fast:
+            self._toggle_rng = toggle_rng if toggle_rng is not None else rng.spawn(1)[0]
+            self._burst_rng = burst_rng if burst_rng is not None else rng.spawn(1)[0]
+        else:
+            self._toggle_rng = self._burst_rng = None
         self.n_voice = int(n_voice)
         self.n_data = int(n_data)
         n = self.n_voice + self.n_data
@@ -179,32 +196,36 @@ class TerminalPopulation:
         # global decrement may briefly take them negative.
         countdown -= 1
         if events.any():
-            # Ascending index order keeps the scalar draws in exactly the
-            # object backend's per-terminal order (voice ids precede data).
-            for i in events.nonzero()[0]:
-                if i < nv:
-                    if self.in_talkspurt[i]:
-                        self.in_talkspurt[i] = False
-                        duration = rng.exponential(params.mean_silence_s)
+            if self._rng_fast:
+                self._fire_events_fast(events, frame_index)
+            else:
+                # Ascending index order keeps the scalar draws in exactly
+                # the object backend's per-terminal order (voice ids precede
+                # data).
+                for i in events.nonzero()[0]:
+                    if i < nv:
+                        if self.in_talkspurt[i]:
+                            self.in_talkspurt[i] = False
+                            duration = rng.exponential(params.mean_silence_s)
+                        else:
+                            self.in_talkspurt[i] = True
+                            self._talkspurt_started_frame[i] = frame_index
+                            self.frames_since_packet[i] = 0
+                            duration = rng.exponential(params.mean_talkspurt_s)
+                        countdown[i] = self._duration_frames(duration)
                     else:
-                        self.in_talkspurt[i] = True
-                        self._talkspurt_started_frame[i] = frame_index
-                        self.frames_since_packet[i] = 0
-                        duration = rng.exponential(params.mean_talkspurt_s)
-                    countdown[i] = self._duration_frames(duration)
-                else:
-                    size = max(
-                        1,
-                        int(round(rng.exponential(params.mean_data_burst_packets))),
-                    )
-                    countdown[i] = self._duration_frames(
-                        rng.exponential(params.mean_data_interarrival_s)
-                    )
-                    self.data_generated[i] += size
-                    self.occupancy[i] += size
-                    self._segments[i].append([frame_index, size])
-                    if self.head_created[i] < 0:
-                        self.head_created[i] = frame_index
+                        size = max(
+                            1,
+                            int(round(rng.exponential(params.mean_data_burst_packets))),
+                        )
+                        countdown[i] = self._duration_frames(
+                            rng.exponential(params.mean_data_interarrival_s)
+                        )
+                        self.data_generated[i] += size
+                        self.occupancy[i] += size
+                        self._segments[i].append([frame_index, size])
+                        if self.head_created[i] < 0:
+                            self.head_created[i] = frame_index
 
         if nv:
             talking = self.in_talkspurt[:nv]
@@ -218,6 +239,102 @@ class TerminalPopulation:
                     self._segments[i].append([frame_index, 1])
                     if self.head_created[i] < 0:
                         self.head_created[i] = frame_index
+
+    def _fire_events_fast(self, events: np.ndarray, frame_index: int) -> None:
+        """Batched source-event draws (fast RNG mode).
+
+        Identical state transitions to the parity loop, but the frame's
+        draws collapse into one batched call per draw site — talkspurt and
+        silence durations from the ``toggle`` child stream, burst sizes and
+        inter-arrivals from the ``burst`` child stream — so the per-frame
+        RNG cost no longer scales with the number of firing terminals.
+        """
+        params = self.params
+        dt = self._dt
+        countdown = self.countdown
+        indices = events.nonzero()[0]
+        nv = self.n_voice
+
+        # One or two firing terminals (the common case: toggles and bursts
+        # are second-scale events against 2.5 ms frames) are cheaper as
+        # scalar draws from the same child streams — identically
+        # distributed, just without the array fixed costs.
+        if indices.shape[0] <= 2:
+            for i in indices.tolist():
+                if i < nv:
+                    if self.in_talkspurt[i]:
+                        self.in_talkspurt[i] = False
+                        mean = params.mean_silence_s
+                    else:
+                        self.in_talkspurt[i] = True
+                        self._talkspurt_started_frame[i] = frame_index
+                        self.frames_since_packet[i] = 0
+                        mean = params.mean_talkspurt_s
+                    countdown[i] = self._duration_frames(
+                        self._toggle_rng.exponential(mean)
+                    )
+                else:
+                    size = max(
+                        1,
+                        int(round(
+                            self._burst_rng.exponential(
+                                params.mean_data_burst_packets
+                            )
+                        )),
+                    )
+                    countdown[i] = self._duration_frames(
+                        self._burst_rng.exponential(
+                            params.mean_data_interarrival_s
+                        )
+                    )
+                    self.data_generated[i] += size
+                    self.occupancy[i] += size
+                    self._segments[i].append([frame_index, size])
+                    if self.head_created[i] < 0:
+                        self.head_created[i] = frame_index
+            return
+
+        voice_idx = indices[indices < nv]
+        data_idx = indices[indices >= nv]
+
+        if voice_idx.shape[0]:
+            talking = self.in_talkspurt[voice_idx]
+            means = np.where(
+                talking, params.mean_silence_s, params.mean_talkspurt_s
+            )
+            durations = (
+                self._toggle_rng.standard_exponential(voice_idx.shape[0]) * means
+            )
+            countdown[voice_idx] = np.maximum(
+                1, np.round(durations / dt).astype(np.int64)
+            )
+            self.in_talkspurt[voice_idx] = ~talking
+            starting = voice_idx[~talking]
+            self._talkspurt_started_frame[starting] = frame_index
+            self.frames_since_packet[starting] = 0
+
+        if data_idx.shape[0]:
+            k = data_idx.shape[0]
+            sizes = np.maximum(
+                1,
+                np.round(
+                    self._burst_rng.exponential(
+                        params.mean_data_burst_packets, size=k
+                    )
+                ).astype(np.int64),
+            )
+            gaps = self._burst_rng.exponential(
+                params.mean_data_interarrival_s, size=k
+            )
+            countdown[data_idx] = np.maximum(1, np.round(gaps / dt).astype(np.int64))
+            self.data_generated[data_idx] += sizes
+            self.occupancy[data_idx] += sizes
+            head_created = self.head_created
+            segments = self._segments
+            for i, size in zip(data_idx.tolist(), sizes.tolist()):
+                segments[i].append([frame_index, size])
+                if head_created[i] < 0:
+                    head_created[i] = frame_index
 
     def drop_expired(self, current_frame: int) -> int:
         """Drop buffered voice packets whose 20 ms deadline has passed.

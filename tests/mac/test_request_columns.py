@@ -1,0 +1,111 @@
+"""Unit tests for the columnar request/grant containers."""
+
+import numpy as np
+import pytest
+
+from repro.mac.requests import (
+    Allocation,
+    FrameOutcome,
+    GrantColumns,
+    Request,
+    RequestColumns,
+)
+from repro.phy.csi import CSIEstimate
+from repro.traffic.packets import TrafficKind
+
+
+def _requests():
+    return [
+        Request(terminal_id=3, kind=TrafficKind.VOICE, arrival_frame=10,
+                desired_packets=1, deadline_frame=17,
+                csi=CSIEstimate(amplitude=0.8, frame_index=10,
+                                validity_frames=2)),
+        Request(terminal_id=7, kind=TrafficKind.DATA, arrival_frame=8,
+                desired_packets=42),
+        Request(terminal_id=1, kind=TrafficKind.VOICE, arrival_frame=12,
+                is_reservation=True),
+    ]
+
+
+class TestRequestColumns:
+    def test_round_trip_preserves_every_field(self):
+        originals = _requests()
+        columns = RequestColumns.from_requests(originals, csi_validity=2)
+        rebuilt = columns.to_requests()
+        assert rebuilt == originals
+
+    def test_sentinels_encode_missing_values(self):
+        columns = RequestColumns.from_requests(_requests())
+        assert columns.deadline_frames[1] == -1
+        assert np.isnan(columns.csi_amplitudes[1])
+        assert columns.csi_frames[1] == -1
+        assert columns.frames_to_deadline(1, 100) is None
+        assert columns.frames_to_deadline(0, 12) == 5
+        assert columns.frames_to_deadline(0, 30) == 0
+
+    def test_set_csi_attaches_estimate(self):
+        columns = RequestColumns.from_requests(_requests())
+        columns.set_csi(1, 0.5, 9)
+        rebuilt = columns.to_requests([1])[0]
+        assert rebuilt.csi is not None
+        assert rebuilt.csi.amplitude == 0.5
+        assert rebuilt.csi.frame_index == 9
+
+    def test_concatenate_stacks_in_order(self):
+        first = RequestColumns.from_requests(_requests()[:1])
+        second = RequestColumns.from_requests(_requests()[1:])
+        merged = RequestColumns.concatenate([first, second])
+        assert len(merged) == 3
+        assert merged.to_requests() == _requests()
+
+    def test_empty(self):
+        empty = RequestColumns.empty()
+        assert len(empty) == 0
+        assert empty.to_requests() == []
+
+
+class TestGrantColumns:
+    def test_materialises_validated_allocations(self):
+        grants = GrantColumns()
+        grants.append(2, 1, 4, 3.0)
+        grants.append(5, 3, 3, None)
+        assert len(grants) == 2
+        assert grants.total_slots == 4
+        assert grants.to_allocations() == [
+            Allocation(terminal_id=2, n_slots=1, packet_capacity=4, throughput=3.0),
+            Allocation(terminal_id=5, n_slots=3, packet_capacity=3, throughput=None),
+        ]
+
+
+class TestFrameOutcome:
+    def test_grant_columns_back_lazy_allocations(self):
+        outcome = FrameOutcome(4)
+        grants = outcome.use_grant_columns()
+        grants.append(1, 2, 2, None)
+        assert outcome.n_allocated_slots == 2
+        assert outcome.allocations[0].terminal_id == 1
+        # materialisation is cached
+        assert outcome.allocations is outcome.allocations
+
+    def test_object_and_columnar_outcomes_compare_equal(self):
+        columnar = FrameOutcome(0)
+        columnar.use_grant_columns().append(3, 1, 1, None)
+        object_form = FrameOutcome(0)
+        object_form.allocations.append(
+            Allocation(terminal_id=3, n_slots=1, packet_capacity=1)
+        )
+        assert columnar == object_form
+
+    def test_mixing_representations_is_rejected(self):
+        outcome = FrameOutcome(0)
+        outcome.allocations.append(
+            Allocation(terminal_id=0, n_slots=1, packet_capacity=1)
+        )
+        with pytest.raises(RuntimeError):
+            outcome.use_grant_columns()
+
+    def test_counters_default_and_compare(self):
+        a, b = FrameOutcome(1), FrameOutcome(1)
+        assert a == b
+        b.contention_attempts = 2
+        assert a != b
