@@ -38,7 +38,9 @@ RECORD_PATH = REPO_ROOT / "BENCH_engine.json"
 
 #: Fraction of the committed fps a protocol may lose before the guard trips.
 ALLOWED_DROP = 0.25
-REPETITIONS = 2
+#: Matches the record's best-of-N so the two estimators are comparable
+#: (a best-of-2 re-measurement sits systematically below a best-of-4 record).
+REPETITIONS = 4
 
 PARAMS = SimulationParameters()
 
@@ -53,7 +55,8 @@ def _committed_record() -> dict:
     return json.loads(RECORD_PATH.read_text())
 
 
-def _frames_per_second(protocol: str, workload: dict) -> float:
+def _frames_per_second(protocol: str, workload: dict,
+                       macro_frames: int = 1) -> float:
     scenario = Scenario(
         protocol=protocol,
         n_voice=workload["n_voice"],
@@ -62,6 +65,7 @@ def _frames_per_second(protocol: str, workload: dict) -> float:
         warmup_s=workload["warmup_s"],
         seed=workload["seed"],
         engine_backend="columnar",
+        macro_frames=macro_frames,
     )
     engine = UplinkSimulationEngine(scenario, PARAMS)
     start = time.process_time()
@@ -98,5 +102,58 @@ def test_columnar_fps_not_regressed():
             }
     assert not failures, (
         "columnar frames/sec regressed more than "
+        f"{ALLOWED_DROP:.0%} below the committed BENCH_engine.json: {failures}"
+    )
+
+
+@pytest.mark.skipif(
+    not _guard_enabled(),
+    reason="perf guard is opt-in: set REPRO_BENCH_GUARD=1 on the machine "
+           "that produced BENCH_engine.json",
+)
+def test_macro_fps_and_speedup_not_regressed():
+    """Guard the macro-stepped record and its in-session speedup ratio.
+
+    Absolute macro fps is guarded like the columnar table (machine-drift
+    margin); the ``macro_over_columnar`` ratio is additionally re-measured
+    *in-session* — interleaved on the same machine state — so a quietly
+    dropped lookahead fast path (ratio collapse towards 1.0) trips the
+    guard even on a faster machine.
+    """
+    record = _committed_record()
+    latest = record.get("latest", {})
+    protocols = latest.get("protocols", {})
+    workload = latest.get("workload", {})
+    macro_frames = latest.get("macro_frames", 64)
+    guarded = {
+        name: row for name, row in protocols.items() if "macro_fps" in row
+    }
+    if not guarded or not workload:
+        pytest.skip("committed BENCH_engine.json has no macro record")
+
+    measured = {name: [0.0, 0.0] for name in guarded}  # [columnar, macro]
+    for _ in range(REPETITIONS):
+        for name in guarded:
+            measured[name][0] = max(
+                measured[name][0], _frames_per_second(name, workload))
+            measured[name][1] = max(
+                measured[name][1],
+                _frames_per_second(name, workload, macro_frames=macro_frames))
+
+    failures = {}
+    for name, row in guarded.items():
+        columnar_fps, macro_fps = measured[name]
+        floor_fps = row["macro_fps"] * (1.0 - ALLOWED_DROP)
+        ratio = macro_fps / columnar_fps
+        ratio_floor = row["macro_over_columnar"] * (1.0 - ALLOWED_DROP)
+        if macro_fps < floor_fps or ratio < ratio_floor:
+            failures[name] = {
+                "committed_macro_fps": row["macro_fps"],
+                "measured_macro_fps": round(macro_fps, 1),
+                "committed_ratio": row["macro_over_columnar"],
+                "measured_ratio": round(ratio, 3),
+            }
+    assert not failures, (
+        "macro-stepped performance regressed more than "
         f"{ALLOWED_DROP:.0%} below the committed BENCH_engine.json: {failures}"
     )

@@ -20,7 +20,16 @@ the frame-loop cost — traffic generation, deadline expiry, channel advance,
 grant execution and metrics accumulation.  The per-protocol table shows the
 speedup including each protocol's own MAC overhead.
 
-Two sections beyond the PR 3 record:
+Sections beyond the PR 3 record (``macro``/``dispatches`` added in PR 5):
+
+* the per-protocol table now carries ``macro_fps`` / ``macro_over_columnar``
+  — the macro-stepped frame loop (``Scenario.macro_frames=64``, bit
+  identical to per-frame in parity mode) against per-frame columnar
+  stepping, three-way interleaved with the object backend;
+* ``dispatches_per_frame`` — measured NumPy kernel dispatches per frame
+  per phase (``enable_phase_timing(count_dispatches=True)``) for the
+  per-frame and macro-stepped modes, so the dispatch floor the macro mode
+  attacks is tracked, not inferred.
 
 * ``mac_kernels`` — the array-native ``run_frame_batch`` kernels (parity
   and fast RNG modes) against the view-walking ``run_frame`` path on the
@@ -78,8 +87,13 @@ RNG_MODE_SEEDS = (1, 2, 3, 4, 5, 6)
 REFERENCE_PROTOCOL = "rmav"
 
 
+#: Macro block size the ``macro`` section measures (the CLI's recommended
+#: "large block" setting; bit-identical to per-frame in parity mode).
+MACRO_FRAMES = 64
+
+
 def _build_engine(protocol: str, backend: str, rng_mode: str, seed: int,
-                  use_batch_mac=None):
+                  use_batch_mac=None, macro_frames: int = 1):
     scenario = Scenario(
         protocol=protocol,
         n_voice=N_VOICE,
@@ -89,38 +103,81 @@ def _build_engine(protocol: str, backend: str, rng_mode: str, seed: int,
         seed=seed,
         engine_backend=backend,
         rng_mode=rng_mode,
+        macro_frames=macro_frames,
     )
     return UplinkSimulationEngine(scenario, PARAMS, use_batch_mac=use_batch_mac)
 
 
 def _run_timed(protocol: str, backend: str, rng_mode: str = "parity",
-               seed: int = SEED, use_batch_mac=None) -> tuple:
+               seed: int = SEED, use_batch_mac=None,
+               macro_frames: int = 1) -> tuple:
     """Run once; return (frames, cpu_seconds)."""
-    engine = _build_engine(protocol, backend, rng_mode, seed, use_batch_mac)
+    engine = _build_engine(protocol, backend, rng_mode, seed, use_batch_mac,
+                           macro_frames)
     start = time.process_time()
     engine.run()
     return engine.frame_index, time.process_time() - start
 
 
-def _frames_per_second(protocol: str, backend: str) -> float:
-    frames, elapsed = _run_timed(protocol, backend)
+def _frames_per_second(protocol: str, backend: str,
+                       macro_frames: int = 1) -> float:
+    frames, elapsed = _run_timed(protocol, backend,
+                                 macro_frames=macro_frames)
     return frames / elapsed
 
 
 def measure() -> dict:
-    """Interleaved best-of-N frames/sec for both backends, per protocol."""
+    """Interleaved best-of-N frames/sec per protocol: object vs columnar
+    vs macro-stepped columnar (three-way interleave, one quotient base)."""
     protocols = {}
     for protocol in available_protocols():
-        best = {"object": 0.0, "columnar": 0.0}
+        best = {"object": 0.0, "columnar": 0.0, "macro": 0.0}
         for _ in range(REPETITIONS):
-            for backend in ("object", "columnar"):
-                best[backend] = max(best[backend], _frames_per_second(protocol, backend))
+            best["object"] = max(
+                best["object"], _frames_per_second(protocol, "object"))
+            best["columnar"] = max(
+                best["columnar"], _frames_per_second(protocol, "columnar"))
+            best["macro"] = max(
+                best["macro"],
+                _frames_per_second(protocol, "columnar",
+                                   macro_frames=MACRO_FRAMES))
         protocols[protocol] = {
             "object_fps": round(best["object"], 1),
             "columnar_fps": round(best["columnar"], 1),
+            "macro_fps": round(best["macro"], 1),
             "speedup": round(best["columnar"] / best["object"], 3),
+            "macro_over_columnar": round(best["macro"] / best["columnar"], 3),
+            "macro_over_object": round(best["macro"] / best["object"], 3),
         }
     return protocols
+
+
+def measure_dispatches() -> dict:
+    """Measured NumPy kernel dispatches per frame, per phase, per mode.
+
+    A short instrumented pass (the ``sys.setprofile`` hook slows the loop,
+    so it never contaminates the fps numbers) — the frame loop's dispatch
+    floor tracked, not inferred.
+    """
+    dispatches = {}
+    for protocol in available_protocols():
+        row = {}
+        for label, macro_frames in (("columnar", 1), ("macro", MACRO_FRAMES)):
+            engine = _build_engine(protocol, "columnar", "parity", SEED,
+                                   macro_frames=macro_frames)
+            engine.enable_phase_timing(count_dispatches=True)
+            try:
+                engine.run_frames(512)
+                counts = dict(engine.dispatch_counts)
+            finally:
+                engine.disable_phase_timing()
+            per_phase = {
+                phase: round(calls / 512, 2) for phase, calls in counts.items()
+            }
+            per_phase["total"] = round(sum(counts.values()) / 512, 2)
+            row[label] = per_phase
+        dispatches[protocol] = row
+    return dispatches
 
 
 #: The in-session MAC-architecture comparison configurations:
@@ -200,6 +257,7 @@ def test_bench_hotpath_backends():
     protocols = measure()
     kernels = measure_mac_kernels()
     phase_split = measure_phase_split()
+    dispatches = measure_dispatches()
     reference = protocols[REFERENCE_PROTOCOL]
 
     # Trajectory vs the PR 3-era record, per protocol: how much *additional*
@@ -245,8 +303,10 @@ def test_bench_hotpath_backends():
             **reference,
         },
         "protocols": protocols,
+        "macro_frames": MACRO_FRAMES,
         "mac_kernels": kernels,
         "phase_split": phase_split,
+        "dispatches_per_frame": dispatches,
         "vs_pr3": vs_pr3,
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
@@ -262,6 +322,8 @@ def test_bench_hotpath_backends():
     table = "\n".join(
         f"  {name:10s} object {row['object_fps']:9.0f} fps   "
         f"columnar {row['columnar_fps']:9.0f} fps   {row['speedup']:.2f}x   "
+        f"macro {row['macro_fps']:9.0f} fps "
+        f"({row['macro_over_columnar']:.2f}x)   "
         f"kernels view {kernels[name]['view_fps']:8.0f} "
         f"batch {kernels[name]['batch_fps']:8.0f} "
         f"fast {kernels[name]['fast_fps']:8.0f}"
@@ -279,3 +341,22 @@ def test_bench_hotpath_backends():
     # protocols: the kernelised MAC keeps it under three quarters.
     for name, split in phase_split.items():
         assert split["mac"] < 0.75, (name, split)
+    # The macro-stepped mode must decisively beat per-frame stepping on the
+    # reservation-heavy reference protocols (the lookahead's home turf) and
+    # never lose elsewhere (fallback frames still enjoy fused traffic).
+    for name in ("rmav", "dtdma_vr"):
+        assert protocols[name]["macro_over_columnar"] > 1.5, (
+            name, protocols[name],
+        )
+    for name, row in protocols.items():
+        assert row["macro_over_columnar"] > 0.9, (name, row)
+    # The RAMA batch kernel must pay for itself again (the small-pool
+    # columnar round-tripping regression).
+    assert kernels["rama"]["batch_over_view"] > 1.0, kernels["rama"]
+    # The macro mode must actually lower the measured dispatch floor on the
+    # lookahead protocols.
+    for name in ("rmav", "dtdma_vr"):
+        assert (
+            dispatches[name]["macro"]["total"]
+            < dispatches[name]["columnar"]["total"]
+        ), (name, dispatches[name])

@@ -1,0 +1,33 @@
+"""Optional compiled-kernel seam (feature-detected numba, numpy fallback).
+
+The macro-stepped frame loop reduces the engine to a handful of large array
+kernels per block plus a few irreducible scalar recursions — per-minislot
+contention resolution is the archetype: each minislot's outcome depends on
+the previous winners, so it cannot be expressed as one array expression.
+``repro.accel`` is the seam those recursions compile through:
+
+* when :mod:`numba` is importable, hot scalar kernels are JIT-compiled once
+  per process (:data:`HAS_NUMBA` is ``True``);
+* otherwise every kernel falls back to a pure-NumPy implementation with
+  **identical results** — numba is an accelerator, never a dependency.
+
+Nothing outside this package may import numba directly; gate new compiled
+kernels behind the same pattern (define the fallback first, overwrite with
+the jitted twin inside the ``if HAS_NUMBA`` block).  The CI matrix includes
+a job without numba installed, proving the fallback path imports and passes
+the parity suite.
+"""
+
+from __future__ import annotations
+
+from repro.accel.kernels import (
+    HAS_NUMBA,
+    contention_round_scan,
+    voice_generation_offsets,
+)
+
+__all__ = [
+    "HAS_NUMBA",
+    "contention_round_scan",
+    "voice_generation_offsets",
+]

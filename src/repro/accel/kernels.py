@@ -1,0 +1,130 @@
+"""Compiled scalar kernels with bit-identical pure-NumPy fallbacks.
+
+Every kernel here is written twice: a NumPy implementation that is always
+available, and (when :mod:`numba` imports) a JIT-compiled twin registered
+under the same name.  Both produce identical outputs for identical inputs —
+the macro engine's parity guarantees must not depend on whether numba is
+installed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["HAS_NUMBA", "contention_round_scan", "voice_generation_offsets"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAS_NUMBA = True
+except ImportError:  # pragma: no cover - the container default
+    numba = None
+    HAS_NUMBA = False
+
+
+def contention_round_scan(
+    draws: np.ndarray, probabilities: np.ndarray
+) -> Tuple[np.ndarray, int, int]:
+    """Scan one contention round for the first successful minislot.
+
+    Parameters
+    ----------
+    draws:
+        Uniform draws, shape ``(rows, k)`` — row ``r`` holds minislot ``r``'s
+        per-candidate permission draws.
+    probabilities:
+        Per-candidate permission probabilities, shape ``(k,)``.
+
+    Returns
+    -------
+    (counts, first_single_row, winner_column)
+        ``counts[r]`` is the number of transmitters in minislot ``r``;
+        ``first_single_row`` is the first row with exactly one transmitter
+        (``-1`` if none) and ``winner_column`` that transmitter's column
+        (``-1`` if none).  Rows after ``first_single_row`` use stale
+        candidate pools, so callers must only consume ``counts`` up to and
+        including that row; the compiled kernel stops computing there and
+        leaves later entries at zero.
+    """
+    hits = draws < probabilities
+    counts = hits.sum(axis=1, dtype=np.int64)
+    singles = np.nonzero(counts == 1)[0]
+    if singles.shape[0] == 0:
+        return counts, -1, -1
+    row = int(singles[0])
+    return counts, row, int(np.argmax(hits[row]))
+
+
+def voice_generation_offsets(
+    since: np.ndarray, period: int, gap: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Frame offsets at which talking terminals generate during a quiet gap.
+
+    A terminal whose talkspurt counter reads ``since`` frames generates a
+    voice packet at every offset ``o`` in ``[0, gap)`` with
+    ``(since + o) % period == 0``.  Returns ``(offsets, rows)`` — parallel
+    arrays naming, in offset-major order per row, each generation event of
+    the gap (``rows`` indexes into ``since``).
+    """
+    firsts = (-since) % period
+    counts = np.maximum(0, (gap - firsts + period - 1) // period)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    rows = np.repeat(np.arange(since.shape[0], dtype=np.int64), counts)
+    starts = np.cumsum(counts) - counts
+    intra = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    offsets = np.repeat(firsts, counts) + period * intra
+    return offsets, rows
+
+
+if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def _contention_round_scan_jit(draws, probabilities):
+        rows, k = draws.shape
+        counts = np.zeros(rows, dtype=np.int64)
+        for r in range(rows):
+            n = 0
+            col = -1
+            for c in range(k):
+                if draws[r, c] < probabilities[c]:
+                    n += 1
+                    col = c
+            counts[r] = n
+            if n == 1:
+                return counts, r, col
+        return counts, -1, -1
+
+    @numba.njit(cache=True)
+    def _voice_generation_offsets_jit(since, period, gap):
+        n = since.shape[0]
+        total = 0
+        for i in range(n):
+            first = (-since[i]) % period
+            if first < gap:
+                total += (gap - first + period - 1) // period
+        offsets = np.empty(total, dtype=np.int64)
+        rows = np.empty(total, dtype=np.int64)
+        pos = 0
+        for i in range(n):
+            o = (-since[i]) % period
+            while o < gap:
+                offsets[pos] = o
+                rows[pos] = i
+                pos += 1
+                o += period
+        return offsets, rows
+
+    def contention_round_scan(draws, probabilities):  # noqa: F811
+        return _contention_round_scan_jit(
+            np.ascontiguousarray(draws), np.ascontiguousarray(probabilities)
+        )
+
+    def voice_generation_offsets(since, period, gap):  # noqa: F811
+        return _voice_generation_offsets_jit(
+            np.ascontiguousarray(since), period, gap
+        )

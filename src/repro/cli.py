@@ -149,6 +149,12 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser,
                              "batches whole-frame draws from per-subsystem "
                              "child streams (statistically equivalent, "
                              "fastest for paper-scale sweeps)")
+    parser.add_argument("--macro-frames", type=int, default=1,
+                        dest="macro_frames", metavar="K",
+                        help="macro-step the columnar frame loop in blocks "
+                             "of K frames (fused multi-frame kernels with "
+                             "reservation lookahead; bit-identical to K=1 "
+                             "in parity mode; try 16 or 64)")
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="serve finished runs from (and persist new runs "
                              "to) the result store in DIR")
@@ -166,6 +172,7 @@ def _scenario_from_args(args: argparse.Namespace, protocol: Optional[str] = None
         mobile_speed_kmh=args.speed,
         engine_backend=getattr(args, "backend", "columnar"),
         rng_mode=getattr(args, "rng_mode", "parity"),
+        macro_frames=getattr(args, "macro_frames", 1),
     )
 
 
@@ -271,6 +278,26 @@ def _command_profile(args: argparse.Namespace) -> int:
         frames = engine.frame_index
         total_phase = sum(phases.values()) or 1.0
 
+        # Kernel-dispatch counts come from a short separate pass: the
+        # sys.setprofile hook that observes NumPy entries slows the loop
+        # several fold, so it must not contaminate the fps measurement.
+        counted = UplinkSimulationEngine(scenario, params)
+        counted.enable_phase_timing(count_dispatches=True)
+        count_frames = min(
+            400, scenario.warmup_frames(params) + scenario.measured_frames(params)
+        )
+        try:
+            counted.run_frames(count_frames)
+            dispatch_counts = dict(counted.dispatch_counts or {})
+        finally:
+            # The dispatch hook is a process-wide sys.setprofile; it must
+            # not outlive this pass even on an interrupted run.
+            counted.disable_phase_timing()
+        dispatches = {
+            phase: round(calls / count_frames, 2)
+            for phase, calls in dispatch_counts.items()
+        } if count_frames else {}
+
         profiled = UplinkSimulationEngine(scenario, params)
         profiler = cProfile.Profile()
         profiler.enable()
@@ -300,10 +327,13 @@ def _command_profile(args: argparse.Namespace) -> int:
             "voice_loss_rate": result.voice.loss_rate,
             "data_throughput_packets_per_frame":
                 result.data.throughput_packets_per_frame,
+            "macro_frames": scenario.macro_frames,
             "phase_seconds": {k: round(v, 6) for k, v in phases.items()},
             "phase_fraction": {
                 k: round(v / total_phase, 4) for k, v in phases.items()
             },
+            "dispatches_per_frame": dispatches,
+            "dispatches_per_frame_total": round(sum(dispatches.values()), 2),
             "top_functions": rows,
             "sort": args.sort,
         }
@@ -326,7 +356,7 @@ def _command_profile(args: argparse.Namespace) -> int:
 
 
 def _selftest_backend_parity() -> bool:
-    """Columnar and object backends must produce identical results."""
+    """Columnar, object and macro-stepped engines must agree exactly."""
     from repro.sim.runner import run_simulation
 
     for protocol in ("charisma", "dtdma_vr", "rama"):
@@ -340,7 +370,11 @@ def _selftest_backend_parity() -> bool:
         if results["columnar"].summary() != results["object"].summary():
             print(f"  MISMATCH: engine backends disagree for {protocol}")
             return False
-    print("  engine backends    columnar == object for 3 protocols")
+        macro = run_simulation(base.with_overrides(macro_frames=16))
+        if macro.summary() != results["columnar"].summary():
+            print(f"  MISMATCH: macro-stepped engine disagrees for {protocol}")
+            return False
+    print("  engine backends    columnar == object == macro-16 for 3 protocols")
     return True
 
 

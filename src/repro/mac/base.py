@@ -143,6 +143,13 @@ class MACProtocol(abc.ABC):
     uses_csi_scheduling: ClassVar[bool] = False
     #: Whether the optional base-station request queue is meaningful.
     supports_request_queue: ClassVar[bool] = True
+    #: Whether the macro-stepped engine may execute this protocol's frames
+    #: inline (reservation lookahead).  Requires that a frame with an empty
+    #: request queue draws randomness *only* through contention — protocols
+    #: with additional per-frame draws (CHARISMA's CSI estimation) and
+    #: custom subclasses leave this False and run their per-frame kernel
+    #: inside macro blocks instead.
+    supports_macro_lookahead: ClassVar[bool] = False
 
     def __init__(
         self,
@@ -737,6 +744,32 @@ class MACProtocol(abc.ABC):
             )
             slots_left -= n_slots
         return slots_left
+
+    # ------------------------------------------------- macro-step lookahead
+    def macro_minislots(self) -> Optional[int]:
+        """Request minislots the macro engine may resolve inline per frame.
+
+        ``None`` (default) means contended frames cannot be fast-pathed:
+        the macro engine only handles frames with an *empty* contention
+        candidate set inline and falls back to the per-frame kernel
+        otherwise.  The slotted-ALOHA FCFS protocols return their request
+        subframe size — their whole request phase is permission draws the
+        engine can serve from a pre-drawn pool.
+        """
+        return None
+
+    def macro_quiet_idle_slots(self, n_served: int) -> int:
+        """Idle request minislots reported by a zero-candidate frame.
+
+        ``n_served`` is the number of reservation grants the frame made
+        (protocols whose contention opportunities depend on frame occupancy
+        — DRMA — override this).
+        """
+        return self.frame_structure.request_minislots
+
+    def macro_data_slot_cap(self) -> Optional[int]:
+        """Upper bound on one data grant's slots (``None`` = frame-limited)."""
+        return None
 
     # ------------------------------------------------------------ metadata
     def describe(self) -> dict:

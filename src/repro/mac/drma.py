@@ -41,6 +41,18 @@ class DRMAProtocol(MACProtocol):
     uses_adaptive_phy = False
     uses_csi_scheduling = False
     supports_request_queue = True
+    #: Quiet frames (no contenders, empty queue) reduce to serving the
+    #: reservation holders and idling the converted minislots of every
+    #: unassigned slot — no draws — so the macro engine runs them inline;
+    #: any contended frame takes the per-frame kernel (its winners re-enter
+    #: the same frame's slot loop, which a flat pool cannot express).
+    supports_macro_lookahead = True
+
+    def macro_quiet_idle_slots(self, n_served: int) -> int:
+        """Unassigned slots convert to ``N_x`` idle request minislots each."""
+        return (
+            self.frame_structure.info_slots - n_served
+        ) * self.params.drma_minislots_per_info_slot
 
     # ------------------------------------------------------------ interface
     def _build_frame_structure(self) -> FrameStructure:

@@ -40,6 +40,10 @@ class DTDMAFRProtocol(MACProtocol):
     uses_adaptive_phy = False
     uses_csi_scheduling = False
     supports_request_queue = True
+    #: The whole request phase is slotted-ALOHA permission draws and the
+    #: allocation phase draws nothing, so the macro engine executes frames
+    #: inline whenever the base-station queue is empty.
+    supports_macro_lookahead = True
 
     # ------------------------------------------------------------ interface
     def _build_frame_structure(self) -> FrameStructure:
@@ -170,6 +174,10 @@ class DTDMAFRProtocol(MACProtocol):
         self.queue_unserved_rows(pending, unserved_rows)
         outcome.queued_requests = self.queued_count()
         return outcome
+
+    def macro_minislots(self) -> int:
+        """The static request subframe, resolvable from a pre-drawn pool."""
+        return self.frame_structure.request_minislots
 
     # -------------------------------------------------------------- service
     def _serve_voice(

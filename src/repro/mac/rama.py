@@ -48,6 +48,11 @@ class RAMAProtocol(MACProtocol):
     uses_adaptive_phy = False
     uses_csi_scheduling = False
     supports_request_queue = True
+    #: Quiet frames (no contenders, empty queue) draw nothing — the auction
+    #: never runs — so the macro engine may execute them inline.  Contested
+    #: frames always resolve a winner (guaranteed progress), hence no
+    #: ``macro_minislots``: they take the per-frame kernel.
+    supports_macro_lookahead = True
 
     # ------------------------------------------------------------ interface
     def _build_frame_structure(self) -> FrameStructure:
@@ -200,7 +205,12 @@ class RAMAProtocol(MACProtocol):
         backlog = (
             self.request_queue.pop_all() if self.request_queue is not None else []
         )
-        if not backlog and not winner_ids:
+        if not backlog:
+            if winner_ids:
+                self._serve_winners_scalar(
+                    winner_ids, population, snapshot, frame_index,
+                    slots_left, grants,
+                )
             outcome.queued_requests = self.queued_count()
             return outcome
         new_columns = self.request_columns_for(
@@ -228,3 +238,53 @@ class RAMAProtocol(MACProtocol):
         self.queue_unserved_rows(pending, unserved_rows)
         outcome.queued_requests = self.queued_count()
         return outcome
+
+    def _serve_winners_scalar(
+        self,
+        winner_ids: List[int],
+        population,
+        snapshot: ChannelSnapshot,
+        frame_index: int,
+        slots_left: int,
+        grants,
+    ) -> None:
+        """FCFS service of a backlog-free frame's auction winners.
+
+        The auction yields at most ``N_a`` winners per frame, so columnising
+        them (nine array allocations, masked row scans) costs more than it
+        saves — this was the ``batch_over_view`` regression.  Plain scalar
+        service over the handful of winners is decision-for-decision (and
+        queue-entry-for-queue-entry) identical to the columnar
+        ``_serve_voice_rows_batch`` / ``_serve_data_rows_batch`` pair on the
+        same single-frame pool.
+        """
+        occupancy = population.occupancy
+        is_voice = population.is_voice
+        amplitude = snapshot.amplitude
+        unserved: List[int] = []
+        append = grants.append
+        for want_voice in (True, False):
+            for tid in winner_ids:
+                if bool(is_voice[tid]) is not want_voice:
+                    continue
+                occ = int(occupancy[tid])
+                if occ == 0:
+                    continue
+                if slots_left < 1:
+                    unserved.append(tid)
+                    continue
+                per_slot, throughput = self.slot_capacity(float(amplitude[tid]))
+                if want_voice:
+                    append(tid, 1, per_slot, throughput)
+                    slots_left -= 1
+                    self.reservations.grant(tid, frame_index)
+                else:
+                    needed = -(-occ // max(1, per_slot))
+                    n_slots = max(1, min(slots_left, needed))
+                    append(tid, n_slots, per_slot * n_slots, throughput)
+                    slots_left -= n_slots
+        if unserved and self.request_queue is not None:
+            self.request_queue.extend(
+                self.make_request_for_id(population, tid, frame_index)
+                for tid in unserved
+            )

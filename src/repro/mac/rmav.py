@@ -44,6 +44,11 @@ class RMAVProtocol(MACProtocol):
     uses_adaptive_phy = False
     uses_csi_scheduling = False
     supports_request_queue = False
+    #: A frame draws randomness only through the single competitive slot's
+    #: permission draws, so the macro engine can execute whole blocks inline
+    #: — including RMAV's long winnerless stretches under overload, which
+    #: resolve as one pre-drawn contention matrix per block.
+    supports_macro_lookahead = True
 
 
     # ------------------------------------------------------------ interface
@@ -110,6 +115,14 @@ class RMAVProtocol(MACProtocol):
 
         outcome.queued_requests = 0
         return outcome
+
+    def macro_minislots(self) -> int:
+        """One competitive slot per frame (see :meth:`run_frame`)."""
+        return 1
+
+    def macro_data_slot_cap(self) -> int:
+        """Data winners are capped at ``P_max`` slots per request."""
+        return self.params.rmav_pmax
 
     def run_frame_batch(
         self,

@@ -120,6 +120,30 @@ class MetricsCollector:
         self._data_delivered_per_frame.append(int(data_delivered))
         self._voice_loss_events_per_frame.append(int(voice_losses))
 
+    def record_block(self, frame_records) -> None:
+        """Record many frames in one call (macro-stepped engine).
+
+        ``frame_records`` is a sequence of 7-item records, one per frame in
+        order: ``[contention_attempts, contention_collisions,
+        idle_request_slots, allocated_slots, queued_requests,
+        data_delivered, voice_losses]``.  Equivalent to calling
+        :meth:`record_frame` per frame with a matching outcome; consolidated
+        so the macro engine crosses the collector boundary once per block.
+        """
+        data_per_frame = self._data_delivered_per_frame
+        loss_per_frame = self._voice_loss_events_per_frame
+        for record in frame_records:
+            if record[5] < 0 or record[6] < 0:
+                raise ValueError("per-frame counters must be non-negative")
+            self._n_frames += 1
+            self._attempts += record[0]
+            self._collisions += record[1]
+            self._idle_slots += record[2]
+            self._allocated_slots += record[3]
+            self._queue_length_total += record[4]
+            data_per_frame.append(int(record[5]))
+            loss_per_frame.append(int(record[6]))
+
     def voice_metrics(self, terminals) -> VoiceMetrics:
         """Aggregate voice metrics from terminals or a columnar population.
 

@@ -49,6 +49,7 @@ raises a clear error for custom populations that violate it.
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -70,6 +71,42 @@ from repro.traffic.population import TerminalPopulation
 from repro.traffic.terminal import Terminal
 
 __all__ = ["UplinkSimulationEngine"]
+
+
+def _is_numpy_call(callable_object) -> bool:
+    """Whether a profiled C call enters NumPy (a kernel dispatch)."""
+    owner = getattr(callable_object, "__self__", None)
+    if isinstance(
+        owner, (np.ndarray, np.random.Generator, np.random.BitGenerator)
+    ):
+        return True
+    module = getattr(callable_object, "__module__", None)
+    return bool(module) and module.startswith("numpy")
+
+
+class _PhaseClock:
+    """Wall-time (and optionally kernel-dispatch) accounting per phase.
+
+    ``start``/``stop`` bracket the engine's five phase sections; the
+    current phase label doubles as the attribution target for the
+    dispatch-counting profile hook (see
+    :meth:`UplinkSimulationEngine.enable_phase_timing`).
+    """
+
+    __slots__ = ("times", "phase", "_t0")
+
+    def __init__(self, times: Dict[str, float]) -> None:
+        self.times = times
+        self.phase: Optional[str] = None
+        self._t0 = 0.0
+
+    def start(self, phase: str) -> None:
+        self.phase = phase
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> None:
+        self.times[self.phase] += time.perf_counter() - self._t0
+        self.phase = None
 
 
 class UplinkSimulationEngine:
@@ -174,6 +211,11 @@ class UplinkSimulationEngine:
         # populated only after enable_phase_timing() switches the engine to
         # the instrumented step, so the normal hot loop pays nothing.
         self.phase_times: Optional[Dict[str, float]] = None
+        #: Per-phase NumPy kernel-dispatch counts; populated only after
+        #: ``enable_phase_timing(count_dispatches=True)``.
+        self.dispatch_counts: Optional[Dict[str, int]] = None
+        self._clock: Optional[_PhaseClock] = None
+        self._macro = None
         # Channel snapshots for the columnar backend are produced in blocks
         # (one batched draw + one linear-filter evaluation per block, bit
         # identical to per-frame advancing); the buffer holds the frames the
@@ -198,7 +240,9 @@ class UplinkSimulationEngine:
             return self._step_columnar()
         return self._step_object()
 
-    def enable_phase_timing(self) -> Dict[str, float]:
+    def enable_phase_timing(
+        self, count_dispatches: bool = False
+    ) -> Dict[str, float]:
         """Switch to the instrumented step and return the accumulator.
 
         Subsequent frames add their wall time to the returned dictionary
@@ -208,6 +252,13 @@ class UplinkSimulationEngine:
         ``metrics`` (collection).  The split is what the benchmark harness
         records in ``BENCH_engine.json`` and ``python -m repro profile
         --json`` reports, so the next bottleneck is machine-readable.
+
+        With ``count_dispatches=True`` the engine additionally tallies, in
+        :attr:`dispatch_counts`, how many NumPy kernel dispatches (C calls
+        into NumPy observed via :func:`sys.setprofile`) each phase makes —
+        the frame loop's dispatch floor, measured rather than inferred.
+        Counting installs a global profile hook and slows the run several
+        fold; call :meth:`disable_phase_timing` when done.
         """
         if self.phase_times is None:
             self.phase_times = {
@@ -217,25 +268,46 @@ class UplinkSimulationEngine:
                 "phy": 0.0,
                 "metrics": 0.0,
             }
+            self._clock = _PhaseClock(self.phase_times)
+        if count_dispatches and self.dispatch_counts is None:
+            counts = {phase: 0 for phase in self.phase_times}
+            self.dispatch_counts = counts
+            clock = self._clock
+
+            def _dispatch_hook(_frame, event, arg):
+                if event == "c_call" and clock.phase is not None:
+                    if _is_numpy_call(arg):
+                        counts[clock.phase] += 1
+
+            sys.setprofile(_dispatch_hook)
         return self.phase_times
+
+    def disable_phase_timing(self) -> None:
+        """Remove the instrumented step (and the dispatch hook, if any)."""
+        if self.dispatch_counts is not None:
+            sys.setprofile(None)
+        self.phase_times = None
+        self.dispatch_counts = None
+        self._clock = None
 
     def _step_timed(self) -> FrameOutcome:
         """Instrumented twin of the step bodies (kept in sync with both).
 
         One implementation covers both backends: each phase call dispatches
         on ``self.population`` exactly like the untimed paths, and the
-        timers bracket the same five sections.
+        clock brackets the same five sections (labelling them for the
+        optional dispatch counter).
         """
-        times = self.phase_times
+        clock = self._clock
         frame = self._frame_index
         population = self.population
         columnar = population is not None
 
-        t0 = time.perf_counter()
+        clock.start("channel")
         snapshot = self._next_snapshot() if columnar else self.channels.advance_frame()
-        t1 = time.perf_counter()
-        times["channel"] += t1 - t0
+        clock.stop()
 
+        clock.start("traffic")
         if columnar:
             voice_losses_before = population.voice_loss_total
             population.advance_frame(frame)
@@ -245,43 +317,78 @@ class UplinkSimulationEngine:
             for terminal in self.terminals:
                 terminal.advance_frame(frame)
                 terminal.drop_expired(frame)
-        t2 = time.perf_counter()
-        times["traffic"] += t2 - t1
+        clock.stop()
 
+        clock.start("mac")
         if columnar and self._use_batch_mac:
             outcome = self.protocol.run_frame_batch(frame, population, snapshot)
         else:
             outcome = self.protocol.run_frame(frame, self.terminals, snapshot)
-        t3 = time.perf_counter()
-        times["mac"] += t3 - t2
+        clock.stop()
 
+        clock.start("phy")
         if columnar and outcome.grants is not None:
             data_delivered = self._execute_grant_columns(outcome.grants, snapshot, frame)
         elif columnar:
             data_delivered = self._execute_allocations_batch(outcome, snapshot, frame)
         else:
             data_delivered = self._execute_allocations(outcome, snapshot, frame)
-        t4 = time.perf_counter()
-        times["phy"] += t4 - t3
+        clock.stop()
 
+        clock.start("metrics")
         if columnar:
             voice_losses = population.voice_loss_total - voice_losses_before
         else:
             voice_losses = self._total_voice_losses() - voice_losses_before
         self.collector.record_frame(outcome, data_delivered, voice_losses)
-        times["metrics"] += time.perf_counter() - t4
+        clock.stop()
         self._frame_index += 1
         return outcome
+
+    def run_frames(self, n_frames: int) -> None:
+        """Advance ``n_frames`` frames, macro-stepped when configured.
+
+        With ``Scenario.macro_frames > 1`` on the columnar backend (batch
+        MAC path), frames execute in macro blocks through
+        :class:`~repro.sim.macro.MacroRunner` — bit-identical to per-frame
+        stepping in parity RNG mode.  Otherwise this is a plain
+        :meth:`step` loop.
+        """
+        if n_frames <= 0:
+            return
+        runner = self._macro_runner()
+        if runner is None:
+            for _ in range(n_frames):
+                self.step()
+            return
+        block_size = self.scenario.macro_frames
+        remaining = n_frames
+        while remaining > 0:
+            block = block_size if block_size < remaining else remaining
+            runner.run_block(block)
+            remaining -= block
+
+    def _macro_runner(self):
+        """The lazily built macro runner, or ``None`` when not applicable."""
+        if (
+            self.scenario.macro_frames <= 1
+            or self.population is None
+            or not self._use_batch_mac
+        ):
+            return None
+        if self._macro is None:
+            from repro.sim.macro import MacroRunner
+
+            self._macro = MacroRunner(self)
+        return self._macro
 
     def run(self) -> SimulationResult:
         """Run warm-up plus the measured period and return the results."""
         warmup = self.scenario.warmup_frames(self.params)
         measured = self.scenario.measured_frames(self.params)
-        for _ in range(warmup):
-            self.step()
+        self.run_frames(warmup)
         self._reset_statistics()
-        for _ in range(measured):
-            self.step()
+        self.run_frames(measured)
         return self.collect_results()
 
     def collect_results(self) -> SimulationResult:

@@ -1,0 +1,589 @@
+"""Macro-stepped execution of the columnar frame loop.
+
+The per-frame columnar engine pays a fixed dispatch floor of ~25 small
+NumPy kernel calls per 2.5 ms frame — traffic advance, channel snapshot,
+candidate masks, contention draws, grant gathers, a PHY batch and metrics
+bookkeeping.  :class:`MacroRunner` advances the simulation in blocks of
+``Scenario.macro_frames`` frames instead, with O(1) dispatches per block
+for the predictable work:
+
+* **traffic** — :meth:`~repro.traffic.population.TerminalPopulation.plan_frames`
+  pre-draws the whole block's source events in per-frame order and each
+  frame replays its recorded events with a handful of scalar writes;
+* **contention** — permission draws are served from a :class:`RandomPool`
+  prefetched from the contention stream.  NumPy generators consume their
+  bit stream element by element, so a pool of ``N`` uniforms is exactly the
+  next ``N`` per-minislot draws regardless of how the per-frame path would
+  have partitioned the calls; when a frame's true consumption falls short
+  of the prefetch (a winner shrinks later minislots, a state change ends
+  the block), the pool **rolls the generator back and replays** exactly the
+  consumed prefix, leaving the stream bit-identical to per-frame stepping;
+* **reservation PHY** — voice-reservation transmissions pop their packets
+  deterministically at their own frame (a transmitted voice packet leaves
+  the buffer whether or not it is received), while the Bernoulli outcomes
+  of many frames resolve in one batched binomial draw — again bit-exact,
+  because batched binomials consume the error stream element-wise;
+* **metrics** — per-frame statistics accumulate in plain lists and cross
+  the collector boundary once per block.
+
+A frame the fast path cannot express exactly — non-empty request queue, a
+protocol without lookahead support (CHARISMA draws CSI estimates every
+frame), DRMA/RAMA frames with live contenders — falls back to the
+protocol's own ``run_frame_batch`` after flushing all deferred state, so
+the surrounding frames still enjoy the fused traffic/channel/metrics path.
+In ``rng_mode="parity"`` the whole construction is **bit-identical** to
+``macro_frames=1``; ``tests/sim/test_backend_parity.py`` sweeps
+``macro_frames`` in {1, 4, 16, 64} over all six protocols to prove it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import List, Optional
+
+import numpy as np
+
+from repro.accel import contention_round_scan
+
+__all__ = ["MacroRunner", "RandomPool"]
+
+
+class RandomPool:
+    """Prefetched uniform draws with exact roll-back/replay.
+
+    ``take(n)`` hands out the next ``n`` doubles of the generator's stream
+    from a prefetched buffer; ``unwind(n)`` returns the most recent ``n``
+    (a pure pointer move — nothing re-enters the generator); ``close()``
+    restores the generator to the pre-prefetch state and re-consumes
+    exactly the handed-out prefix, so after closing, the generator state is
+    indistinguishable from having made the per-frame draws directly.
+    """
+
+    __slots__ = ("_rng", "_chunk", "_state", "_buffer", "_position")
+
+    def __init__(self, rng: np.random.Generator, chunk: int = 4096) -> None:
+        self._rng = rng
+        self._chunk = int(chunk)
+        self._state = None
+        self._buffer: Optional[np.ndarray] = None
+        self._position = 0
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` stream doubles (a view into the prefetch buffer)."""
+        buffer = self._buffer
+        if buffer is None or self._position + n > buffer.shape[0]:
+            self._refill(n)
+            buffer = self._buffer
+        start = self._position
+        self._position = start + n
+        return buffer[start : self._position]
+
+    def unwind(self, n: int) -> None:
+        """Give back the most recently taken ``n`` doubles (pointer move)."""
+        self._position -= n
+
+    def close(self) -> None:
+        """Roll back and replay: leave the generator exactly where
+        per-frame draws of the consumed prefix would have left it."""
+        if self._buffer is None:
+            return
+        self._rng.bit_generator.state = self._state
+        if self._position:
+            self._rng.random(self._position)
+        self._state = None
+        self._buffer = None
+        self._position = 0
+
+    def _refill(self, n: int) -> None:
+        self.close()
+        self._state = self._rng.bit_generator.state
+        self._buffer = self._rng.random(max(n, self._chunk))
+        self._position = 0
+
+
+class MacroRunner:
+    """Executes the engine's frame loop in macro blocks (see module doc)."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.population = engine.population
+        self.protocol = engine.protocol
+        self.collector = engine.collector
+        self.error_model = engine.error_model
+        protocol = self.protocol
+        self._supported = bool(
+            getattr(protocol, "supports_macro_lookahead", False)
+        )
+        self._minislots = protocol.macro_minislots() if self._supported else None
+        self._data_cap = protocol.macro_data_slot_cap() if self._supported else None
+        self._info_slots = protocol.frame_structure.info_slots
+        self._reuse_snr = engine._reuse_snapshot_snr
+        self._adaptive = protocol.modem.is_adaptive
+        self._pool = RandomPool(protocol.contention_rng)
+        self._voice_p = protocol.permission.voice_probability
+        self._data_p = protocol.permission.data_probability
+        self._nv = self.population.n_voice
+
+        # Mirrors of the MAC state the fast path reads every frame, updated
+        # incrementally from traffic/drop/grant events and resynchronised
+        # from the authoritative structures after any fallback frame.
+        self._mirrors_dirty = True
+        # Frame index this runner expects to resume at; frames advanced
+        # outside run_block (engine.step() interleaving) invalidate the
+        # mirrors, which only track events the runner itself executed.
+        self._expected_frame: Optional[int] = None
+        self._holders: List[int] = []
+        self._holders_set = set()
+        self._cand_ids: List[int] = []
+        self._cand_probs: List[float] = []
+        self._cand_probs_arr: Optional[np.ndarray] = None
+
+        # Deferred voice PHY rows (parallel lists) and buffered per-frame
+        # statistic records ([attempts, collisions, idle, allocated,
+        # queued, data_delivered, voice_losses]).
+        self._phy_rec: List[int] = []
+        self._phy_tids: List[int] = []
+        self._phy_counts: List[int] = []
+        self._phy_aux: List[int] = []  # voice: pre-window; data: capacity
+        self._phy_voice: List[bool] = []
+        self._phy_frames: List[int] = []
+        self._phy_chans: List[float] = []
+        self._phy_thrs: List[float] = []
+        self._records: List[List] = []
+
+    # ------------------------------------------------------------------ API
+    def run_block(self, n_frames: int) -> None:
+        """Advance ``n_frames`` frames as one macro block."""
+        engine = self.engine
+        population = self.population
+        clock = engine._clock
+        start = engine._frame_index
+        if start != self._expected_frame:
+            # Frames ran outside this runner (interleaved engine.step());
+            # the incremental mirrors no longer describe current state.
+            self._mirrors_dirty = True
+
+        if clock:
+            clock.start("traffic")
+        plan = population.plan_frames(start, n_frames)
+        if clock:
+            clock.stop()
+
+        for offset in range(n_frames):
+            frame = start + offset
+            if clock:
+                clock.start("channel")
+            snapshot = engine._next_snapshot()
+            if clock:
+                clock.stop()
+                clock.start("traffic")
+            population.apply_planned_frame(plan, frame)
+            drops = population.drop_expired_events(frame)
+            if clock:
+                clock.stop()
+            if not self._fast_frame(plan, offset, frame, snapshot, drops, clock):
+                self._fallback_frame(frame, snapshot, drops, clock)
+            engine._frame_index = frame + 1
+
+        self._flush_phy(clock)
+        self._commit_records(clock)
+        self._pool.close()
+        self._expected_frame = engine._frame_index
+
+    # ----------------------------------------------------------- fast frame
+    def _fast_frame(self, plan, offset, frame, snapshot, drops, clock) -> bool:
+        """Execute one frame inline; ``False`` defers to the per-frame kernel."""
+        if not self._supported:
+            return False
+        protocol = self.protocol
+        queue = protocol.request_queue
+        if queue is not None and len(queue):
+            return False
+        if self._mirrors_dirty:
+            self._sync_mirrors()
+        else:
+            self._update_mirrors(plan, offset, drops)
+        candidates = self._cand_ids
+        minislots = self._minislots
+        if candidates and minislots is None:
+            # Quiet-only protocols (RAMA's auction always resolves, DRMA's
+            # winners re-enter the same frame's slot loop): live contenders
+            # require the full kernel.
+            return False
+
+        if clock:
+            clock.start("mac")
+        population = self.population
+        occupancy_array = population.occupancy
+        # Small populations: one bulk tolist beats the dozens of scalar
+        # reads the holder/winner loops make; large ones read just the few
+        # entries they need straight from the array.
+        occ_list = (
+            occupancy_array.tolist()
+            if occupancy_array.shape[0] <= 256
+            else occupancy_array
+        )
+        in_talkspurt = population.in_talkspurt
+
+        # Reservation release + FCFS reserved service, ascending holder id.
+        served: List[int] = []
+        slots_left = self._info_slots
+        to_release = None
+        for tid in self._holders:
+            if occ_list[tid] > 0:
+                if slots_left > 0:
+                    served.append(tid)
+                    slots_left -= 1
+            elif not in_talkspurt[tid]:
+                if to_release is None:
+                    to_release = []
+                to_release.append(tid)
+        if to_release is not None:
+            reservations = protocol.reservations
+            for tid in to_release:
+                reservations.release(tid)
+                self._holders.remove(tid)
+                self._holders_set.discard(tid)
+
+        # Request phase.
+        if candidates:
+            winners, attempts, collisions, idle = self._run_contention(minislots)
+        else:
+            winners = ()
+            attempts = collisions = 0
+            idle = protocol.macro_quiet_idle_slots(len(served))
+
+        # Allocation phase: per-grant capacities in one channel lookup.
+        voice_winners: List[int] = []
+        data_winners: List[int] = []
+        if winners:
+            nv = self._nv
+            for tid in winners:
+                (voice_winners if tid < nv else data_winners).append(tid)
+        grant_order = served + voice_winners + data_winners
+        if self._adaptive and grant_order:
+            per_slot_arr, thr_arr = protocol.grant_capacity_columns(
+                np.asarray(grant_order, dtype=np.int64), snapshot
+            )
+            per_slot_list = per_slot_arr.tolist()
+            thr_list = thr_arr.tolist()
+        else:
+            per_slot_list = thr_list = None
+
+        voice_rows: List = []  # (tid, capacity, throughput)
+        data_rows: List = []
+        allocated = len(served)
+        for position, tid in enumerate(served):
+            if per_slot_list is None:
+                voice_rows.append((tid, 1, None))
+            else:
+                voice_rows.append((tid, per_slot_list[position], thr_list[position]))
+
+        unserved: List[int] = []
+        cap_cursor = len(served)
+        for tid in voice_winners:
+            if slots_left < 1:
+                unserved.append(tid)
+                cap_cursor += 1
+                continue
+            if per_slot_list is None:
+                voice_rows.append((tid, 1, None))
+            else:
+                voice_rows.append(
+                    (tid, per_slot_list[cap_cursor], thr_list[cap_cursor])
+                )
+            cap_cursor += 1
+            slots_left -= 1
+            allocated += 1
+            protocol.reservations.grant(tid, frame)
+            insort(self._holders, tid)
+            self._holders_set.add(tid)
+            self._discard_candidate(tid)
+        data_cap = self._data_cap
+        for tid in data_winners:
+            if slots_left < 1:
+                unserved.append(tid)
+                cap_cursor += 1
+                continue
+            if per_slot_list is None:
+                per_slot, throughput = 1, None
+            else:
+                per_slot = per_slot_list[cap_cursor]
+                throughput = thr_list[cap_cursor]
+            cap_cursor += 1
+            needed = -(-int(occ_list[tid]) // max(1, per_slot))
+            n_slots = needed if needed < slots_left else slots_left
+            if n_slots < 1:
+                n_slots = 1
+            if data_cap is not None and n_slots > data_cap:
+                n_slots = data_cap
+            slots_left -= n_slots
+            allocated += n_slots
+            data_rows.append((tid, per_slot * n_slots, throughput))
+
+        # Winners the frame could not serve are queued (with-queue variant)
+        # or discarded; queueing changes the candidate rule, so the mirrors
+        # resynchronise once the queue drains.
+        if unserved and queue is not None:
+            queue.extend(
+                protocol.make_request_for_id(population, tid, frame)
+                for tid in unserved
+            )
+            self._mirrors_dirty = True
+        queued = len(queue) if queue is not None else 0
+
+        # Execute the frame's grants: deterministic buffer pops now, one
+        # deferred Bernoulli resolution per flush.  Row order matches the
+        # per-frame grant columns (reserved, voice winners, data winners).
+        record_index = len(self._records)
+        record = [attempts, collisions, idle, allocated, queued, 0, 0]
+        if drops:
+            counted = 0
+            for _tid, _dropped, in_window in drops:
+                counted += in_window
+            record[6] = counted
+        self._records.append(record)
+
+        if voice_rows or data_rows:
+            chan_src = snapshot.snr_db if self._reuse_snr else snapshot.amplitude
+            phy_rec = self._phy_rec
+            phy_tids = self._phy_tids
+            phy_counts = self._phy_counts
+            phy_aux = self._phy_aux
+            phy_voice = self._phy_voice
+            phy_frames = self._phy_frames
+            phy_chans = self._phy_chans
+            phy_thrs = self._phy_thrs
+            pop_voice = population.transmit_voice_pop
+            for tid, capacity, throughput in voice_rows:
+                n_transmitted, pre_window = pop_voice(tid, capacity)
+                phy_rec.append(record_index)
+                phy_tids.append(tid)
+                phy_counts.append(n_transmitted)
+                phy_aux.append(pre_window)
+                phy_voice.append(True)
+                phy_frames.append(frame)
+                phy_chans.append(float(chan_src[tid]))
+                phy_thrs.append(np.nan if throughput is None else throughput)
+            for tid, capacity, throughput in data_rows:
+                occupancy = int(occ_list[tid])
+                phy_rec.append(record_index)
+                phy_tids.append(tid)
+                phy_counts.append(
+                    capacity if capacity < occupancy else occupancy
+                )
+                phy_aux.append(capacity)
+                phy_voice.append(False)
+                phy_frames.append(frame)
+                phy_chans.append(float(chan_src[tid]))
+                phy_thrs.append(np.nan if throughput is None else throughput)
+        if clock:
+            clock.stop()
+
+        if data_rows:
+            # Data outcomes feed back into buffer state (only delivered
+            # packets leave a data buffer), so the next frame's decisions
+            # need them resolved — the flush boundary of the lookahead.
+            self._flush_phy(clock)
+        return True
+
+    def _run_contention(self, n_minislots: int):
+        """Pool-fed slotted contention, bit-identical to the live draws.
+
+        Each round covers the remaining minislots against the current
+        contender pool in one prefetched matrix; the first exactly-one-
+        transmitter row ends the round (later rows would have been drawn
+        against a smaller pool, so their prefetched draws are returned to
+        the pool untouched) and the next round restarts after the winner.
+        """
+        ids = self._cand_ids
+        probs = self._cand_probs_arr
+        if probs is None:
+            probs = self._cand_probs_arr = np.asarray(
+                self._cand_probs, dtype=float
+            )
+        pool = self._pool
+        k = len(ids)
+        winners: List[int] = []
+        attempts = collisions = idle = 0
+        done = 0
+        active_ids = ids
+        while done < n_minislots:
+            if k == 0:
+                idle += n_minislots - done
+                break
+            rows = n_minislots - done
+            draws = pool.take(rows * k).reshape(rows, k)
+            counts, winner_row, winner_col = contention_round_scan(draws, probs)
+            if winner_row < 0:
+                attempts += int(counts.sum())
+                zeros = int(np.count_nonzero(counts == 0))
+                idle += zeros
+                collisions += rows - zeros
+                break
+            pool.unwind((rows - winner_row - 1) * k)
+            if winner_row:
+                head = counts[:winner_row]
+                attempts += int(head.sum())
+                zeros = int(np.count_nonzero(head == 0))
+                idle += zeros
+                collisions += winner_row - zeros
+            attempts += 1
+            if active_ids is self._cand_ids:
+                active_ids = list(active_ids)
+            winners.append(active_ids.pop(winner_col))
+            probs = np.delete(probs, winner_col)
+            k -= 1
+            done += winner_row + 1
+        return winners, attempts, collisions, idle
+
+    # ------------------------------------------------------- fallback frame
+    def _fallback_frame(self, frame, snapshot, drops, clock) -> None:
+        """One frame through the protocol's own kernel, streams realigned."""
+        engine = self.engine
+        population = self.population
+        self._pool.close()
+        self._flush_phy(clock)
+        self._commit_records(clock)
+
+        if clock:
+            clock.start("mac")
+        loss_before = population.voice_loss_total
+        outcome = self.protocol.run_frame_batch(frame, population, snapshot)
+        if clock:
+            clock.stop()
+            clock.start("phy")
+        if outcome.grants is not None:
+            data_delivered = engine._execute_grant_columns(
+                outcome.grants, snapshot, frame
+            )
+        else:
+            data_delivered = engine._execute_allocations_batch(
+                outcome, snapshot, frame
+            )
+        if clock:
+            clock.stop()
+            clock.start("metrics")
+        counted = 0
+        for _tid, _dropped, in_window in drops:
+            counted += in_window
+        voice_losses = counted + population.voice_loss_total - loss_before
+        self.collector.record_frame(outcome, data_delivered, voice_losses)
+        if clock:
+            clock.stop()
+        self._mirrors_dirty = True
+
+    # ------------------------------------------------------------- plumbing
+    def _flush_phy(self, clock) -> None:
+        """Resolve all deferred transmissions in one batched PHY draw."""
+        if not self._phy_tids:
+            return
+        if clock:
+            clock.start("phy")
+        counts = np.asarray(self._phy_counts, dtype=np.int64)
+        chans = np.asarray(self._phy_chans, dtype=float)
+        throughputs = (
+            np.asarray(self._phy_thrs, dtype=float) if self._adaptive else None
+        )
+        delivered = self.error_model.transmit_batch(
+            None if self._reuse_snr else chans,
+            counts,
+            throughputs,
+            snr_db=chans if self._reuse_snr else None,
+        )
+        population = self.population
+        records = self._records
+        occupancy = population.occupancy
+        mirrors_ok = not self._mirrors_dirty
+        record_outcome = population.record_voice_outcome
+        transmit = population.transmit
+        for j, n_delivered in enumerate(delivered.tolist()):
+            tid = self._phy_tids[j]
+            record = records[self._phy_rec[j]]
+            if self._phy_voice[j]:
+                errored = record_outcome(
+                    tid, self._phy_counts[j], self._phy_aux[j], n_delivered
+                )
+                if errored:
+                    record[6] += errored
+            else:
+                transmit(tid, self._phy_aux[j], n_delivered, self._phy_frames[j])
+                record[5] += n_delivered
+                if mirrors_ok and n_delivered and occupancy[tid] == 0:
+                    self._discard_candidate(tid)
+        self._phy_rec.clear()
+        self._phy_tids.clear()
+        self._phy_counts.clear()
+        self._phy_aux.clear()
+        self._phy_voice.clear()
+        self._phy_frames.clear()
+        self._phy_chans.clear()
+        self._phy_thrs.clear()
+        if clock:
+            clock.stop()
+
+    def _commit_records(self, clock) -> None:
+        if not self._records:
+            return
+        if clock:
+            clock.start("metrics")
+        self.collector.record_block(self._records)
+        self._records = []
+        if clock:
+            clock.stop()
+
+    # -------------------------------------------------------------- mirrors
+    def _sync_mirrors(self) -> None:
+        """Rebuild the holder/candidate mirrors from authoritative state."""
+        ids, probs = self.protocol.contention_candidate_ids(self.population)
+        self._cand_ids = ids.tolist()
+        self._cand_probs = probs.tolist()
+        self._cand_probs_arr = None
+        holders = self.protocol.reservations.holders()
+        self._holders = holders
+        self._holders_set = set(holders)
+        self._mirrors_dirty = False
+
+    def _update_mirrors(self, plan, offset, drops) -> None:
+        """Fold one frame's traffic/drop events into the candidate mirror."""
+        toggles = plan.toggles[offset]
+        bursts = plan.bursts[offset]
+        generated = plan.voice_gen[offset]
+        if toggles is None and bursts is None and generated is None and not drops:
+            return
+        if toggles is not None:
+            for tid, now_talking in toggles:
+                if not now_talking:
+                    # Leaving the talkspurt ends voice candidacy; entering
+                    # it is handled by the same frame's generation event.
+                    self._discard_candidate(tid)
+        if generated is not None:
+            holders_set = self._holders_set
+            for tid in generated:
+                if tid not in holders_set:
+                    self._add_candidate(tid, self._voice_p)
+        if bursts is not None:
+            for tid, _size in bursts:
+                self._add_candidate(tid, self._data_p)
+        if drops:
+            occupancy = self.population.occupancy
+            for tid, _dropped, _counted in drops:
+                if occupancy[tid] == 0:
+                    self._discard_candidate(tid)
+
+    def _add_candidate(self, tid: int, probability: float) -> None:
+        ids = self._cand_ids
+        index = bisect_left(ids, tid)
+        if index < len(ids) and ids[index] == tid:
+            return
+        ids.insert(index, tid)
+        self._cand_probs.insert(index, probability)
+        self._cand_probs_arr = None
+
+    def _discard_candidate(self, tid: int) -> None:
+        ids = self._cand_ids
+        index = bisect_left(ids, tid)
+        if index < len(ids) and ids[index] == tid:
+            del ids[index]
+            del self._cand_probs[index]
+            self._cand_probs_arr = None

@@ -54,6 +54,20 @@ class Scenario:
         intervals; asserted by ``tests/sim/test_rng_fast_mode.py``) but not
         bit-identical, which is the right trade for paper-scale sweeps.
         Ignored by the object backend.
+    macro_frames:
+        Macro-stepping block size of the columnar backend's frame loop.
+        ``1`` (default) advances frame by frame; larger values let the
+        engine execute blocks of up to this many frames with fused
+        multi-frame kernels — the traffic plan is drawn for the whole block
+        up front, contention draws are served from a pre-drawn pool with
+        exact roll-back/replay at the first state-changing event, and
+        voice-reservation PHY outcomes are resolved in one batched draw per
+        block.  Because every per-subsystem random stream is consumed in
+        exactly the per-frame order, results are **bit-identical** to
+        ``macro_frames=1`` in ``rng_mode="parity"`` (asserted by
+        ``tests/sim/test_backend_parity.py`` for ``macro_frames`` in
+        {1, 4, 16, 64}).  Ignored by the object backend and by the
+        view-walking MAC path.
     """
 
     protocol: str
@@ -66,6 +80,7 @@ class Scenario:
     mobile_speed_kmh: Optional[float] = None
     engine_backend: str = "columnar"
     rng_mode: str = "parity"
+    macro_frames: int = 1
 
     def __post_init__(self) -> None:
         if not self.protocol:
@@ -89,6 +104,8 @@ class Scenario:
             raise ValueError(
                 f"rng_mode must be 'parity' or 'fast', got {self.rng_mode!r}"
             )
+        if self.macro_frames < 1:
+            raise ValueError("macro_frames must be at least 1")
 
     @property
     def n_terminals(self) -> int:

@@ -34,7 +34,7 @@ __all__ = [
 
 #: Version of the serialised result format.  Bump on any change to the
 #: result dataclasses; the store invalidates entries from other versions.
-SCHEMA_VERSION = 3  # v3: Scenario gained rng_mode (PR 4); v2: engine_backend
+SCHEMA_VERSION = 4  # v4: Scenario gained macro_frames (PR 5); v3: rng_mode
 
 
 class SerializationError(ValueError):

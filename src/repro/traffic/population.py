@@ -42,11 +42,48 @@ from typing import Deque, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.accel import voice_generation_offsets
 from repro.config import SimulationParameters
 from repro.traffic.packets import Packet, TrafficKind
 from repro.traffic.terminal import TerminalStats
 
-__all__ = ["TerminalPopulation", "TerminalView", "TerminalViews"]
+__all__ = [
+    "TerminalPopulation",
+    "TerminalView",
+    "TerminalViews",
+    "TrafficBlockPlan",
+]
+
+#: Sentinel for "no buffered voice packet can expire" (see ``drop_expired``).
+_NO_DROP = 1 << 62
+
+
+class TrafficBlockPlan:
+    """Pre-drawn traffic evolution for a block of frames (macro stepping).
+
+    :meth:`TerminalPopulation.plan_frames` consumes the traffic stream for a
+    whole block up front — in exactly the per-frame draw order, so the
+    realisation is bit-identical — and records each frame's *events* here:
+
+    * ``toggles[offset]`` — ``(index, now_talking)`` talkspurt transitions;
+    * ``bursts[offset]`` — ``(index, size)`` data-burst arrivals;
+    * ``voice_gen[offset]`` — indices generating a voice packet.
+
+    Entries are ``None`` when a frame has no event of that kind (the common
+    case), so the macro engine's per-frame application is a few list checks.
+    Buffer state (occupancy, segments, counters) is only touched when
+    :meth:`TerminalPopulation.apply_planned_frame` replays the frame —
+    keeping the arrays the MAC layer reads exact at every frame boundary.
+    """
+
+    __slots__ = ("start", "n_frames", "toggles", "bursts", "voice_gen")
+
+    def __init__(self, start: int, n_frames: int) -> None:
+        self.start = int(start)
+        self.n_frames = int(n_frames)
+        self.toggles: List[Optional[List]] = [None] * n_frames
+        self.bursts: List[Optional[List]] = [None] * n_frames
+        self.voice_gen: List[Optional[List]] = [None] * n_frames
 
 
 class TerminalPopulation:
@@ -143,6 +180,10 @@ class TerminalPopulation:
 
         self._measure_from = 0
         self._voice_loss_total = 0
+        # Earliest frame at which any buffered voice packet could expire
+        # (lower bound): drop_expired returns immediately before it, so the
+        # per-frame deadline scan costs nothing while no voice backlog ages.
+        self._next_drop_frame = _NO_DROP
 
         # Initial state draws, in build_population order: every voice
         # terminal starts in a silence period of random exponential length,
@@ -239,6 +280,8 @@ class TerminalPopulation:
                     self._segments[i].append([frame_index, 1])
                     if self.head_created[i] < 0:
                         self.head_created[i] = frame_index
+                        if frame_index + self._deadline < self._next_drop_frame:
+                            self._next_drop_frame = frame_index + self._deadline
 
     def _fire_events_fast(self, events: np.ndarray, frame_index: int) -> None:
         """Batched source-event draws (fast RNG mode).
@@ -336,39 +379,374 @@ class TerminalPopulation:
                 if head_created[i] < 0:
                     head_created[i] = frame_index
 
+    # ------------------------------------------------------- macro stepping
+    def plan_frames(self, start_frame: int, n_frames: int) -> TrafficBlockPlan:
+        """Pre-draw a whole block's traffic evolution (macro stepping).
+
+        Consumes the traffic stream for ``n_frames`` frames in **exactly**
+        the order :meth:`advance_frame` would (event draws in ascending
+        terminal-id order, frame by frame), so the planned realisation is
+        bit-identical to per-frame advancing.  The talkspurt/burst counters
+        (``countdown``, ``frames_since_packet``) are advanced to their
+        end-of-block state here — nothing reads them mid-block — while
+        everything the MAC layer observes per frame (``in_talkspurt``,
+        buffers, outcome counters) is only mutated when
+        :meth:`apply_planned_frame` replays each frame's recorded events.
+
+        Event-free stretches are planned without per-frame work: the next
+        source event is ``countdown.min()`` frames away, and the voice
+        packets generated inside the gap follow deterministically from each
+        talking terminal's phase counter.
+        """
+        if start_frame < 0:
+            raise ValueError("start_frame must be non-negative")
+        if n_frames < 1:
+            raise ValueError("n_frames must be at least 1")
+        plan = TrafficBlockPlan(start_frame, n_frames)
+        n = self._n
+        if n == 0:
+            return plan
+        nv = self.n_voice
+        period = self._period
+        params = self.params
+        rng = self._rng
+        fast = self._rng_fast
+        countdown = self.countdown
+        talking = set(np.nonzero(self.in_talkspurt[:nv])[0].tolist())
+        since = self.frames_since_packet[:nv].tolist()
+        voice_gen = plan.voice_gen
+        toggles = plan.toggles
+        bursts = plan.bursts
+
+        f = 0
+        while f < n_frames:
+            gap = int(countdown.min())
+            if gap > 0:
+                take = gap if gap < n_frames - f else n_frames - f
+                if len(talking) >= 64:
+                    # Large talking sets: one (compiled or vectorised)
+                    # schedule evaluation instead of a per-terminal loop.
+                    talk_ids = np.fromiter(
+                        talking, dtype=np.int64, count=len(talking)
+                    )
+                    since_values = np.fromiter(
+                        (since[i] for i in talk_ids.tolist()),
+                        dtype=np.int64,
+                        count=talk_ids.shape[0],
+                    )
+                    offsets, rows = voice_generation_offsets(
+                        since_values, period, take
+                    )
+                    id_list = talk_ids.tolist()
+                    for o, row in zip(offsets.tolist(), rows.tolist()):
+                        lst = voice_gen[f + o]
+                        if lst is None:
+                            lst = voice_gen[f + o] = []
+                        lst.append(id_list[row])
+                    for i in id_list:
+                        since[i] += take
+                else:
+                    for i in talking:
+                        s = since[i]
+                        o = (-s) % period
+                        while o < take:
+                            lst = voice_gen[f + o]
+                            if lst is None:
+                                lst = voice_gen[f + o] = []
+                            lst.append(i)
+                            o += period
+                        since[i] = s + take
+                countdown -= take
+                f += take
+                continue
+
+            # Event frame: fire the due sources (draw order identical to
+            # advance_frame), then generate for the updated talking set.
+            fired = np.nonzero(countdown == 0)[0]
+            countdown -= 1
+            frame_toggles: List = []
+            frame_bursts: List = []
+            if fast:
+                self._plan_events_fast(
+                    fired, frame_toggles, frame_bursts, talking, since
+                )
+            else:
+                for i in fired.tolist():
+                    if i < nv:
+                        if i in talking:
+                            talking.discard(i)
+                            frame_toggles.append((i, False))
+                            duration = rng.exponential(params.mean_silence_s)
+                        else:
+                            talking.add(i)
+                            since[i] = 0
+                            frame_toggles.append((i, True))
+                            duration = rng.exponential(params.mean_talkspurt_s)
+                        countdown[i] = self._duration_frames(duration)
+                    else:
+                        size = max(
+                            1,
+                            int(round(rng.exponential(params.mean_data_burst_packets))),
+                        )
+                        countdown[i] = self._duration_frames(
+                            rng.exponential(params.mean_data_interarrival_s)
+                        )
+                        frame_bursts.append((i, size))
+            if frame_toggles:
+                toggles[f] = frame_toggles
+            if frame_bursts:
+                bursts[f] = frame_bursts
+            gen: Optional[List] = None
+            for i in talking:
+                s = since[i]
+                if s % period == 0:
+                    if gen is None:
+                        gen = voice_gen[f] = []
+                    gen.append(i)
+                since[i] = s + 1
+            f += 1
+
+        if nv:
+            self.frames_since_packet[:nv] = since
+        return plan
+
+    def _plan_events_fast(
+        self, fired: np.ndarray, frame_toggles, frame_bursts, talking, since
+    ) -> None:
+        """Fast-RNG-mode event firing for :meth:`plan_frames`.
+
+        Identical draw calls (streams, sizes, order) to
+        :meth:`_fire_events_fast` on the same firing set, so a macro-stepped
+        fast-mode run realises the same traffic as the per-frame fast path.
+        """
+        params = self.params
+        dt = self._dt
+        countdown = self.countdown
+        nv = self.n_voice
+
+        if fired.shape[0] <= 2:
+            for i in fired.tolist():
+                if i < nv:
+                    if i in talking:
+                        talking.discard(i)
+                        frame_toggles.append((i, False))
+                        mean = params.mean_silence_s
+                    else:
+                        talking.add(i)
+                        since[i] = 0
+                        frame_toggles.append((i, True))
+                        mean = params.mean_talkspurt_s
+                    countdown[i] = self._duration_frames(
+                        self._toggle_rng.exponential(mean)
+                    )
+                else:
+                    size = max(
+                        1,
+                        int(round(
+                            self._burst_rng.exponential(
+                                params.mean_data_burst_packets
+                            )
+                        )),
+                    )
+                    countdown[i] = self._duration_frames(
+                        self._burst_rng.exponential(
+                            params.mean_data_interarrival_s
+                        )
+                    )
+                    frame_bursts.append((i, size))
+            return
+
+        voice_idx = fired[fired < nv]
+        data_idx = fired[fired >= nv]
+
+        if voice_idx.shape[0]:
+            was_talking = np.array(
+                [i in talking for i in voice_idx.tolist()], dtype=bool
+            )
+            means = np.where(
+                was_talking, params.mean_silence_s, params.mean_talkspurt_s
+            )
+            durations = (
+                self._toggle_rng.standard_exponential(voice_idx.shape[0]) * means
+            )
+            countdown[voice_idx] = np.maximum(
+                1, np.round(durations / dt).astype(np.int64)
+            )
+            for i, was in zip(voice_idx.tolist(), was_talking.tolist()):
+                if was:
+                    talking.discard(i)
+                    frame_toggles.append((i, False))
+                else:
+                    talking.add(i)
+                    since[i] = 0
+                    frame_toggles.append((i, True))
+
+        if data_idx.shape[0]:
+            k = data_idx.shape[0]
+            sizes = np.maximum(
+                1,
+                np.round(
+                    self._burst_rng.exponential(
+                        params.mean_data_burst_packets, size=k
+                    )
+                ).astype(np.int64),
+            )
+            gaps = self._burst_rng.exponential(
+                params.mean_data_interarrival_s, size=k
+            )
+            countdown[data_idx] = np.maximum(1, np.round(gaps / dt).astype(np.int64))
+            for i, size in zip(data_idx.tolist(), sizes.tolist()):
+                frame_bursts.append((i, size))
+
+    def apply_planned_frame(self, plan: TrafficBlockPlan, frame_index: int) -> None:
+        """Replay one planned frame's events onto the live state.
+
+        Together with the counter advances done at plan time this leaves
+        every array a MAC kernel reads (``in_talkspurt``, ``occupancy``,
+        segment FIFOs, outcome counters) in exactly the state
+        :meth:`advance_frame` would have produced at this frame.
+        """
+        offset = frame_index - plan.start
+        self._current_frame = frame_index
+        toggles = plan.toggles[offset]
+        if toggles is not None:
+            in_talkspurt = self.in_talkspurt
+            started = self._talkspurt_started_frame
+            for i, now_talking in toggles:
+                in_talkspurt[i] = now_talking
+                if now_talking:
+                    started[i] = frame_index
+        gen = plan.voice_gen[offset]
+        if gen is not None:
+            occupancy = self.occupancy
+            generated = self.voice_generated
+            head_created = self.head_created
+            segments = self._segments
+            expiry = frame_index + self._deadline
+            for i in gen:
+                generated[i] += 1
+                occupancy[i] += 1
+                segments[i].append([frame_index, 1])
+                if head_created[i] < 0:
+                    head_created[i] = frame_index
+                    if expiry < self._next_drop_frame:
+                        self._next_drop_frame = expiry
+        bursts = plan.bursts[offset]
+        if bursts is not None:
+            occupancy = self.occupancy
+            generated = self.data_generated
+            head_created = self.head_created
+            segments = self._segments
+            for i, size in bursts:
+                generated[i] += size
+                occupancy[i] += size
+                segments[i].append([frame_index, size])
+                if head_created[i] < 0:
+                    head_created[i] = frame_index
+
+    def transmit_voice_pop(self, index: int, max_packets: int):
+        """Pop a voice grant's packets now, deferring the outcome counters.
+
+        The deterministic half of :meth:`transmit` for a voice terminal:
+        removes ``min(max_packets, occupancy)`` packets from the FIFO (a
+        transmitted voice packet leaves the buffer whether or not it is
+        received) and returns ``(n_transmitted, n_pre_window)`` so
+        :meth:`record_voice_outcome` can attribute delivered/errored counts
+        once the batched PHY draw resolves — the macro engine's mechanism
+        for fusing many frames' voice transmissions into one draw.
+        """
+        occupancy = int(self.occupancy[index])
+        n_transmitted = min(max_packets, occupancy)
+        if n_transmitted == 0:
+            return 0, 0
+        segments = self._segments[index]
+        window = self._measure_from
+        pre = 0
+        for _ in range(n_transmitted):
+            created, _count = segments.popleft()
+            if created < window:
+                pre += 1
+        self.occupancy[index] = occupancy - n_transmitted
+        self.head_created[index] = segments[0][0] if segments else -1
+        return n_transmitted, pre
+
+    def record_voice_outcome(
+        self, index: int, n_transmitted: int, n_pre_window: int, n_delivered: int
+    ) -> int:
+        """Resolve a deferred voice transmission's counters; return errors.
+
+        Accounting-identical to the voice branch of :meth:`transmit` on the
+        same popped packets: the first ``n_delivered`` positions were
+        received, the rest errored, and positions before the measurement
+        window (always a FIFO prefix) count towards neither.
+        """
+        floor = n_delivered if n_delivered > n_pre_window else n_pre_window
+        delivered = n_delivered - n_pre_window if n_delivered > n_pre_window else 0
+        errored = n_transmitted - floor
+        if delivered:
+            self.voice_delivered[index] += delivered
+        if errored:
+            self.voice_errored[index] += errored
+            self._voice_loss_total += errored
+        return errored
+
     def drop_expired(self, current_frame: int) -> int:
         """Drop buffered voice packets whose 20 ms deadline has passed.
 
         Returns the total number of packets removed; only in-window drops
         count towards the statistics, exactly like
-        :meth:`Terminal.drop_expired`.
+        :meth:`Terminal.drop_expired`.  Frames at which no buffered voice
+        packet can yet have expired (tracked via a conservative
+        next-expiry lower bound) return without touching any array.
+        """
+        total = 0
+        for _, dropped, _ in self.drop_expired_events(current_frame):
+            total += dropped
+        return total
+
+    def drop_expired_events(self, current_frame: int):
+        """Deadline expiry with per-terminal outcomes (macro-engine form).
+
+        Returns a sequence of ``(index, dropped, counted)`` tuples — the
+        terminals whose head-of-line packets expired this frame, how many
+        packets each lost, and how many of those fell inside the current
+        measurement window (the ones charged to ``voice_dropped``).  State
+        mutations are identical to :meth:`drop_expired`.
         """
         nv = self.n_voice
-        if not nv:
-            return 0
+        if not nv or current_frame < self._next_drop_frame:
+            return ()
         heads = self.head_created[:nv]
         # head_created is -1 exactly when the buffer is empty, so a single
         # range test finds the expired heads.
         expired_mask = (heads >= 0) & (heads <= current_frame - self._deadline)
-        if not expired_mask.any():
-            return 0
-        total = 0
-        for i in expired_mask.nonzero()[0]:
-            segments = self._segments[i]
-            dropped = 0
-            counted = 0
-            while segments and segments[0][0] + self._deadline <= current_frame:
-                created, count = segments.popleft()
-                dropped += count
-                if created >= self._measure_from:
-                    counted += count
-            self.occupancy[i] -= dropped
-            self.head_created[i] = segments[0][0] if segments else -1
-            if counted:
-                self.voice_dropped[i] += counted
-                self._voice_loss_total += counted
-            total += dropped
-        return total
+        events = []
+        if expired_mask.any():
+            for i in expired_mask.nonzero()[0]:
+                segments = self._segments[i]
+                dropped = 0
+                counted = 0
+                while segments and segments[0][0] + self._deadline <= current_frame:
+                    created, count = segments.popleft()
+                    dropped += count
+                    if created >= self._measure_from:
+                        counted += count
+                self.occupancy[i] -= dropped
+                self.head_created[i] = segments[0][0] if segments else -1
+                if counted:
+                    self.voice_dropped[i] += counted
+                    self._voice_loss_total += counted
+                events.append((int(i), dropped, counted))
+        # Re-derive the next-expiry lower bound.  Transmissions only move
+        # heads later (FIFO), so a bound computed here can never skip a
+        # real expiry; fresh heads tighten it at their append sites.
+        heads = self.head_created[:nv]
+        alive = heads >= 0
+        if alive.any():
+            self._next_drop_frame = int(heads[alive].min()) + self._deadline
+        else:
+            self._next_drop_frame = _NO_DROP
+        return events
 
     # --------------------------------------------------------- transmission
     def transmit(

@@ -94,6 +94,66 @@ class TestBackendParity:
             assert a.queued_requests == b.queued_requests
 
 
+class TestMacroStepParity:
+    """Macro-stepped blocks must be bit-identical to per-frame stepping.
+
+    The macro engine re-partitions every random stream's draws (traffic
+    plans, contention pools, deferred PHY batches) without re-ordering any
+    stream, so in parity mode the results — and the object backend's —
+    must match exactly for every block size.
+    """
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_macro_block_sizes_bit_identical(self, protocol):
+        base = dict(
+            protocol=protocol, n_voice=12, n_data=3,
+            use_request_queue=(protocol != "rmav"),
+            duration_s=0.6, warmup_s=0.2, seed=7,
+        )
+        reference = run_simulation(Scenario(**base), PARAMS)
+        for macro_frames in (4, 16, 64):
+            result = run_simulation(
+                Scenario(**base, macro_frames=macro_frames), PARAMS
+            )
+            assert result.summary() == reference.summary(), (
+                protocol, macro_frames,
+            )
+
+    @pytest.mark.parametrize("protocol", ("rmav", "dtdma_vr", "drma"))
+    def test_macro_matches_object_backend(self, protocol):
+        base = dict(
+            protocol=protocol, n_voice=10, n_data=4,
+            use_request_queue=(protocol != "rmav"),
+            duration_s=0.5, warmup_s=0.15, seed=3,
+        )
+        obj = run_simulation(
+            Scenario(**base, engine_backend="object"), PARAMS
+        )
+        macro = run_simulation(Scenario(**base, macro_frames=16), PARAMS)
+        assert obj.summary() == macro.summary()
+
+    def test_macro_per_frame_collector_streams_match(self):
+        """Not just the aggregates: the per-frame metric streams align,
+        so every lookahead truncation lands losses in the right frame."""
+        base = dict(protocol="dtdma_vr", n_voice=16, n_data=4,
+                    duration_s=0.6, warmup_s=0.1, seed=11)
+        engines = {}
+        for macro_frames in (1, 16):
+            engine = UplinkSimulationEngine(
+                Scenario(**base, macro_frames=macro_frames), PARAMS
+            )
+            engine.run()
+            engines[macro_frames] = engine.collector
+        assert (
+            engines[1].data_delivered_per_frame
+            == engines[16].data_delivered_per_frame
+        )
+        assert (
+            engines[1].voice_loss_events_per_frame
+            == engines[16].voice_loss_events_per_frame
+        )
+
+
 class TestColumnarMeasurementWindow:
     """The PR-2 warm-up epoch-tagging semantics must hold on array counters."""
 

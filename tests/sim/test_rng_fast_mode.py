@@ -102,6 +102,54 @@ class TestStatisticalEquivalence:
         second = _run("charisma", 9, "fast").summary()
         assert first == second
 
+    @pytest.mark.parametrize("protocol", ("rmav", "dtdma_vr", "drma"))
+    def test_macro_fast_mode_statistical_equivalence(self, protocol):
+        """Macro-stepped fast runs stay within the parity CI as well.
+
+        A macro fast run may re-partition contention draws differently
+        from the per-frame fast path (pool semantics), so it is its own
+        sample — compare it against per-frame parity the same way.
+        """
+
+        def run_macro_fast(seed):
+            return run_simulation(
+                Scenario(
+                    protocol=protocol, n_voice=10, n_data=3,
+                    use_request_queue=(protocol != "rmav"),
+                    duration_s=0.5, warmup_s=0.15, seed=seed,
+                    rng_mode="fast", macro_frames=16,
+                ),
+                PARAMS,
+            )
+
+        parity = [_metrics(_run(protocol, seed, "parity")) for seed in SEEDS]
+        fast = [_metrics(run_macro_fast(seed)) for seed in SEEDS]
+        for metric in parity[0]:
+            differences = [p[metric] - f[metric] for p, f in zip(parity, fast)]
+            if all(d == 0 for d in differences):
+                continue
+            mean, half_width = _paired_t_half_width(differences)
+            scale = max(1e-9, max(abs(p[metric]) for p in parity))
+            assert abs(mean) <= max(half_width, 0.05 * scale), (
+                protocol, metric, mean, half_width,
+            )
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_macro_fast_mode_conservation(self, protocol):
+        result = run_simulation(
+            Scenario(
+                protocol=protocol, n_voice=10, n_data=3,
+                use_request_queue=(protocol != "rmav"),
+                duration_s=0.4, warmup_s=0.15, seed=1,
+                rng_mode="fast", macro_frames=16,
+            ),
+            PARAMS,
+        )
+        voice, data = result.voice, result.data
+        assert voice.delivered + voice.errored + voice.dropped <= voice.generated
+        assert data.delivered <= data.generated
+        assert len(data.delay_frames) == data.delivered
+
     def test_fast_and_parity_differ_but_share_initial_state(self):
         """Same seed, different draw partitioning: the realisations diverge
         (they are different samples), while construction-time state —
