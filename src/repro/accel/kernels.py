@@ -13,6 +13,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.lint.contracts import kernel
+
 __all__ = ["HAS_NUMBA", "contention_round_scan", "voice_generation_offsets"]
 
 try:  # pragma: no cover - exercised only where numba is installed
@@ -24,6 +26,7 @@ except ImportError:  # pragma: no cover - the container default
     HAS_NUMBA = False
 
 
+@kernel
 def contention_round_scan(
     draws: np.ndarray, probabilities: np.ndarray
 ) -> Tuple[np.ndarray, int, int]:
@@ -57,6 +60,7 @@ def contention_round_scan(
     return counts, row, int(np.argmax(hits[row]))
 
 
+@kernel
 def voice_generation_offsets(
     since: np.ndarray, period: int, gap: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -119,11 +123,13 @@ if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
                 o += period
         return offsets, rows
 
+    @kernel
     def contention_round_scan(draws, probabilities):  # noqa: F811
         return _contention_round_scan_jit(
             np.ascontiguousarray(draws), np.ascontiguousarray(probabilities)
         )
 
+    @kernel
     def voice_generation_offsets(since, period, gap):  # noqa: F811
         return _voice_generation_offsets_jit(
             np.ascontiguousarray(since), period, gap

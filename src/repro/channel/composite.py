@@ -71,7 +71,9 @@ class CompositeChannel:
         shadow_decorrelation_s: float = 1.0,
         mean_snr_db: float = 20.0,
     ) -> None:
-        rng = rng if rng is not None else np.random.default_rng()
+        # Seedless convenience default for standalone/unit-test use only;
+        # engine-owned instances always inject a RandomStreams generator.
+        rng = rng if rng is not None else np.random.default_rng()  # lint: allow[RNG001]
         self._doppler = doppler
         self._dt = float(sample_interval_s)
         self._mean_snr_db = float(mean_snr_db)

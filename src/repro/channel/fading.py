@@ -246,7 +246,9 @@ class JakesFading:
             raise ValueError("n_oscillators must be >= 1")
         if mean_square <= 0:
             raise ValueError("mean_square must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        # Seedless convenience default for standalone/unit-test use only;
+        # engine-owned instances always inject a RandomStreams generator.
+        rng = rng if rng is not None else np.random.default_rng()  # lint: allow[RNG001]
         self._fd = float(doppler_hz)
         self._n = int(n_oscillators)
         self._mean_square = float(mean_square)

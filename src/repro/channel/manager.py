@@ -123,7 +123,9 @@ class ChannelManager:
 
         self._n = int(n_users)
         self._dt = float(frame_duration_s)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # Seedless convenience default for standalone/unit-test use only;
+        # engine-owned instances always inject a RandomStreams generator.
+        self._rng = rng if rng is not None else np.random.default_rng()  # lint: allow[RNG001]
         self._mean_snr_db = float(mean_snr_db)
         self._shadow_mean_db = float(shadow_mean_db)
         self._shadow_std_db = float(shadow_std_db)

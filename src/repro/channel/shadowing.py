@@ -63,7 +63,9 @@ class LogNormalShadowing:
         self._std_db = float(std_db)
         self._tau = float(decorrelation_time_s)
         self._dt = float(sample_interval_s)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # Seedless convenience default for standalone/unit-test use only;
+        # engine-owned instances always inject a RandomStreams generator.
+        self._rng = rng if rng is not None else np.random.default_rng()  # lint: allow[RNG001]
         self._a = math.exp(-self._dt / self._tau)
         self._state_db = self._draw_stationary()
 

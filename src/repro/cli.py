@@ -14,6 +14,10 @@ Python:
   on-disk result store (see ``--cache`` on ``run``/``compare``);
 * ``profile`` — cProfile the engine's frame loop on a chosen scenario and
   print the top-N functions (hot-path work belongs here first);
+* ``lint`` — run the contract-aware static analyzer (:mod:`repro.lint`)
+  over the package sources: RNG discipline, child-stream label uniqueness,
+  ``@kernel`` purity and store-schema hygiene, with ``--json`` and
+  ``--update-baseline`` for the committed baseline/fingerprint files;
 * ``selftest`` (also reachable as ``python -m repro --selftest``) — smoke-run
   one tiny experiment through every executor, check they agree, verify the
   columnar and object engine backends produce identical results, and
@@ -112,6 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
              "traffic/channel/MAC/PHY/metrics split, top functions) instead "
              "of the pstats table",
     )
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="contract-aware static analysis: RNG discipline, kernel "
+             "purity, schema hygiene (see README 'Source contracts')",
+    )
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(lint_parser)
 
     sub.add_parser(
         "selftest",
@@ -355,6 +368,12 @@ def _command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def _selftest_backend_parity() -> bool:
     """Columnar, object and macro-stepped engines must agree exactly."""
     from repro.sim.runner import run_simulation
@@ -398,6 +417,21 @@ def _selftest_rng_fast() -> bool:
     return True
 
 
+def _selftest_lint() -> bool:
+    """The shipped tree must pass its own source contracts."""
+    from repro.lint import lint_tree
+
+    report = lint_tree()
+    if report.exit_code != 0:
+        for finding in report.findings:
+            print(f"  LINT: {finding.location()}: [{finding.rule}] "
+                  f"{finding.message}")
+        return False
+    print(f"  repro lint         clean across {report.n_modules} modules, "
+          f"{report.n_kernels} @kernel functions")
+    return True
+
+
 def _command_selftest(_: argparse.Namespace) -> int:
     """Run one tiny grid through each executor and verify they agree."""
     from repro.store import AsyncExecutor, CachingExecutor, ResultStore
@@ -432,6 +466,8 @@ def _command_selftest(_: argparse.Namespace) -> int:
     if not _selftest_backend_parity():
         return 1
     if not _selftest_rng_fast():
+        return 1
+    if not _selftest_lint():
         return 1
 
     # Store round-trip: a cold cached run must miss everywhere, a second
@@ -468,6 +504,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments": _command_experiments,
         "cache": _command_cache,
         "profile": _command_profile,
+        "lint": _command_lint,
         "selftest": _command_selftest,
     }
     return handlers[args.command](args)

@@ -1,0 +1,288 @@
+"""Source loading and the AST facts shared by every lint rule.
+
+:class:`SourceModule` parses one file once and precomputes everything the
+rules keep asking for: the import alias map (so ``np.random.default_rng``
+resolves to ``numpy.random.default_rng`` whatever the module called
+``numpy``), the enclosing-symbol intervals (for finding attribution and
+baseline keys), the ``# lint: allow[RULE]`` suppression table, and the set
+of :func:`repro.lint.contracts.kernel`-marked function bodies.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "KernelFunction",
+    "Project",
+    "SourceModule",
+    "dotted_parts",
+    "load_project",
+]
+
+#: ``# lint: allow[RNG001]`` / ``# lint: allow[KRN001, KRN002]`` /
+#: ``# lint: allow[*]`` — same line or the line directly above the finding.
+#: The tag may sit anywhere inside the comment, so the idiomatic
+#: ``# <reason>. lint: allow[RULE]`` one-liner works.
+_SUPPRESS_RE = re.compile(r"#.*?\blint:\s*allow\[\s*([A-Za-z0-9_*,\s]+?)\s*\]")
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def dotted_parts(node: ast.expr) -> Optional[List[str]]:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]``; None otherwise."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+@dataclass(frozen=True)
+class KernelFunction:
+    """One ``@kernel``-marked function body inside a module."""
+
+    qualname: str
+    node: ast.AST
+    line: int
+    end_line: int
+
+    def covers(self, line: int) -> bool:
+        return self.line <= line <= self.end_line
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus the precomputed lint facts."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: Optional[ast.Module] = None
+    parse_error: Optional[str] = None
+    lines: List[str] = field(default_factory=list)
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    imports: Dict[str, str] = field(default_factory=dict)
+    symbols: List[Tuple[int, int, str]] = field(default_factory=list)
+    kernels: List[KernelFunction] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "SourceModule":
+        text = path.read_text(encoding="utf-8")
+        module = cls(path=path, rel=rel, text=text, lines=text.splitlines())
+        module._scan_suppressions()
+        try:
+            module.tree = ast.parse(text, filename=str(path))
+        except SyntaxError as error:
+            module.parse_error = (
+                f"{error.msg} (line {error.lineno or 0})"
+            )
+            return module
+        module._scan_imports()
+        module._scan_symbols()
+        module._scan_kernels()
+        return module
+
+    # ------------------------------------------------------------- scanning
+    def _scan_suppressions(self) -> None:
+        for number, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            rules = frozenset(
+                token.strip()
+                for token in match.group(1).split(",")
+                if token.strip()
+            )
+            if rules:
+                self.suppressions[number] = rules
+
+    def _scan_imports(self) -> None:
+        assert self.tree is not None
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        self.imports[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = f"{node.module}.{alias.name}"
+
+    def _scan_symbols(self) -> None:
+        assert self.tree is not None
+
+        def visit(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _SCOPE_NODES):
+                    qualname = (
+                        f"{prefix}.{child.name}" if prefix else child.name
+                    )
+                    end = getattr(child, "end_lineno", None) or child.lineno
+                    self.symbols.append((child.lineno, end, qualname))
+                    visit(child, qualname)
+                else:
+                    visit(child, prefix)
+
+        visit(self.tree, "")
+        self.symbols.sort()
+
+    def _scan_kernels(self) -> None:
+        assert self.tree is not None
+        for node in ast.walk(self.tree):
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            for decorator in node.decorator_list:
+                target = decorator.func if isinstance(
+                    decorator, ast.Call
+                ) else decorator
+                parts = dotted_parts(target)
+                if parts and parts[-1] == "kernel":
+                    self.kernels.append(
+                        KernelFunction(
+                            qualname=self.symbol_at(node.lineno),
+                            node=node,
+                            line=node.lineno,
+                            end_line=getattr(node, "end_lineno", node.lineno)
+                            or node.lineno,
+                        )
+                    )
+                    break
+        self.kernels.sort(key=lambda kernel: kernel.line)
+
+    # -------------------------------------------------------------- queries
+    def resolve_call(self, func: ast.expr) -> Optional[str]:
+        """Dotted name of a call target with import aliases substituted.
+
+        ``np.random.default_rng`` (under ``import numpy as np``) resolves to
+        ``numpy.random.default_rng``; a bare ``default_rng`` imported with
+        ``from numpy.random import default_rng`` resolves to the same.
+        Attribute chains rooted at expressions (``self._rng.normal``) have
+        no static module root and resolve to ``None``.
+        """
+        parts = dotted_parts(func)
+        if not parts:
+            return None
+        mapped = self.imports.get(parts[0])
+        if mapped is not None:
+            parts = mapped.split(".") + parts[1:]
+        return ".".join(parts)
+
+    def symbol_at(self, line: int) -> str:
+        """Qualified name of the innermost definition containing ``line``."""
+        best = ""
+        best_span = None
+        for start, end, qualname in self.symbols:
+            if start <= line <= end:
+                span = end - start
+                if best_span is None or span <= best_span:
+                    best = qualname
+                    best_span = span
+        return best
+
+    def snippet_at(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def kernel_at(self, line: int) -> Optional[KernelFunction]:
+        """Innermost kernel function whose body spans ``line``, if any."""
+        best: Optional[KernelFunction] = None
+        for kernel in self.kernels:
+            if kernel.covers(line) and (
+                best is None or kernel.line >= best.line
+            ):
+                best = kernel
+        return best
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether an inline comment allows this finding.
+
+        A suppression applies to findings on its own physical line and on
+        the line directly below it, so both inline comments and a
+        comment-only line above the offending statement work.
+        """
+        for line in (finding.line, finding.line - 1):
+            rules = self.suppressions.get(line)
+            if rules and ("*" in rules or finding.rule in rules):
+                return True
+        return False
+
+    def finding(
+        self,
+        node: ast.AST,
+        rule: str,
+        severity: str,
+        message: str,
+    ) -> Finding:
+        """Build a finding anchored at an AST node of this module."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.rel,
+            line=line,
+            column=column + 1,
+            rule=rule,
+            severity=severity,
+            message=message,
+            symbol=self.symbol_at(line),
+            snippet=self.snippet_at(line),
+        )
+
+
+@dataclass
+class Project:
+    """Every parsed module under one linted root."""
+
+    root: Path
+    modules: List[SourceModule]
+    fingerprint_path: Optional[Path] = None
+
+    def module_ending(self, suffix: str) -> Optional[SourceModule]:
+        """The unique module whose relative path ends with ``suffix``."""
+        for module in self.modules:
+            if module.rel == suffix or module.rel.endswith("/" + suffix):
+                return module
+        return None
+
+    def kernel_count(self) -> int:
+        return sum(len(module.kernels) for module in self.modules)
+
+    def iter_parsed(self) -> Iterator[SourceModule]:
+        for module in self.modules:
+            if module.tree is not None:
+                yield module
+
+
+def load_project(
+    root: Path,
+    fingerprint_path: Optional[Path] = None,
+    exclude: Sequence[str] = (),
+) -> Project:
+    """Parse every ``*.py`` under ``root`` (sorted, deterministic order)."""
+    root = Path(root)
+    modules: List[SourceModule] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if any(rel == name or rel.startswith(name + "/") for name in exclude):
+            continue
+        modules.append(SourceModule.load(path, rel))
+    return Project(
+        root=root, modules=modules, fingerprint_path=fingerprint_path
+    )

@@ -1,0 +1,77 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the lint gate turn on *now* without first fixing every
+historical finding: ``--update-baseline`` records the current fresh
+findings, and from then on only *new* findings fail the run.  Keys are
+line-number-free (rule + path + enclosing symbol + normalised source line,
+see :meth:`~repro.lint.findings.Finding.baseline_key`), so shifting code up
+or down does not churn the file; editing the offending line itself retires
+the entry and resurfaces the finding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Set
+
+from repro.lint.findings import Finding
+
+__all__ = ["load_baseline", "write_baseline"]
+
+_FORMAT = "repro-lint-baseline"
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The recorded baseline keys; empty for a missing/unreadable file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return set()
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        return set()
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        return set()
+    keys: Set[str] = set()
+    for entry in entries:
+        if isinstance(entry, dict) and isinstance(entry.get("key"), str):
+            keys.add(entry["key"])
+    return keys
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Record ``findings`` as the new baseline; returns how many entries.
+
+    Entries keep the human-readable context (rule, location, message) next
+    to the key so a reviewer can audit what exactly was grandfathered.
+    """
+    entries: List[Dict[str, object]] = []
+    seen: Set[str] = set()
+    for finding in sorted(findings):
+        key = finding.baseline_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "key": key,
+                "rule": finding.rule,
+                "location": finding.location(),
+                "message": finding.message,
+            }
+        )
+    payload: Dict[str, object] = {
+        "format": _FORMAT,
+        "comment": (
+            "Grandfathered lint findings; maintained by `python -m repro "
+            "lint --update-baseline`.  New findings are not covered and "
+            "fail the run."
+        ),
+        "findings": entries,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

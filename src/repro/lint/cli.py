@@ -1,0 +1,76 @@
+"""Argument wiring for ``python -m repro lint``.
+
+Kept inside the lint package so :mod:`repro.cli` only needs two calls:
+:func:`add_arguments` on its subparser and :func:`run_from_args` in the
+handler.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional
+
+from repro.lint.runner import LintReport, lint_tree, update_baseline
+
+__all__ = ["add_arguments", "run_from_args"]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true", dest="update_baseline",
+        help="re-record the schema fingerprint and grandfather the current "
+             "findings into the committed baseline, then re-lint",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None, metavar="DIR",
+        help="tree to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="baseline file (default: <root>/lint/baseline.json)",
+    )
+    parser.add_argument(
+        "--fingerprint", type=Path, default=None, metavar="FILE",
+        help="schema fingerprint file "
+             "(default: <root>/lint/schema_fingerprint.json)",
+    )
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="ID", default=None,
+        help="run only this rule id (repeatable)",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    from repro.lint.reporters import render_json, render_text
+
+    report: LintReport
+    if args.update_baseline:
+        report = update_baseline(
+            root=args.root,
+            baseline_path=args.baseline,
+            fingerprint_path=args.fingerprint,
+            rules=args.rules,
+        )
+    else:
+        report = lint_tree(
+            root=args.root,
+            baseline_path=args.baseline,
+            fingerprint_path=args.fingerprint,
+            rules=args.rules,
+        )
+    rendered: str = (
+        render_json(report) if args.as_json else render_text(report)
+    )
+    print(rendered)
+    return report.exit_code
+
+
+def main(argv: Optional[list] = None) -> int:  # pragma: no cover - direct use
+    parser = argparse.ArgumentParser(prog="repro-lint")
+    add_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

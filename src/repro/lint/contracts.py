@@ -1,0 +1,52 @@
+"""Source-contract markers checked by :mod:`repro.lint`.
+
+The :func:`kernel` decorator is a pure *marker*: it returns the function
+unchanged (zero runtime cost in the frame loop) and exists so the static
+analyzer knows which bodies carry the kernel-purity contract.  A marked
+function is one of the engine's hot-path kernels, and the KRN rules hold it
+to three promises the parity suites otherwise only discover by diverging:
+
+* **No conditional draws** (``KRN001``): a random draw must not sit under a
+  data-dependent branch, because the *number and order* of draws taken from
+  a stream is part of the cross-backend parity contract.  Where a kernel
+  deliberately gates a draw to mirror the object backend's per-terminal
+  order, the site must carry an explicit ``# lint: allow[KRN001]`` with the
+  reason.
+* **No unordered iteration** (``KRN001``): iterating a ``set`` (or the
+  views of a freshly-built ``dict``) makes the emission order depend on
+  hashing/insertion history; kernels must iterate arrays, lists or
+  ``sorted(...)`` views.
+* **No clocks** (``KRN002``): wall-clock or monotonic time must never leak
+  into kernel state — simulated time is the only clock.
+
+This module must stay import-light (stdlib only): it is imported by every
+kernel-bearing module in ``mac``/``traffic``/``sim``/``phy``/``accel``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+__all__ = ["KERNEL_ATTR", "is_kernel", "kernel"]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+#: Attribute set on functions marked with :func:`kernel`.
+KERNEL_ATTR = "__repro_kernel__"
+
+
+def kernel(func: _F) -> _F:
+    """Mark ``func`` as a hot-path kernel bound by the purity contract.
+
+    The decorator is intentionally a no-op at runtime — no wrapper frame is
+    inserted — so marking a kernel can never perturb performance or the
+    call stack.  The contract itself is enforced statically by the KRN
+    rules of ``python -m repro lint``.
+    """
+    setattr(func, KERNEL_ATTR, True)
+    return func
+
+
+def is_kernel(obj: object) -> bool:
+    """Whether ``obj`` was marked with :func:`kernel`."""
+    return getattr(obj, KERNEL_ATTR, False) is True

@@ -1,0 +1,73 @@
+"""Finding records produced by the lint rules."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["Finding", "SEVERITIES", "FAILING_SEVERITIES"]
+
+#: Recognised severities, most severe first.  ``error`` and ``warning``
+#: findings fail the lint run (non-zero exit); ``note`` findings are
+#: informational only (e.g. "fingerprint stale after a schema bump").
+SEVERITIES = ("error", "warning", "note")
+
+#: Severities that make ``python -m repro lint`` exit non-zero.
+FAILING_SEVERITIES = frozenset({"error", "warning"})
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is POSIX-relative to the linted root, so findings (and the
+    baseline keys derived from them) are stable across checkouts.  The
+    ``symbol``/``snippet`` pair — enclosing definition plus the normalised
+    source line — keys the baseline instead of the line number, so findings
+    survive unrelated edits that merely shift code up or down.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    severity: str
+    message: str
+    symbol: str = ""
+    snippet: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def fails(self) -> bool:
+        """Whether this finding (if fresh and unsuppressed) fails the run."""
+        return self.severity in FAILING_SEVERITIES
+
+    def baseline_key(self) -> str:
+        """Line-number-free identity used by the committed baseline."""
+        snippet = _WHITESPACE.sub(" ", self.snippet).strip()
+        return f"{self.rule}|{self.path}|{self.symbol}|{snippet}"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-reporter payload for one finding (stable key set)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "symbol": self.symbol,
+            "snippet": self.snippet.strip(),
+            "key": self.baseline_key(),
+        }

@@ -1,0 +1,85 @@
+"""Text and JSON renderings of a lint report.
+
+The JSON shape is a stable machine interface (asserted by
+``tests/lint/test_reporters.py``): top-level ``{"version", "root",
+"summary", "findings"}``, each finding carrying the key set of
+:meth:`~repro.lint.findings.Finding.as_dict` plus ``"baselined"``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.runner import LintReport
+
+__all__ = ["JSON_REPORT_VERSION", "render_json", "render_text", "report_payload"]
+
+#: Bump when the JSON report shape changes.
+JSON_REPORT_VERSION = 1
+
+
+def report_payload(report: LintReport) -> Dict[str, object]:
+    """The JSON-reporter document as a plain dictionary."""
+    findings: List[Dict[str, object]] = []
+    for finding in report.findings:
+        entry = finding.as_dict()
+        entry["baselined"] = False
+        findings.append(entry)
+    for finding in report.baselined:
+        entry = finding.as_dict()
+        entry["baselined"] = True
+        findings.append(entry)
+    return {
+        "version": JSON_REPORT_VERSION,
+        "root": str(report.root),
+        "summary": {
+            "modules": report.n_modules,
+            "kernel_functions": report.n_kernels,
+            "rules": list(report.rule_ids),
+            "fresh": len(report.findings),
+            "failing": sum(1 for f in report.findings if f.fails),
+            "baselined": len(report.baselined),
+            "suppressed": report.n_suppressed,
+            "exit_code": report.exit_code,
+        },
+        "findings": findings,
+    }
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report_payload(report), indent=2, sort_keys=True)
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one line per finding, grouped by file."""
+    lines: List[str] = []
+    last_path = None
+    for finding in report.findings:
+        if finding.path != last_path:
+            if last_path is not None:
+                lines.append("")
+            last_path = finding.path
+        lines.append(
+            f"{finding.location()}: {finding.severity} "
+            f"[{finding.rule}] {finding.message}"
+        )
+    if report.findings:
+        lines.append("")
+    counts = (
+        f"{len(report.findings)} finding(s)"
+        if report.findings
+        else "clean"
+    )
+    extras: List[str] = []
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if report.n_suppressed:
+        extras.append(f"{report.n_suppressed} suppressed")
+    suffix = f" ({', '.join(extras)})" if extras else ""
+    lines.append(
+        f"repro lint: {counts}{suffix} across {report.n_modules} module(s), "
+        f"{report.n_kernels} @kernel function(s), "
+        f"rules {', '.join(report.rule_ids)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Drive the rules over a tree and fold in suppressions + baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint import schema as schema_mod
+from repro.lint.analyzer import Project, SourceModule, load_project
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.findings import Finding
+from repro.lint.rules import all_rules
+
+__all__ = [
+    "LintReport",
+    "default_baseline_path",
+    "default_fingerprint_path",
+    "default_root",
+    "lint_tree",
+    "update_baseline",
+]
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (the tree we self-lint)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path(root: Optional[Path] = None) -> Path:
+    return (root or default_root()) / "lint" / "baseline.json"
+
+
+def default_fingerprint_path(root: Optional[Path] = None) -> Path:
+    return (root or default_root()) / "lint" / "schema_fingerprint.json"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run.
+
+    ``findings`` are *fresh* (neither suppressed nor baselined) and sorted;
+    ``baselined`` are the grandfathered matches, kept for reporting.
+    """
+
+    root: Path
+    findings: List[Finding]
+    baselined: List[Finding] = field(default_factory=list)
+    n_suppressed: int = 0
+    n_modules: int = 0
+    n_kernels: int = 0
+    rule_ids: Tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        """1 when any fresh error/warning finding remains, else 0."""
+        return 1 if any(finding.fails for finding in self.findings) else 0
+
+    def by_rule(self) -> Dict[str, List[Finding]]:
+        grouped: Dict[str, List[Finding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.rule, []).append(finding)
+        return grouped
+
+
+def _run_rules(
+    project: Project, only: Optional[Iterable[str]]
+) -> Tuple[List[Finding], int, Tuple[str, ...]]:
+    """Raw rule pass: (unsuppressed findings, suppressed count, rule ids)."""
+    modules: Dict[str, SourceModule] = {
+        module.rel: module for module in project.modules
+    }
+    rules = all_rules(only)
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(project):
+            module = modules.get(finding.path)
+            if module is not None and module.is_suppressed(finding):
+                suppressed += 1
+                continue
+            kept.append(finding)
+    kept.sort()
+    return kept, suppressed, tuple(rule.id for rule in rules)
+
+
+def lint_tree(
+    root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    fingerprint_path: Optional[Path] = None,
+    rules: Optional[Iterable[str]] = None,
+    exclude: Tuple[str, ...] = (),
+) -> LintReport:
+    """Lint every ``*.py`` under ``root``.
+
+    Parameters default to the installed package tree and its committed
+    baseline/fingerprint files, so ``lint_tree()`` with no arguments is the
+    self-clean gate the tests and ``selftest`` run.
+    """
+    root = Path(root) if root is not None else default_root()
+    if baseline_path is None:
+        baseline_path = default_baseline_path(root)
+    if fingerprint_path is None:
+        fingerprint_path = default_fingerprint_path(root)
+    project = load_project(
+        root, fingerprint_path=fingerprint_path, exclude=exclude
+    )
+    raw, suppressed, rule_ids = _run_rules(project, rules)
+    known = load_baseline(baseline_path)
+    fresh = [f for f in raw if f.baseline_key() not in known]
+    grandfathered = [f for f in raw if f.baseline_key() in known]
+    return LintReport(
+        root=root,
+        findings=fresh,
+        baselined=grandfathered,
+        n_suppressed=suppressed,
+        n_modules=len(project.modules),
+        n_kernels=project.kernel_count(),
+        rule_ids=rule_ids,
+    )
+
+
+def update_baseline(
+    root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    fingerprint_path: Optional[Path] = None,
+    rules: Optional[Iterable[str]] = None,
+    exclude: Tuple[str, ...] = (),
+) -> LintReport:
+    """Re-record the schema fingerprint and grandfather current findings.
+
+    Returns the post-update report, which is clean by construction (every
+    previously fresh finding is now baselined and the fingerprint matches).
+    """
+    root = Path(root) if root is not None else default_root()
+    if baseline_path is None:
+        baseline_path = default_baseline_path(root)
+    if fingerprint_path is None:
+        fingerprint_path = default_fingerprint_path(root)
+    project = load_project(
+        root, fingerprint_path=fingerprint_path, exclude=exclude
+    )
+    fields = schema_mod.extract_schema_fields(project)
+    if fields is not None:
+        schema_mod.write_recorded_fingerprint(
+            fingerprint_path,
+            fields,
+            schema_mod.extract_schema_version(project),
+        )
+    # Re-lint against the fresh fingerprint, then baseline what remains.
+    report = lint_tree(
+        root,
+        baseline_path=baseline_path,
+        fingerprint_path=fingerprint_path,
+        rules=rules,
+        exclude=exclude,
+    )
+    write_baseline(
+        baseline_path, list(report.findings) + list(report.baselined)
+    )
+    return lint_tree(
+        root,
+        baseline_path=baseline_path,
+        fingerprint_path=fingerprint_path,
+        rules=rules,
+        exclude=exclude,
+    )

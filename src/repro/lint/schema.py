@@ -1,0 +1,161 @@
+"""Schema-hygiene fingerprinting for rule SCH001.
+
+The result store serialises :class:`~repro.sim.scenario.Scenario` inside
+every cached record and rebuilds it with an *exact field-set match*
+(:func:`repro.store.serialization._rebuild`), so any change to the scenario
+or parameter dataclasses silently invalidates — or worse, mis-deserialises —
+previously cached results unless ``SCHEMA_VERSION`` is bumped.  SCH001 makes
+that contract structural: the dataclass field lists are fingerprinted from
+the AST (no imports, no execution) and committed alongside the
+``SCHEMA_VERSION`` they were recorded against in
+``src/repro/lint/schema_fingerprint.json``; a fingerprint drift without a
+matching version bump fails lint, and ``--update-baseline`` re-records the
+pair once the bump has landed.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.analyzer import Project, SourceModule
+
+__all__ = [
+    "SCHEMA_CLASSES",
+    "extract_schema_fields",
+    "extract_schema_version",
+    "load_recorded_fingerprint",
+    "schema_fingerprint",
+    "write_recorded_fingerprint",
+]
+
+#: Dataclasses whose field sets define the persisted-run schema, and the
+#: project-relative file each is declared in.
+SCHEMA_CLASSES: Tuple[Tuple[str, str], ...] = (
+    ("Scenario", "sim/scenario.py"),
+    ("SimulationParameters", "config.py"),
+)
+
+#: Where the writer's wire-format version is declared.
+SCHEMA_VERSION_FILE = "store/serialization.py"
+
+_FieldList = List[Dict[str, str]]
+
+
+def _class_fields(module: SourceModule, class_name: str) -> Optional[_FieldList]:
+    """Annotated fields of one top-level (data)class, in declaration order."""
+    if module.tree is None:
+        return None
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef) or node.name != class_name:
+            continue
+        fields: _FieldList = []
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign):
+                continue
+            if not isinstance(statement.target, ast.Name):
+                continue
+            name = statement.target.id
+            if name.startswith("_") or name.isupper():
+                continue  # ClassVar-style constants are not schema fields
+            fields.append(
+                {
+                    "name": name,
+                    "annotation": ast.unparse(statement.annotation),
+                    "default": (
+                        ast.unparse(statement.value)
+                        if statement.value is not None
+                        else ""
+                    ),
+                }
+            )
+        return fields
+    return None
+
+
+def extract_schema_fields(
+    project: Project,
+) -> Optional[Dict[str, _FieldList]]:
+    """Field lists of every schema class, or None if none are present.
+
+    A project that carries *some but not all* schema sources still gets a
+    fingerprint over what it has (the missing class is recorded as absent),
+    so synthetic fixture trees can exercise the rule with just a
+    ``sim/scenario.py``.
+    """
+    found: Dict[str, _FieldList] = {}
+    for class_name, suffix in SCHEMA_CLASSES:
+        module = project.module_ending(suffix)
+        if module is None:
+            continue
+        fields = _class_fields(module, class_name)
+        if fields is not None:
+            found[class_name] = fields
+    return found or None
+
+
+def extract_schema_version(project: Project) -> Optional[int]:
+    """The ``SCHEMA_VERSION`` literal in ``store/serialization.py``."""
+    module = project.module_ending(SCHEMA_VERSION_FILE)
+    if module is None or module.tree is None:
+        return None
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [
+                target.id
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            ]
+            if "SCHEMA_VERSION" in targets and isinstance(
+                node.value, ast.Constant
+            ) and isinstance(node.value.value, int):
+                return node.value.value
+    return None
+
+
+def schema_fingerprint(fields: Dict[str, _FieldList]) -> str:
+    """Stable short hash of the schema field lists."""
+    canonical = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def load_recorded_fingerprint(path: Path) -> Optional[Dict[str, object]]:
+    """The committed ``{fingerprint, schema_version, fields}`` record."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if not isinstance(payload.get("fingerprint"), str):
+        return None
+    if not isinstance(payload.get("schema_version"), int):
+        return None
+    return payload
+
+
+def write_recorded_fingerprint(
+    path: Path, fields: Dict[str, _FieldList], version: Optional[int]
+) -> Dict[str, object]:
+    """Record the current schema fingerprint next to its version."""
+    payload: Dict[str, object] = {
+        "comment": (
+            "Recorded by `python -m repro lint --update-baseline`; SCH001 "
+            "fails when the dataclass fields drift from this fingerprint "
+            "without a SCHEMA_VERSION bump in repro.store.serialization."
+        ),
+        "fingerprint": schema_fingerprint(fields),
+        "schema_version": version if version is not None else -1,
+        "fields": {
+            class_name: [entry["name"] for entry in entries]
+            for class_name, entries in fields.items()
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return payload

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.channel.manager import ChannelSnapshot
 from repro.config import SimulationParameters
+from repro.lint.contracts import kernel
 from repro.mac.frames import FrameStructure
 from repro.mac.request_queue import RequestQueue
 from repro.mac.requests import (
@@ -313,6 +314,7 @@ class MACProtocol(abc.ABC):
         snr_db = snapshot.snr_db
         return [snr_db[t.terminal_id] for t in terminals]
 
+    @kernel
     def slot_capacities(
         self, amplitudes, snr_db=None
     ) -> List[Tuple[int, Optional[float]]]:
@@ -554,6 +556,7 @@ class MACProtocol(abc.ABC):
             )
         return self._capacity_lut
 
+    @kernel
     def grant_capacity_columns(
         self, ids: np.ndarray, snapshot: ChannelSnapshot
     ) -> Tuple[np.ndarray, Optional[np.ndarray]]:

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.traffic.permission import PermissionPolicy
+from repro.lint.contracts import kernel
 from repro.traffic.terminal import Terminal
 
 __all__ = [
@@ -57,6 +58,7 @@ class ContentionResult:
         return len(self.winners)
 
 
+@kernel
 def run_contention(
     candidates: Sequence[Terminal],
     n_minislots: int,
@@ -140,6 +142,7 @@ class IndexContentionResult:
 _SCALAR_RESOLUTION_LIMIT = 24
 
 
+@kernel
 def run_contention_ids(
     ids,
     probabilities,
@@ -188,6 +191,10 @@ def run_contention_ids(
         # per-minislot work is plain-int bookkeeping, with array fix-ups
         # only on the rare minislots that produce a winner (whose later
         # transmissions must stop counting).
+        # The fast gate only switches draw *shape*, never count: this
+        # path owns its child stream, so no object-backend parity is
+        # promised here.
+        # lint: allow[KRN001]
         transmitting = rng.random((n_minislots, n)) < probabilities
         counts = transmitting.sum(axis=1, dtype=np.int64)
         counts_list = counts.tolist()

@@ -94,7 +94,9 @@ class CSIEstimator:
         self._n_pilots = int(n_pilot_symbols)
         self._mean_snr_linear = 10.0 ** (float(mean_snr_db) / 10.0)
         self._validity = int(validity_frames)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # Seedless convenience default for standalone/unit-test use only;
+        # engine-owned instances always inject a RandomStreams generator.
+        self._rng = rng if rng is not None else np.random.default_rng()  # lint: allow[RNG001]
         self._perfect = bool(perfect)
 
     # ------------------------------------------------------------------ API

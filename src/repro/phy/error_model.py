@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.phy.abicm import AdaptiveModem
 from repro.phy.fixed import FixedRateModem
+from repro.lint.contracts import kernel
 
 __all__ = ["PacketErrorModel"]
 
@@ -79,6 +80,7 @@ class PacketErrorModel:
         p = self.success_probability(amplitude, throughput)
         return int(self._rng.binomial(n_packets, p))
 
+    @kernel
     def success_probabilities(
         self, amplitudes, throughputs=None, snr_db=None
     ) -> np.ndarray:
@@ -94,6 +96,7 @@ class PacketErrorModel:
             amplitudes, throughputs, snr_db=snr_db
         )
 
+    @kernel
     def transmit_batch(
         self, amplitudes, n_packets, throughputs=None, snr_db=None
     ) -> np.ndarray:

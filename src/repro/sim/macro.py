@@ -44,6 +44,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.accel import contention_round_scan
+from repro.lint.contracts import kernel
 
 __all__ = ["MacroRunner", "RandomPool"]
 
@@ -387,6 +388,7 @@ class MacroRunner:
             self._flush_phy(clock)
         return True
 
+    @kernel
     def _run_contention(self, n_minislots: int):
         """Pool-fed slotted contention, bit-identical to the live draws.
 
@@ -474,6 +476,7 @@ class MacroRunner:
         self._mirrors_dirty = True
 
     # ------------------------------------------------------------- plumbing
+    @kernel
     def _flush_phy(self, clock) -> None:
         """Resolve all deferred transmissions in one batched PHY draw."""
         if not self._phy_tids:

@@ -13,7 +13,8 @@ the next identical invocation only executes the missing points.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+import os
+from typing import List, Optional, Sequence, Union
 
 from repro.api.executors import (
     Executor,
@@ -44,7 +45,11 @@ class CachingExecutor:
     accounting the selftest and the acceptance tests assert on.
     """
 
-    def __init__(self, store, inner: Optional[Executor] = None):
+    def __init__(
+        self,
+        store: Union[ResultStore, str, "os.PathLike[str]"],
+        inner: Optional[Executor] = None,
+    ) -> None:
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
         self.inner: Executor = inner if inner is not None else SerialExecutor()
         #: Cache hits / misses of the most recent execute() call.
@@ -126,8 +131,9 @@ class CachingExecutor:
                 if progress is not None:
                     progress(self.hits + sub_done, total)
 
-            if hasattr(self.inner, "execute_with_sink"):
-                self.inner.execute_with_sink(
+            execute_with_sink = getattr(self.inner, "execute_with_sink", None)
+            if execute_with_sink is not None:
+                execute_with_sink(
                     sub_points, params, inner_progress, inner_sink
                 )
             else:

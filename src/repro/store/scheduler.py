@@ -29,7 +29,7 @@ import asyncio
 import threading
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple, cast
 
 from repro.api.executors import (
     ProgressCallback,
@@ -61,7 +61,7 @@ class ExecutionCancelled(RuntimeError):
     """
 
     def __init__(self, completed: int, total: int,
-                 results: Sequence[Optional[SimulationResult]]):
+                 results: Sequence[Optional[SimulationResult]]) -> None:
         super().__init__(
             f"execution cancelled after {completed} of {total} runs"
         )
@@ -84,7 +84,9 @@ class WorkStealingScheduler:
     operation and every task is handed out exactly once.
     """
 
-    def __init__(self, n_workers: int, tasks: Sequence[Tuple[object, float]]):
+    def __init__(
+        self, n_workers: int, tasks: Sequence[Tuple[object, float]]
+    ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         self.n_workers = n_workers
@@ -174,7 +176,7 @@ class AsyncExecutor:
         self,
         n_workers: Optional[int] = None,
         cancel_event: Optional[threading.Event] = None,
-    ):
+    ) -> None:
         import os
 
         if n_workers is not None and n_workers < 1:
@@ -251,7 +253,7 @@ class AsyncExecutor:
                     task = scheduler.next_for(worker_id)
                     if task is None:
                         return
-                    position, point = task
+                    position, point = cast(Tuple[int, RunPoint], task)
                     job = (point.index, point.scenario, point.param_overrides)
                     chunk = await loop.run_in_executor(
                         pool, _worker_run_chunk, [job]

@@ -17,7 +17,7 @@ as stale and never returns them.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Any, Callable, Dict, TypeVar, cast
 
 from repro.metrics.collector import MacStats
 from repro.metrics.data import DataMetrics
@@ -51,17 +51,21 @@ def result_to_payload(result: SimulationResult) -> Dict[str, object]:
     }
 
 
-def _rebuild(cls, payload: object, what: str):
+_T = TypeVar("_T")
+
+
+def _rebuild(cls: Callable[..., _T], payload: object, what: str) -> _T:
     if not isinstance(payload, dict):
         raise SerializationError(f"{what} payload must be an object")
-    field_names = {f.name for f in dataclasses.fields(cls)}
-    if set(payload) != field_names:
+    data = cast(Dict[str, Any], payload)
+    field_names = {f.name for f in dataclasses.fields(cast(Any, cls))}
+    if set(data) != field_names:
         raise SerializationError(
-            f"{what} payload fields {sorted(payload)} do not match "
-            f"{cls.__name__} fields {sorted(field_names)}"
+            f"{what} payload fields {sorted(data)} do not match "
+            f"{getattr(cls, '__name__', cls)} fields {sorted(field_names)}"
         )
     try:
-        return cls(**payload)
+        return cls(**data)
     except (TypeError, ValueError) as error:
         raise SerializationError(f"invalid {what} payload: {error}") from error
 

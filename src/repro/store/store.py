@@ -40,7 +40,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.sim.results import SimulationResult
 from repro.store import serialization
@@ -92,11 +92,11 @@ class ResultStore:
         Cache directory; created (with its manifest) if it does not exist.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
         self.path = Path(path)
         self._lock = threading.RLock()
         #: Shard name -> {run_hash: record}; loaded lazily per shard.
-        self._loaded: Dict[str, Dict[str, dict]] = {}
+        self._loaded: Dict[str, Dict[str, Dict[str, Any]]] = {}
         self._ensure_layout()
 
     # ------------------------------------------------------------ filesystem
@@ -129,7 +129,9 @@ class ResultStore:
         self._write_atomic(manifest, json.dumps({
             "format": _MANIFEST_FORMAT,
             "schema_version": serialization.SCHEMA_VERSION,
-            "created_unix": time.time(),
+            # Provenance metadata (when the store was created), exempt from
+            # the determinism contract — never feeds back into a simulation.
+            "created_unix": time.time(),  # lint: allow[KRN002]
         }, indent=2) + "\n")
 
     @staticmethod
@@ -158,13 +160,13 @@ class ResultStore:
             raise ValueError(f"{run_hash!r} is not a hex run hash")
         return run_hash
 
-    def _shard(self, name: str) -> Dict[str, dict]:
+    def _shard(self, name: str) -> Dict[str, Dict[str, Any]]:
         """Load one shard (salvaging around corruption), cached in memory."""
         cached = self._loaded.get(name)
         if cached is not None:
             return cached
         path = self._shards_dir / name
-        records: Dict[str, dict] = {}
+        records: Dict[str, Dict[str, Any]] = {}
         if path.exists():
             good_lines: List[str] = []
             corrupt = False
@@ -194,7 +196,9 @@ class ResultStore:
         self._loaded[name] = records
         return records
 
-    def _rewrite_shard(self, name: str, records: Dict[str, dict]) -> None:
+    def _rewrite_shard(
+        self, name: str, records: Dict[str, Dict[str, Any]]
+    ) -> None:
         path = self._shards_dir / name
         if records:
             lines = [json.dumps(r, sort_keys=True) for r in records.values()]
@@ -225,7 +229,9 @@ class ResultStore:
                 self._quarantine_record(name, record)
                 return None
 
-    def _quarantine_record(self, shard_name: str, record: dict) -> None:
+    def _quarantine_record(
+        self, shard_name: str, record: Dict[str, Any]
+    ) -> None:
         """Move one undeserialisable record out of its shard."""
         with open(self._quarantine_dir / "bad-records.jsonl", "a",
                   encoding="utf-8") as handle:
@@ -253,10 +259,12 @@ class ResultStore:
     ) -> None:
         """Persist one result under its run hash (append, atomic per line)."""
         run_hash = self._validate_hash(run_hash)
-        record = {
+        record: Dict[str, Any] = {
             "run_hash": run_hash,
             "schema": serialization.SCHEMA_VERSION,
-            "saved_unix": time.time(),
+            # Provenance metadata (when the record landed), exempt from the
+            # determinism contract — never read back into simulation state.
+            "saved_unix": time.time(),  # lint: allow[KRN002]
             "coords": dict(coords) if coords else None,
             "result": result_to_payload(result),
         }

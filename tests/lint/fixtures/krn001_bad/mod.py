@@ -1,0 +1,20 @@
+"""Bad fixture: draws under data-dependent gates, unordered iteration."""
+
+from repro.lint.contracts import kernel
+
+
+@kernel
+def gated_draw(rng: object, occupancy: int) -> float:
+    if occupancy > 0:  # data-dependent gate
+        return float(rng.exponential(1.0))  # flagged
+    return 0.0
+
+
+@kernel
+def set_walk() -> int:
+    total = 0
+    for terminal in {1, 2, 3}:  # flagged: set literal iteration
+        total += terminal
+    for key in {"a": 1, "b": 2}.keys():  # flagged: dict .keys() order
+        total += len(key)
+    return total

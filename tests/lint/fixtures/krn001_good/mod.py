@@ -1,0 +1,28 @@
+"""Good fixture: top-level draws, constant gates, ordered iteration."""
+
+from repro.lint.contracts import kernel
+
+_FAST = True
+
+
+@kernel
+def top_level_draw(rng: object, n: int) -> object:
+    draws = rng.random(n)  # unconditional: count/order fixed by the caller
+    if _FAST is None or True:
+        pass
+    return draws
+
+
+@kernel
+def ordered_walk(rows: list) -> int:
+    total = 0
+    for row in sorted(rows):
+        total += row
+    return total
+
+
+def unmarked(rng: object, flag: bool) -> float:
+    # Not a @kernel: the purity contract does not apply here.
+    if flag:
+        return float(rng.exponential(1.0))
+    return 0.0

@@ -1,0 +1,21 @@
+"""Bad fixture: wall clocks anywhere; any timer inside a kernel."""
+
+import time
+from datetime import datetime
+
+from repro.lint.contracts import kernel
+
+
+def stamp() -> float:
+    return time.time()  # flagged even outside kernels (wall clock)
+
+
+def when() -> object:
+    return datetime.now()  # flagged: nondeterministic input
+
+
+@kernel
+def timed_step(values: list) -> float:
+    start = time.perf_counter()  # flagged: timer inside a kernel body
+    total = float(sum(values))
+    return total - start

@@ -1,0 +1,16 @@
+"""Good fixture: monotonic timers are fine in profiling glue outside kernels."""
+
+import time
+
+from repro.lint.contracts import kernel
+
+
+def profile(step: object) -> float:
+    start = time.perf_counter()
+    step()
+    return time.perf_counter() - start
+
+
+@kernel
+def pure_step(values: list) -> float:
+    return float(sum(values))

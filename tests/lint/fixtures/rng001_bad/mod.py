@@ -1,0 +1,18 @@
+"""Bad fixture: every RNG001 spelling the rule must catch."""
+
+import random  # noqa: F401  (flagged: stdlib random import)
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seedless() -> object:
+    return np.random.default_rng()  # flagged: aliased numpy.random call
+
+
+def bare() -> object:
+    return default_rng(7)  # flagged: bare import resolves via the alias map
+
+
+def legacy_draw() -> float:
+    return np.random.uniform()  # flagged: legacy module-level draw

@@ -1,0 +1,13 @@
+"""Good fixture: injected generators and attribute references are fine."""
+
+import numpy as np
+
+
+def draw(rng: "np.random.Generator") -> float:
+    # Drawing from an *injected* generator is the sanctioned pattern; only
+    # construction/module-level draws are RNG001 violations.
+    return float(rng.uniform())
+
+
+def check(obj: object) -> bool:
+    return isinstance(obj, np.random.Generator)

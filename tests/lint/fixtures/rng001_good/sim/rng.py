@@ -1,0 +1,7 @@
+"""Good fixture: the sanctuary module may construct generators freely."""
+
+import numpy as np
+
+
+def make(seed: int) -> object:
+    return np.random.default_rng(seed)

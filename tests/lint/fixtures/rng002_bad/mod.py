@@ -1,0 +1,9 @@
+"""Bad fixture: two call sites share one literal (stream, label) pair."""
+
+
+def first(streams: object) -> object:
+    return streams.child("mac", "contention")
+
+
+def second(streams: object) -> object:
+    return streams.child("mac", "contention")  # flagged: duplicates `first`

@@ -1,0 +1,15 @@
+"""Good fixture: unique labels per site; repeats of one site don't count."""
+
+
+def first(streams: object) -> object:
+    return streams.child("mac", "contention")
+
+
+def second(streams: object) -> object:
+    return streams.child("mac", "backoff")
+
+
+def looped(streams: object) -> list:
+    # One call *site* executed many times is fine: RNG002 is about distinct
+    # source locations silently sharing a stream.
+    return [streams.child("traffic", "arrivals") for _ in range(3)]

@@ -1,0 +1,6 @@
+"""Schema fixture: a miniature SimulationParameters."""
+
+
+class SimulationParameters:
+    bandwidth_hz: float = 2_000_000.0
+    packet_size_bits: int = 424

@@ -1,0 +1,6 @@
+"""Schema fixture: a miniature Scenario with two persisted fields."""
+
+
+class Scenario:
+    protocol: str = "charisma"
+    seed: int = 0

@@ -1,0 +1,3 @@
+"""Schema fixture: the wire-format version the fingerprint is recorded against."""
+
+SCHEMA_VERSION = 1

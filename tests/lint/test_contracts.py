@@ -1,0 +1,32 @@
+"""The @kernel marker is a pure annotation: no wrapping, no behaviour."""
+
+from repro.lint.contracts import KERNEL_ATTR, is_kernel, kernel
+
+
+def test_kernel_marks_without_wrapping():
+    def step(x):
+        """doc"""
+        return x + 1
+
+    marked = kernel(step)
+    assert marked is step  # identity: no wrapper object
+    assert getattr(step, KERNEL_ATTR) is True
+    assert is_kernel(step)
+    assert step(2) == 3
+    assert step.__doc__ == "doc"
+
+
+def test_is_kernel_false_for_plain_objects():
+    assert not is_kernel(lambda: None)
+    assert not is_kernel(object())
+    assert not is_kernel(None)
+
+
+def test_shipped_kernels_carry_the_marker_at_runtime():
+    # The AST scan (lint) and the runtime attribute must agree.
+    from repro.accel.kernels import contention_round_scan
+    from repro.phy.error_model import PacketErrorModel
+
+    assert is_kernel(contention_round_scan)
+    assert is_kernel(PacketErrorModel.success_probabilities)
+    assert is_kernel(PacketErrorModel.transmit_batch)

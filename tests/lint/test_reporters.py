@@ -1,0 +1,78 @@
+"""The JSON report is a stable machine interface; the CLI drives both
+renderers."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.lint import lint_tree
+from repro.lint.reporters import (
+    JSON_REPORT_VERSION,
+    render_json,
+    render_text,
+    report_payload,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+FINDING_KEYS = {
+    "rule", "severity", "path", "line", "column", "message",
+    "symbol", "snippet", "key", "baselined",
+}
+SUMMARY_KEYS = {
+    "modules", "kernel_functions", "rules", "fresh", "failing",
+    "baselined", "suppressed", "exit_code",
+}
+
+
+def test_json_report_schema():
+    report = lint_tree(root=FIXTURES / "krn002_bad")
+    payload = json.loads(render_json(report))
+    assert set(payload) == {"version", "root", "summary", "findings"}
+    assert payload["version"] == JSON_REPORT_VERSION
+    assert set(payload["summary"]) == SUMMARY_KEYS
+    assert payload["summary"]["exit_code"] == 1
+    assert payload["summary"]["fresh"] == len(payload["findings"])
+    for finding in payload["findings"]:
+        assert set(finding) == FINDING_KEYS
+        assert finding["severity"] in ("error", "warning", "note")
+        assert finding["line"] >= 1 and finding["column"] >= 1
+
+
+def test_json_summary_counts_match_report():
+    report = lint_tree(root=FIXTURES / "krn002_bad")
+    payload = report_payload(report)
+    assert payload["summary"]["failing"] == sum(
+        1 for f in report.findings if f.fails
+    )
+    assert payload["summary"]["kernel_functions"] == report.n_kernels
+
+
+def test_text_report_mentions_every_finding():
+    report = lint_tree(root=FIXTURES / "krn001_bad")
+    text = render_text(report)
+    for finding in report.findings:
+        assert finding.location() in text
+    assert "@kernel function(s)" in text
+
+
+def test_cli_lint_subcommand(tmp_path, capsys):
+    exit_code = repro_main(
+        ["lint", "--root", str(FIXTURES / "krn002_bad"), "--json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload["summary"]["exit_code"] == 1
+
+    exit_code = repro_main(["lint", "--root", str(FIXTURES / "krn002_good")])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "clean" in out
+
+
+def test_cli_rule_filter(capsys):
+    exit_code = repro_main(
+        ["lint", "--root", str(FIXTURES / "krn002_bad"), "--rule", "RNG001"]
+    )
+    capsys.readouterr()
+    assert exit_code == 0

@@ -1,0 +1,135 @@
+"""SCH001: schema drift must fail lint until SCHEMA_VERSION is bumped.
+
+The workflow under test is exactly the one a future PR adding a Scenario
+field goes through: the field addition alone fails lint; bumping
+``SCHEMA_VERSION`` downgrades the finding to a note; ``--update-baseline``
+re-records the fingerprint and the tree is clean again.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.lint import (
+    default_fingerprint_path,
+    default_root,
+    lint_tree,
+    update_baseline,
+)
+from repro.lint.schema import load_recorded_fingerprint, schema_fingerprint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def make_tree(tmp_path):
+    root = tmp_path / "tree"
+    shutil.copytree(FIXTURES / "schema", root)
+    return root
+
+
+def sch001(report):
+    return [f for f in report.findings if f.rule == "SCH001"]
+
+
+def test_missing_fingerprint_is_an_error(tmp_path):
+    root = make_tree(tmp_path)
+    report = lint_tree(root=root)
+    (finding,) = sch001(report)
+    assert report.exit_code == 1
+    assert "--update-baseline" in finding.message
+
+
+def test_field_addition_fails_until_version_bump(tmp_path):
+    root = make_tree(tmp_path)
+    assert update_baseline(root=root).exit_code == 0
+
+    # Simulate a PR adding a Scenario field without touching the store.
+    scenario = root / "sim" / "scenario.py"
+    scenario.write_text(
+        scenario.read_text(encoding="utf-8") + "    handoff_margin_db: float = 3.0\n",
+        encoding="utf-8",
+    )
+    report = lint_tree(root=root)
+    (finding,) = sch001(report)
+    assert report.exit_code == 1
+    assert finding.severity == "error"
+    assert "Scenario += handoff_margin_db" in finding.message
+    assert "SCHEMA_VERSION" in finding.message
+
+    # Bumping SCHEMA_VERSION turns the error into a re-record note ...
+    serialization = root / "store" / "serialization.py"
+    serialization.write_text(
+        serialization.read_text(encoding="utf-8").replace(
+            "SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2"
+        ),
+        encoding="utf-8",
+    )
+    bumped = lint_tree(root=root)
+    assert bumped.exit_code == 0
+    (note,) = sch001(bumped)
+    assert note.severity == "note"
+
+    # ... and --update-baseline re-records the pair, clearing the note.
+    assert update_baseline(root=root).exit_code == 0
+    final = lint_tree(root=root)
+    assert sch001(final) == []
+    recorded = load_recorded_fingerprint(default_fingerprint_path(root))
+    assert recorded is not None and recorded["schema_version"] == 2
+
+
+def test_annotation_change_also_counts_as_drift(tmp_path):
+    root = make_tree(tmp_path)
+    update_baseline(root=root)
+    config = root / "config.py"
+    config.write_text(
+        config.read_text(encoding="utf-8").replace(
+            "packet_size_bits: int = 424", "packet_size_bits: int = 512"
+        ),
+        encoding="utf-8",
+    )
+    report = lint_tree(root=root)
+    (finding,) = sch001(report)
+    assert finding.severity == "error"
+    assert "field annotations or defaults changed" in finding.message
+
+
+def test_stale_version_with_matching_fields_is_a_note(tmp_path):
+    root = make_tree(tmp_path)
+    update_baseline(root=root)
+    serialization = root / "store" / "serialization.py"
+    serialization.write_text(
+        serialization.read_text(encoding="utf-8").replace(
+            "SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2"
+        ),
+        encoding="utf-8",
+    )
+    report = lint_tree(root=root)
+    (finding,) = sch001(report)
+    assert report.exit_code == 0
+    assert finding.severity == "note"
+    assert "re-record" in finding.message
+
+
+def test_committed_fingerprint_matches_the_real_tree():
+    """The shipped schema_fingerprint.json tracks the actual dataclasses."""
+    from repro.lint.analyzer import load_project
+    from repro.lint.schema import extract_schema_fields, extract_schema_version
+
+    root = default_root()
+    project = load_project(root)
+    fields = extract_schema_fields(project)
+    assert fields is not None
+    assert set(fields) == {"Scenario", "SimulationParameters"}
+    recorded = load_recorded_fingerprint(default_fingerprint_path(root))
+    assert recorded is not None
+    assert recorded["fingerprint"] == schema_fingerprint(fields)
+    assert recorded["schema_version"] == extract_schema_version(project)
+
+
+def test_fingerprint_file_is_versioned_json():
+    payload = json.loads(
+        default_fingerprint_path(default_root()).read_text(encoding="utf-8")
+    )
+    assert isinstance(payload["schema_version"], int)
+    assert isinstance(payload["fingerprint"], str)
+    assert set(payload["fields"]) == {"Scenario", "SimulationParameters"}

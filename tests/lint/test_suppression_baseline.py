@@ -1,0 +1,134 @@
+"""Inline suppressions and the committed-baseline round trip."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_tree, update_baseline
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.findings import Finding
+
+BAD_MODULE = '''\
+"""Tree with one wall-clock violation."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()
+'''
+
+
+def make_tree(tmp_path: Path, body: str = BAD_MODULE) -> Path:
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "mod.py").write_text(body, encoding="utf-8")
+    return root
+
+
+def test_inline_suppression_same_line(tmp_path):
+    root = make_tree(
+        tmp_path,
+        BAD_MODULE.replace(
+            "time.time()", "time.time()  # lint: allow[KRN002]"
+        ),
+    )
+    report = lint_tree(root=root)
+    assert report.exit_code == 0
+    assert report.n_suppressed == 1
+
+
+def test_inline_suppression_line_above(tmp_path):
+    root = make_tree(
+        tmp_path,
+        BAD_MODULE.replace(
+            "    return time.time()",
+            "    # provenance stamp, not simulation input: lint: allow[KRN002]\n"
+            "    return time.time()",
+        ),
+    )
+    report = lint_tree(root=root)
+    assert report.exit_code == 0
+    assert report.n_suppressed == 1
+
+
+def test_wildcard_suppression(tmp_path):
+    root = make_tree(
+        tmp_path,
+        BAD_MODULE.replace("time.time()", "time.time()  # lint: allow[*]"),
+    )
+    assert lint_tree(root=root).exit_code == 0
+
+
+def test_wrong_rule_suppression_does_not_apply(tmp_path):
+    root = make_tree(
+        tmp_path,
+        BAD_MODULE.replace(
+            "time.time()", "time.time()  # lint: allow[RNG001]"
+        ),
+    )
+    report = lint_tree(root=root)
+    assert report.exit_code == 1
+    assert report.n_suppressed == 0
+
+
+def test_baseline_round_trip(tmp_path):
+    root = make_tree(tmp_path)
+    dirty = lint_tree(root=root)
+    assert dirty.exit_code == 1
+
+    clean = update_baseline(root=root)
+    assert clean.exit_code == 0
+    assert len(clean.baselined) == 1
+    assert clean.findings == []
+
+    # A *new* finding in the same tree is not covered by the baseline.
+    (root / "other.py").write_text(
+        textwrap.dedent(
+            '''\
+            import time
+
+
+            def other() -> float:
+                return time.time()
+            '''
+        ),
+        encoding="utf-8",
+    )
+    regressed = lint_tree(root=root)
+    assert regressed.exit_code == 1
+    assert [f.path for f in regressed.findings] == ["other.py"]
+    assert len(regressed.baselined) == 1
+
+
+def test_baseline_keys_survive_line_shifts(tmp_path):
+    root = make_tree(tmp_path)
+    update_baseline(root=root)
+    # Prepend unrelated code: the finding moves down but its
+    # line-number-free key still matches the baseline.
+    module = root / "mod.py"
+    module.write_text(
+        "X = 1\nY = 2\n\n\n" + module.read_text(encoding="utf-8"),
+        encoding="utf-8",
+    )
+    report = lint_tree(root=root)
+    assert report.exit_code == 0
+    assert len(report.baselined) == 1
+
+
+def test_baseline_file_shape(tmp_path):
+    path = tmp_path / "baseline.json"
+    finding = Finding(
+        path="mod.py", line=7, column=12, rule="KRN002",
+        severity="error", message="wall clock", symbol="stamp",
+        snippet="    return time.time()",
+    )
+    write_baseline(path, [finding, finding])  # duplicates collapse
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["format"] == "repro-lint-baseline"
+    assert len(payload["findings"]) == 1
+    assert load_baseline(path) == {finding.baseline_key()}
+    # Tolerant loader: garbage baselines read as empty, not as a crash.
+    path.write_text("not json", encoding="utf-8")
+    assert load_baseline(path) == set()
+    assert load_baseline(tmp_path / "missing.json") == set()

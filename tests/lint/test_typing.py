@@ -1,0 +1,39 @@
+"""Static typing gate for the annotated packages.
+
+``mypy`` is not part of the runtime environment; when it is absent (the
+offline container) this test skips and CI's dedicated lint job runs the
+check instead — see ``.github/workflows/ci.yml``.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+HAS_MYPY = importlib.util.find_spec("mypy") is not None
+
+
+@pytest.mark.skipif(not HAS_MYPY, reason="mypy is not installed")
+def test_lint_and_store_pass_mypy():
+    # The packages to check come from setup.cfg's `packages =` line, so the
+    # local test and CI's lint job run the identical command.
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "mypy",
+            "--config-file", str(REPO / "setup.cfg"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_mypy_config_present():
+    config = (REPO / "setup.cfg").read_text(encoding="utf-8")
+    assert "[mypy]" in config
+    assert "repro.lint" in config
