@@ -26,10 +26,11 @@ Sections beyond the PR 3 record (``macro``/``dispatches`` added in PR 5):
   — the macro-stepped frame loop (``Scenario.macro_frames=64``, bit
   identical to per-frame in parity mode) against per-frame columnar
   stepping, three-way interleaved with the object backend;
-* ``dispatches_per_frame`` — measured NumPy kernel dispatches per frame
-  per phase (``enable_phase_timing(count_dispatches=True)``) for the
-  per-frame and macro-stepped modes, so the dispatch floor the macro mode
-  attacks is tracked, not inferred.
+* ``dispatches_per_frame`` — measured ``@kernel(batch=True)`` entries per
+  frame per phase (``enable_phase_timing(count_dispatches=True)``, backed
+  by ``repro.obs.dispatch``'s entry wrappers and the ``kernel.dispatches``
+  metrics counter) for the per-frame and macro-stepped modes, so the
+  dispatch floor the macro mode attacks is tracked, not inferred.
 
 * ``mac_kernels`` — the array-native ``run_frame_batch`` kernels (parity
   and fast RNG modes) against the view-walking ``run_frame`` path on the
@@ -153,11 +154,14 @@ def measure() -> dict:
 
 
 def measure_dispatches() -> dict:
-    """Measured NumPy kernel dispatches per frame, per phase, per mode.
+    """Measured batch-kernel dispatches per frame, per phase, per mode.
 
-    A short instrumented pass (the ``sys.setprofile`` hook slows the loop,
-    so it never contaminates the fps numbers) — the frame loop's dispatch
-    floor tracked, not inferred.
+    A short instrumented pass on a separate engine (the per-kernel entry
+    wrappers installed by ``repro.obs.dispatch`` are cheap but not free,
+    so counting never contaminates the fps numbers) — the frame loop's
+    dispatch floor tracked, not inferred.  Counts are entries into
+    ``@kernel(batch=True)`` functions, not raw NumPy C calls, so they are
+    stable across NumPy versions.
     """
     dispatches = {}
     for protocol in available_protocols():

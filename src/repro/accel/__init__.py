@@ -23,11 +23,13 @@ from __future__ import annotations
 from repro.accel.kernels import (
     HAS_NUMBA,
     contention_round_scan,
+    kernel_provenance,
     voice_generation_offsets,
 )
 
 __all__ = [
     "HAS_NUMBA",
     "contention_round_scan",
+    "kernel_provenance",
     "voice_generation_offsets",
 ]

@@ -9,13 +9,18 @@ installed.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from repro.lint.contracts import kernel
 
-__all__ = ["HAS_NUMBA", "contention_round_scan", "voice_generation_offsets"]
+__all__ = [
+    "HAS_NUMBA",
+    "contention_round_scan",
+    "kernel_provenance",
+    "voice_generation_offsets",
+]
 
 try:  # pragma: no cover - exercised only where numba is installed
     import numba
@@ -24,6 +29,20 @@ try:  # pragma: no cover - exercised only where numba is installed
 except ImportError:  # pragma: no cover - the container default
     numba = None
     HAS_NUMBA = False
+
+
+def kernel_provenance() -> Dict[str, str]:
+    """Which implementation each accel kernel resolved to at import time.
+
+    ``{"contention_round_scan": "numba" | "numpy", ...}`` — the CLI stamps
+    this into trace headers so a trace file records which twin produced
+    its timings (the selection happens once, at import).
+    """
+    source = "numba" if HAS_NUMBA else "numpy"
+    return {
+        name: source
+        for name in ("contention_round_scan", "voice_generation_offsets")
+    }
 
 
 @kernel

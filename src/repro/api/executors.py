@@ -22,11 +22,16 @@ callback.
 
 from __future__ import annotations
 
+import inspect
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+from contextlib import nullcontext
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.config import SimulationParameters
+from repro.obs import clock as _obs_clock
+from repro.obs import trace as _obs_trace
+from repro.obs.report import RunTelemetry
 from repro.sim.engine import UplinkSimulationEngine
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
@@ -36,6 +41,7 @@ __all__ = [
     "Executor",
     "ProgressCallback",
     "ResultSink",
+    "accepts_telemetry",
     "SerialExecutor",
     "ParallelExecutor",
     "select_executor",
@@ -56,9 +62,92 @@ ProgressCallback = Callable[[int, int], None]
 ResultSink = Callable[[int, RunPoint, SimulationResult], None]
 
 
+def accepts_telemetry(execute_with_sink: object) -> bool:
+    """Whether an ``execute_with_sink`` callable takes a ``telemetry`` kwarg.
+
+    Checked up front (rather than try/except TypeError around the call) so
+    a genuine TypeError raised *inside* a foreign executor is never mistaken
+    for a signature mismatch.
+    """
+    try:
+        signature = inspect.signature(execute_with_sink)  # type: ignore[arg-type]
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "telemetry" in signature.parameters
+
+
 def _simulate(scenario: Scenario, params: SimulationParameters) -> SimulationResult:
     """Run one scenario (the single-run primitive the executors share)."""
     return UplinkSimulationEngine(scenario, params).run()
+
+
+def _simulate_measured(
+    scenario: Scenario,
+    params: SimulationParameters,
+    phase_split: bool = False,
+) -> Tuple[SimulationResult, Dict[str, object]]:
+    """:func:`_simulate` plus the telemetry dict executors record.
+
+    The dict matches :meth:`repro.obs.report.RunTelemetry.record_point`
+    keyword arguments (``wall_s``/``frames``/``phase_seconds``/``worker``);
+    with ``phase_split`` the engine runs instrumented so the per-phase
+    second split rides along.
+    """
+    engine = UplinkSimulationEngine(scenario, params)
+    phases = engine.enable_phase_timing() if phase_split else None
+    t0 = _obs_clock.now()
+    result = engine.run()
+    wall_s = _obs_clock.now() - t0
+    return result, {
+        "wall_s": wall_s,
+        "frames": engine.frame_index,
+        "phase_seconds": dict(phases) if phases is not None else None,
+        "worker": f"pid:{os.getpid()}",
+    }
+
+
+def _run_point(
+    position: int,
+    point: RunPoint,
+    params: SimulationParameters,
+    telemetry: Optional[RunTelemetry],
+) -> SimulationResult:
+    """One point in the driving process, traced/telemetered when active.
+
+    The shared serial primitive: :class:`SerialExecutor` and the async
+    executor's single-worker path both route through it, so a ``--trace``
+    run gets one ``point.run`` span per point and a telemetry collector
+    gets one record per point, from either front end.
+    """
+    resolved = point.resolved_params(params)
+    tracer = _obs_trace.TRACER
+    if telemetry is None and tracer is None:
+        return _simulate(point.scenario, resolved)
+    span = (
+        tracer.span(
+            "point.run",
+            index=point.index,
+            protocol=point.scenario.protocol,
+            seed=point.scenario.seed,
+        )
+        if tracer is not None
+        else nullcontext()
+    )
+    with span:
+        result, info = _simulate_measured(
+            point.scenario,
+            resolved,
+            telemetry.phase_split if telemetry is not None else False,
+        )
+    if telemetry is not None:
+        telemetry.record_point(
+            position,
+            run_hash=point.run_hash(),
+            protocol=point.scenario.protocol,
+            coords=point.coords_dict(),
+            **info,
+        )
+    return result
 
 
 class Executor(Protocol):
@@ -96,11 +185,12 @@ class SerialExecutor:
         params: SimulationParameters,
         progress: Optional[ProgressCallback] = None,
         sink: Optional[ResultSink] = None,
+        telemetry: Optional[RunTelemetry] = None,
     ) -> List[SimulationResult]:
         results: List[SimulationResult] = []
         total = len(points)
         for position, point in enumerate(points):
-            result = _simulate(point.scenario, point.resolved_params(params))
+            result = _run_point(position, point, params, telemetry)
             results.append(result)
             if sink is not None:
                 sink(position, point, result)
@@ -117,24 +207,45 @@ class SerialExecutor:
 #: (large, immutable) SimulationParameters object is pickled once per worker
 #: instead of once per job.
 _WORKER_PARAMS: Optional[SimulationParameters] = None
+#: Whether workers should measure each job (set alongside _WORKER_PARAMS).
+_WORKER_TELEMETRY = False
+_WORKER_PHASE_SPLIT = False
 
 
-def _worker_init(params: SimulationParameters) -> None:
-    global _WORKER_PARAMS
+def _worker_init(
+    params: SimulationParameters,
+    telemetry: bool = False,
+    phase_split: bool = False,
+) -> None:
+    global _WORKER_PARAMS, _WORKER_TELEMETRY, _WORKER_PHASE_SPLIT
     _WORKER_PARAMS = params
+    _WORKER_TELEMETRY = telemetry
+    _WORKER_PHASE_SPLIT = phase_split
 
 
 def _worker_run_chunk(
     chunk: Sequence[Tuple[int, Scenario, Tuple[Tuple[str, object], ...]]],
-) -> List[Tuple[int, SimulationResult]]:
-    """Evaluate one chunk of (index, scenario, param-deltas) jobs."""
+) -> List[Tuple[int, SimulationResult, Optional[Dict[str, object]]]]:
+    """Evaluate one chunk of (index, scenario, param-deltas) jobs.
+
+    Each output row is ``(index, result, info)``: ``info`` is the
+    telemetry dict of :func:`_simulate_measured` when the pool was
+    initialised with telemetry on, else ``None`` (measurement costs two
+    clock reads per job, so it stays opt-in).
+    """
     params = _WORKER_PARAMS
     if params is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("worker pool initializer did not run")
-    out = []
+    out: List[Tuple[int, SimulationResult, Optional[Dict[str, object]]]] = []
     for index, scenario, overrides in chunk:
         effective = params.with_overrides(**dict(overrides)) if overrides else params
-        out.append((index, _simulate(scenario, effective)))
+        if _WORKER_TELEMETRY:
+            result, info = _simulate_measured(
+                scenario, effective, _WORKER_PHASE_SPLIT
+            )
+            out.append((index, result, info))
+        else:
+            out.append((index, _simulate(scenario, effective), None))
     return out
 
 
@@ -178,12 +289,15 @@ class ParallelExecutor:
         params: SimulationParameters,
         progress: Optional[ProgressCallback] = None,
         sink: Optional[ResultSink] = None,
+        telemetry: Optional[RunTelemetry] = None,
     ) -> List[SimulationResult]:
         total = len(points)
         if total == 0:
             return []
         if self.n_workers == 1 or total == 1:
-            return SerialExecutor().execute_with_sink(points, params, progress, sink)
+            return SerialExecutor().execute_with_sink(
+                points, params, progress, sink, telemetry=telemetry
+            )
 
         jobs = [(p.index, p.scenario, p.param_overrides) for p in points]
         index_of = {p.index: i for i, p in enumerate(points)}
@@ -197,16 +311,29 @@ class ParallelExecutor:
         with ProcessPoolExecutor(
             max_workers=min(self.n_workers, len(chunks)),
             initializer=_worker_init,
-            initargs=(params,),
+            initargs=(
+                params,
+                telemetry is not None,
+                telemetry.phase_split if telemetry is not None else False,
+            ),
         ) as pool:
             pending = {pool.submit(_worker_run_chunk, chunk) for chunk in chunks}
             while pending:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    for index, result in future.result():
+                    for index, result, info in future.result():
                         position = index_of[index]
                         results[position] = result
                         done += 1
+                        if telemetry is not None and info is not None:
+                            point = points[position]
+                            telemetry.record_point(
+                                position,
+                                run_hash=point.run_hash(),
+                                protocol=point.scenario.protocol,
+                                coords=point.coords_dict(),
+                                **info,
+                            )
                         if sink is not None:
                             sink(position, points[position], result)
                     if progress is not None:

@@ -11,7 +11,7 @@ caching (``cache_dir=`` / ``store=``) live in exactly one place.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.api.executors import (
     Executor,
@@ -22,6 +22,7 @@ from repro.api.executors import (
 from repro.api.resultset import ResultSet, RunRecord
 from repro.api.spec import ExperimentSpec, SweepAxis
 from repro.config import SimulationParameters
+from repro.obs.report import RunReport, RunTelemetry
 from repro.sim.scenario import Scenario
 
 __all__ = ["run", "run_points", "sweep_spec"]
@@ -34,6 +35,7 @@ def run(
     progress: Optional[ProgressCallback] = None,
     store: Optional[object] = None,
     cache_dir: Optional[str] = None,
+    telemetry: Union[None, bool, RunTelemetry] = None,
 ) -> ResultSet:
     """Execute every run of ``spec`` and return a queryable result set.
 
@@ -58,19 +60,30 @@ def run(
     cache_dir:
         Convenience spelling of ``store=``: directory to open (and create)
         a result store in.  Ignored when ``store`` is given.
+    telemetry:
+        Run-telemetry policy.  ``None`` (default) enables telemetry exactly
+        when a result store is involved (``store=``/``cache_dir=`` or a
+        :class:`~repro.store.CachingExecutor`), where the per-point
+        :class:`~repro.obs.report.RunReport` is also persisted as the store
+        artifact ``telemetry-<spec_hash>``.  ``True`` forces collection,
+        ``False`` disables it, and a :class:`~repro.obs.report.RunTelemetry`
+        instance is used as-is (caller keeps ownership and configuration,
+        e.g. ``phase_split=True``).  The report is attached to the returned
+        set as :attr:`~repro.api.resultset.ResultSet.telemetry`.
 
     The returned set's records are in the spec's deterministic expansion
     order regardless of the executor, so serial, parallel, work-stealing
     and cached runs of the same spec are interchangeable.
     """
+    from repro.api.executors import accepts_telemetry
+    from repro.store import CachingExecutor
+
     points = spec.expand()
     if executor is None:
         executor = select_executor(points, n_workers=n_workers)
     if store is None and cache_dir is not None:
         store = cache_dir
     if store is not None:
-        from repro.store import CachingExecutor
-
         if isinstance(executor, CachingExecutor):
             raise ValueError(
                 "pass either a CachingExecutor or store=/cache_dir=, not "
@@ -78,13 +91,45 @@ def run(
                 "extra argument would be silently ignored"
             )
         executor = CachingExecutor(store, inner=executor)
-    results = executor.execute(points, spec.params, progress=progress)
+
+    collector: Optional[RunTelemetry]
+    if isinstance(telemetry, RunTelemetry):
+        collector = telemetry
+    elif telemetry is True:
+        collector = RunTelemetry()
+    elif telemetry is None and isinstance(executor, CachingExecutor):
+        collector = RunTelemetry()
+    else:
+        collector = None
+
+    report: Optional[RunReport] = None
+    execute_with_sink = getattr(executor, "execute_with_sink", None)
+    if (
+        collector is not None
+        and execute_with_sink is not None
+        and accepts_telemetry(execute_with_sink)
+    ):
+        collector.start()
+        results = execute_with_sink(
+            points, spec.params, progress, None, telemetry=collector
+        )
+        report = collector.report(
+            spec_name=spec.name,
+            spec_hash=spec.spec_hash(),
+            n_points=len(points),
+        )
+        if isinstance(executor, CachingExecutor):
+            executor.store.put_artifact(
+                f"telemetry-{spec.spec_hash()}", report.to_payload()
+            )
+    else:
+        results = executor.execute(points, spec.params, progress=progress)
     if len(results) != len(points):
         raise RuntimeError(
             f"executor returned {len(results)} results for {len(points)} runs"
         )
     records = [RunRecord(point=p, result=r) for p, r in zip(points, results)]
-    return ResultSet(records, name=spec.name)
+    return ResultSet(records, name=spec.name, telemetry=report)
 
 
 def run_points(

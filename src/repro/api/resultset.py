@@ -27,6 +27,7 @@ from typing import (
     Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union,
 )
 
+from repro.obs.report import RunReport
 from repro.sim.results import SimulationResult, SweepResult
 from repro.api.spec import RunPoint
 
@@ -117,9 +118,19 @@ def _student_t_half_width(values: Sequence[float], confidence: float) -> float:
 class ResultSet:
     """Ordered, immutable collection of :class:`RunRecord` objects."""
 
-    def __init__(self, records: Sequence[RunRecord], name: str = ""):
+    def __init__(
+        self,
+        records: Sequence[RunRecord],
+        name: str = "",
+        telemetry: Optional[RunReport] = None,
+    ):
         self._records: Tuple[RunRecord, ...] = tuple(records)
         self.name = name
+        #: Per-point execution telemetry of the run that produced this set
+        #: (:class:`~repro.obs.report.RunReport`), or None when the run was
+        #: executed without telemetry.  Derived views (filter/slice/group_by)
+        #: deliberately drop it — it describes the original execution.
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------ container
     def __len__(self) -> int:

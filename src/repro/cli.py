@@ -14,6 +14,9 @@ Python:
   on-disk result store (see ``--cache`` on ``run``/``compare``);
 * ``profile`` — cProfile the engine's frame loop on a chosen scenario and
   print the top-N functions (hot-path work belongs here first);
+* ``obs`` — observability utilities: ``obs summarize trace.jsonl`` renders
+  the per-span/per-phase digest of a trace file written by ``--trace`` (see
+  that option on ``run``/``compare``) or by :func:`repro.obs.tracing`;
 * ``lint`` — run the contract-aware static analyzer (:mod:`repro.lint`)
   over the package sources: RNG discipline, child-stream label uniqueness,
   ``@kernel`` purity and store-schema hygiene, with ``--json`` and
@@ -117,6 +120,26 @@ def build_parser() -> argparse.ArgumentParser:
              "of the pstats table",
     )
 
+    obs_parser = sub.add_parser(
+        "obs", help="observability utilities (trace summaries)"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    summarize_parser = obs_sub.add_parser(
+        "summarize",
+        help="digest a JSON-lines trace file: per-span aggregates, events, "
+             "slowest points",
+    )
+    summarize_parser.add_argument("trace", metavar="TRACE.jsonl",
+                                  help="trace file written by --trace")
+    summarize_parser.add_argument(
+        "--top", type=int, default=12,
+        help="span rows to print (sorted by total time)",
+    )
+    summarize_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the summary as JSON instead of tables",
+    )
+
     lint_parser = sub.add_parser(
         "lint",
         help="contract-aware static analysis: RNG discipline, kernel "
@@ -130,7 +153,8 @@ def build_parser() -> argparse.ArgumentParser:
         "selftest",
         help="run one tiny experiment through each executor, compare them, "
              "check columnar/object engine-backend parity, cross-check the "
-             "fast RNG mode, and round-trip the result store",
+             "fast RNG mode, round-trip an observability trace, and "
+             "round-trip the result store",
     )
     return parser
 
@@ -171,6 +195,10 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="serve finished runs from (and persist new runs "
                              "to) the result store in DIR")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSON-lines execution trace (engine "
+                             "phases, MAC batches, macro-step events) to "
+                             "PATH; digest it with 'repro obs summarize'")
 
 
 def _scenario_from_args(args: argparse.Namespace, protocol: Optional[str] = None) -> Scenario:
@@ -189,6 +217,27 @@ def _scenario_from_args(args: argparse.Namespace, protocol: Optional[str] = None
     )
 
 
+def _trace_context(args: argparse.Namespace, command: str):
+    """Context manager installing the process tracer when ``--trace`` is set.
+
+    The trace header records which accel kernel implementations were active
+    (numba vs numpy fallback), so timings in the file are interpretable
+    after the fact.
+    """
+    from contextlib import nullcontext
+
+    path = getattr(args, "trace", None)
+    if path is None:
+        return nullcontext()
+    from repro.accel import kernel_provenance
+    from repro.obs import tracing
+
+    return tracing(path, meta={
+        "command": command,
+        "accel": kernel_provenance(),
+    })
+
+
 def _command_run(args: argparse.Namespace) -> int:
     params = SimulationParameters()
     scenario = _scenario_from_args(args)
@@ -199,8 +248,13 @@ def _command_run(args: argparse.Namespace) -> int:
         seeds=(scenario.seed,),
         name="cli-run",
     )
-    result = run(spec, executor=SerialExecutor(), cache_dir=args.cache)[0].result
+    with _trace_context(args, "run"):
+        result = run(spec, executor=SerialExecutor(),
+                     cache_dir=args.cache)[0].result
     print(format_kv_table(result.summary(), title=f"Results for {scenario.label()}"))
+    if args.trace:
+        print(f"\ntrace written to {args.trace} "
+              f"(digest: python -m repro obs summarize {args.trace})")
     return 0
 
 
@@ -215,10 +269,18 @@ def _command_compare(args: argparse.Namespace) -> int:
         seeds=(base.seed,),
         name="cli-compare",
     )
-    sweeps = run(spec, cache_dir=args.cache).to_sweep_results("n_voice")
+    # A tracer lives in the driving process, so tracing forces serial
+    # execution — process-pool workers would write nothing into the file.
+    executor = SerialExecutor() if args.trace else None
+    with _trace_context(args, "compare"):
+        sweeps = run(spec, executor=executor,
+                     cache_dir=args.cache).to_sweep_results("n_voice")
     for metric in ("voice_loss_rate", "data_throughput_per_frame", "data_delay_s"):
         print(format_comparison_table(sweeps, metric, title=f"[{metric}]"))
         print()
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"(digest: python -m repro obs summarize {args.trace})")
     return 0
 
 
@@ -275,8 +337,8 @@ def _command_profile(args: argparse.Namespace) -> int:
     import cProfile
     import json
     import pstats
-    import time as _time
 
+    from repro.obs import clock as _obs_clock
     from repro.sim.engine import UplinkSimulationEngine
 
     params = SimulationParameters()
@@ -285,15 +347,15 @@ def _command_profile(args: argparse.Namespace) -> int:
     if args.as_json:
         engine = UplinkSimulationEngine(scenario, params)
         phases = engine.enable_phase_timing()
-        started = _time.process_time()
+        started = _obs_clock.cpu_now()
         result = engine.run()
-        elapsed = _time.process_time() - started
+        elapsed = _obs_clock.cpu_now() - started
         frames = engine.frame_index
         total_phase = sum(phases.values()) or 1.0
 
         # Kernel-dispatch counts come from a short separate pass: the
-        # sys.setprofile hook that observes NumPy entries slows the loop
-        # several fold, so it must not contaminate the fps measurement.
+        # per-kernel entry wrappers are cheap but not free, so they must
+        # not contaminate the fps measurement.
         counted = UplinkSimulationEngine(scenario, params)
         counted.enable_phase_timing(count_dispatches=True)
         count_frames = min(
@@ -303,7 +365,7 @@ def _command_profile(args: argparse.Namespace) -> int:
             counted.run_frames(count_frames)
             dispatch_counts = dict(counted.dispatch_counts or {})
         finally:
-            # The dispatch hook is a process-wide sys.setprofile; it must
+            # The counter monkey-patches the live @kernel bindings; it must
             # not outlive this pass even on an interrupted run.
             counted.disable_phase_timing()
         dispatches = {
@@ -365,6 +427,44 @@ def _command_profile(args: argparse.Namespace) -> int:
           f"data throughput {result.data.throughput_packets_per_frame:.3f} pkt/frame")
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    """Observability utilities — currently ``obs summarize``."""
+    import json
+
+    from repro.obs.summary import format_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        payload = {
+            "header": summary.header,
+            "n_spans": summary.n_spans,
+            "n_events": summary.n_events,
+            "spans": [
+                {
+                    "name": agg.name,
+                    "count": agg.count,
+                    "total_s": round(agg.total_s, 6),
+                    "mean_s": round(agg.mean_s, 6),
+                    "max_s": round(agg.max_s, 6),
+                }
+                for agg in summary.aggregates
+            ],
+            "events": summary.events,
+            "phase_seconds": {
+                k: round(v, 6) for k, v in summary.phase_seconds().items()
+            },
+            "slowest_points": summary.slowest_points,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_summary(summary, top=args.top))
     return 0
 
 
@@ -432,6 +532,59 @@ def _selftest_lint() -> bool:
     return True
 
 
+def _selftest_obs() -> bool:
+    """A traced run must stay bit-identical and round-trip the trace file.
+
+    The trace path defaults to a temporary file; set ``REPRO_SELFTEST_TRACE``
+    to keep the file (CI uploads it as a build artifact).
+    """
+    import contextlib
+    import os
+
+    from repro.obs import metrics as _metrics
+    from repro.obs import summarize_trace, tracing
+    from repro.sim.runner import run_simulation
+
+    scenario = Scenario(protocol="charisma", n_voice=6, n_data=2,
+                        use_request_queue=True, duration_s=0.4, warmup_s=0.2,
+                        seed=11, macro_frames=16)
+    plain = run_simulation(scenario)
+
+    keep = os.environ.get("REPRO_SELFTEST_TRACE")
+    with contextlib.ExitStack() as stack:
+        if keep:
+            trace_path = keep
+        else:
+            tmp = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-selftest-obs-")
+            )
+            trace_path = os.path.join(tmp, "trace.jsonl")
+        with _metrics.recording() as registry:
+            with tracing(trace_path, meta={"command": "selftest"}):
+                traced = run_simulation(scenario)
+        if (traced.voice, traced.data, traced.mac) != (
+            plain.voice, plain.data, plain.mac
+        ):
+            print("  MISMATCH: tracing changed the simulation results")
+            return False
+        summary = summarize_trace(trace_path)
+        phase_seconds = summary.phase_seconds()
+        if not phase_seconds or any(v < 0 for v in phase_seconds.values()):
+            print("  MISMATCH: trace round-trip lost the phase spans")
+            return False
+        if summary.by_name("engine.run") is None:
+            print("  MISMATCH: trace is missing the engine.run span")
+            return False
+        snapshot = registry.snapshot()
+        if snapshot["counters"].get("contention.rounds", 0) <= 0:
+            print("  MISMATCH: metrics registry recorded no contention rounds")
+            return False
+    kept = f" (kept at {keep})" if keep else ""
+    print(f"  repro.obs          traced == untraced; trace round-trips "
+          f"{summary.n_spans} spans, {summary.n_events} events{kept}")
+    return True
+
+
 def _command_selftest(_: argparse.Namespace) -> int:
     """Run one tiny grid through each executor and verify they agree."""
     from repro.store import AsyncExecutor, CachingExecutor, ResultStore
@@ -466,6 +619,8 @@ def _command_selftest(_: argparse.Namespace) -> int:
     if not _selftest_backend_parity():
         return 1
     if not _selftest_rng_fast():
+        return 1
+    if not _selftest_obs():
         return 1
     if not _selftest_lint():
         return 1
@@ -504,6 +659,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments": _command_experiments,
         "cache": _command_cache,
         "profile": _command_profile,
+        "obs": _command_obs,
         "lint": _command_lint,
         "selftest": _command_selftest,
     }

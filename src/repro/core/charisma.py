@@ -39,7 +39,7 @@ from repro.config import SimulationParameters
 from repro.core.allocator import CSIRankedAllocator
 from repro.core.csi_polling import CSIPoller
 from repro.core.priority import PriorityCalculator
-from repro.mac.base import MACProtocol, terminal_lookup
+from repro.mac.base import MACProtocol, terminal_lookup, traced_batch
 from repro.mac.contention import run_contention, run_contention_ids
 from repro.mac.frames import FrameStructure
 from repro.mac.requests import (
@@ -195,6 +195,7 @@ class CharismaProtocol(MACProtocol):
         outcome.queued_requests = self.queued_count()
         return outcome
 
+    @traced_batch
     def run_frame_batch(
         self,
         frame_index: int,

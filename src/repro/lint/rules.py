@@ -262,7 +262,9 @@ _WALL_CLOCK = frozenset(
     }
 )
 
-#: Monotonic/CPU timers: fine for profiling glue, forbidden inside kernels.
+#: Monotonic/CPU timers: allowed only behind the ``repro.obs.clock`` seam
+#: (which carries its own scoped suppressions), forbidden raw everywhere
+#: else — and forbidden in kernels even through the seam.
 _KERNEL_CLOCKS = frozenset(
     {
         "time.perf_counter", "time.perf_counter_ns",
@@ -270,6 +272,12 @@ _KERNEL_CLOCKS = frozenset(
         "time.process_time", "time.process_time_ns",
     }
 )
+
+#: Observability timing entry points — instrumentation glue that reads the
+#: monotonic clock.  Legal anywhere *except* inside ``@kernel`` bodies,
+#: where a span bracket would smuggle a timer into the purity perimeter.
+_OBS_TIMING_NAMES = frozenset({"repro.obs.span", "repro.obs.tracing"})
+_OBS_TIMING_PREFIXES = ("repro.obs.clock.", "repro.obs.trace.")
 
 
 def _is_constant_test(test: ast.expr) -> bool:
@@ -390,9 +398,14 @@ class KernelClockRule(Rule):
     nondeterministic inputs and are flagged anywhere under the linted tree
     — provenance metadata (e.g. the store's ``saved_unix``) is exempt from
     the determinism contract and carries a scoped suppression instead.
-    Monotonic/CPU timers are legitimate profiling glue *outside* kernels
-    but flagged inside ``@kernel`` bodies, where simulated time is the only
-    clock.
+    Monotonic/CPU timers are flagged everywhere too: timing belongs behind
+    the :mod:`repro.obs.clock` seam, the tree's single timing sanctuary
+    (its own raw reads carry reasoned suppressions).  Inside ``@kernel``
+    bodies not even the seam is allowed — span brackets, tracer calls and
+    ``repro.obs.clock`` reads are all flagged there, because any timer in a
+    kernel body breaks the "simulated time is the only clock" purity
+    contract.  Metrics counters (:mod:`repro.obs.metrics`) read no clock
+    and stay legal in kernels.
     """
 
     id = "KRN002"
@@ -422,12 +435,32 @@ class KernelClockRule(Rule):
                         "clock (suppress with a reason for provenance "
                         "metadata)",
                     )
-                elif name in _KERNEL_CLOCKS and kernel is not None:
+                elif name in _KERNEL_CLOCKS:
+                    if kernel is not None:
+                        yield module.finding(
+                            node, self.id, self.severity,
+                            f"timer `{name}()` inside kernel "
+                            f"`{kernel.qualname}`: kernels must not read "
+                            "any clock; hoist timing to the caller",
+                        )
+                    else:
+                        yield module.finding(
+                            node, self.id, self.severity,
+                            f"raw timer `{name}()`: route timing through "
+                            "`repro.obs.clock` (the single suppressed "
+                            "sanctuary) so tests can virtualise the clock "
+                            "in one place",
+                        )
+                elif kernel is not None and (
+                    name in _OBS_TIMING_NAMES
+                    or name.startswith(_OBS_TIMING_PREFIXES)
+                ):
                     yield module.finding(
                         node, self.id, self.severity,
-                        f"timer `{name}()` inside kernel "
-                        f"`{kernel.qualname}`: kernels must not read any "
-                        "clock; hoist timing to the caller",
+                        f"observability timing call `{name}(...)` inside "
+                        f"kernel `{kernel.qualname}`: spans and clock reads "
+                        "are timers and must stay outside kernel bodies "
+                        "(metrics counters are fine — they read no clock)",
                     )
 
 

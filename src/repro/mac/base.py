@@ -21,6 +21,7 @@ statistics).  The base class provides the machinery all protocols share:
 from __future__ import annotations
 
 import abc
+import functools
 import math
 from typing import ClassVar, List, Optional, Sequence, Tuple, Union
 
@@ -29,6 +30,7 @@ import numpy as np
 from repro.channel.manager import ChannelSnapshot
 from repro.config import SimulationParameters
 from repro.lint.contracts import kernel
+from repro.obs import trace as _obs_trace
 from repro.mac.frames import FrameStructure
 from repro.mac.request_queue import RequestQueue
 from repro.mac.requests import (
@@ -45,9 +47,29 @@ from repro.traffic.packets import TrafficKind
 from repro.traffic.permission import PermissionPolicy
 from repro.traffic.terminal import Terminal
 
-__all__ = ["MACProtocol", "Modem", "terminal_lookup"]
+__all__ = ["MACProtocol", "Modem", "terminal_lookup", "traced_batch"]
 
 Modem = Union[AdaptiveModem, FixedRateModem]
+
+
+def traced_batch(run_frame_batch):
+    """Wrap a ``run_frame_batch`` entry in a ``mac.<name>.batch`` span.
+
+    Applied to the base default and every shipped protocol's override, so
+    a trace attributes each frame's MAC phase to the protocol that ran it
+    (nested under the engine's ``phase.mac`` span).  Costs one module
+    attribute check per frame when no tracer is installed.
+    """
+
+    @functools.wraps(run_frame_batch)
+    def traced(self, frame_index, population, snapshot):
+        tracer = _obs_trace.TRACER
+        if tracer is None:
+            return run_frame_batch(self, frame_index, population, snapshot)
+        with tracer.span(f"mac.{self.name}.batch", frame=frame_index):
+            return run_frame_batch(self, frame_index, population, snapshot)
+
+    return traced
 
 
 class _DenseTerminalLookup:
@@ -437,6 +459,7 @@ class MACProtocol(abc.ABC):
         return len(self.request_queue) if self.request_queue is not None else 0
 
     # ------------------------------------------------- array-native kernels
+    @traced_batch
     def run_frame_batch(
         self,
         frame_index: int,

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.traffic.permission import PermissionPolicy
 from repro.lint.contracts import kernel
+from repro.obs import metrics as _metrics
 from repro.traffic.terminal import Terminal
 
 __all__ = [
@@ -176,6 +177,10 @@ def run_contention_ids(
         raise ValueError("n_minislots must be non-negative")
     result = IndexContentionResult()
     n = len(ids)
+    m = _metrics.METRICS
+    if m.enabled:
+        # Pure accumulation (no clock, no draw) — legal inside kernels.
+        m.inc("contention.rounds", n_minislots)
     if n == 0:
         result.idle_slots = n_minislots
         return result

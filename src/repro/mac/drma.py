@@ -24,7 +24,7 @@ from typing import Deque, List, Optional, Sequence
 import numpy as np
 
 from repro.channel.manager import ChannelSnapshot
-from repro.mac.base import MACProtocol, terminal_lookup
+from repro.mac.base import MACProtocol, terminal_lookup, traced_batch
 from repro.mac.contention import run_contention, run_contention_ids
 from repro.mac.frames import FrameStructure
 from repro.mac.requests import Acknowledgement, FrameOutcome, Request
@@ -140,6 +140,7 @@ class DRMAProtocol(MACProtocol):
         outcome.queued_requests = self.queued_count()
         return outcome
 
+    @traced_batch
     def run_frame_batch(
         self,
         frame_index: int,

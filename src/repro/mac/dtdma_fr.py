@@ -18,7 +18,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.channel.manager import ChannelSnapshot
-from repro.mac.base import MACProtocol, terminal_lookup
+from repro.mac.base import MACProtocol, terminal_lookup, traced_batch
 from repro.mac.contention import run_contention, run_contention_ids
 from repro.mac.frames import FrameStructure
 from repro.mac.requests import (
@@ -107,6 +107,7 @@ class DTDMAFRProtocol(MACProtocol):
         outcome.queued_requests = self.queued_count()
         return outcome
 
+    @traced_batch
     def run_frame_batch(
         self,
         frame_index: int,

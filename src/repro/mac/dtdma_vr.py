@@ -26,7 +26,11 @@ class DTDMAVRProtocol(DTDMAFRProtocol):
     shared kernels resolve per-grant capacities through the protocol's own
     modem, so the adaptive PHY's variable packets-per-slot flows through
     the same columnar capacity lookup
-    (:meth:`~repro.mac.base.MACProtocol.grant_capacity_columns`).
+    (:meth:`~repro.mac.base.MACProtocol.grant_capacity_columns`).  The
+    inherited entry is wrapped by :func:`~repro.mac.base.traced_batch`,
+    and because the span name reads ``self.name`` at call time, traces
+    label this protocol's frames ``mac.dtdma_vr.batch`` — no override
+    needed here.
     """
 
     name = "dtdma_vr"

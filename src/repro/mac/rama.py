@@ -27,7 +27,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.channel.manager import ChannelSnapshot
-from repro.mac.base import MACProtocol, terminal_lookup
+from repro.mac.base import MACProtocol, terminal_lookup, traced_batch
 from repro.mac.frames import FrameStructure
 from repro.mac.requests import (
     Acknowledgement,
@@ -148,6 +148,7 @@ class RAMAProtocol(MACProtocol):
         outcome.queued_requests = self.queued_count()
         return outcome
 
+    @traced_batch
     def run_frame_batch(
         self,
         frame_index: int,

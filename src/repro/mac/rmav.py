@@ -27,7 +27,7 @@ import math
 from typing import Sequence
 
 from repro.channel.manager import ChannelSnapshot
-from repro.mac.base import MACProtocol
+from repro.mac.base import MACProtocol, traced_batch
 from repro.mac.contention import run_contention, run_contention_ids
 from repro.mac.frames import FrameStructure
 from repro.mac.requests import Acknowledgement, FrameOutcome
@@ -124,6 +124,7 @@ class RMAVProtocol(MACProtocol):
         """Data winners are capped at ``P_max`` slots per request."""
         return self.params.rmav_pmax
 
+    @traced_batch
     def run_frame_batch(
         self,
         frame_index: int,

@@ -1,0 +1,260 @@
+"""Structured run telemetry: per-point cost, cache status, worker id.
+
+:class:`RunTelemetry` is the mutable collector the executors thread point
+records into while a grid runs; :meth:`RunTelemetry.report` freezes it into
+a :class:`RunReport`, the JSON-ready payload :func:`repro.api.run` persists
+as a :class:`~repro.store.store.ResultStore` artifact.  The ROADMAP's fleet
+executor reuses :class:`RunReport` as its worker heartbeat payload, so the
+shape is versioned just like the trace schema.
+
+The collector is deliberately decoupled from :class:`~repro.api.spec`:
+executors pass plain values (``run_hash``, ``protocol``, ``coords``), so
+this module stays stdlib-only and inside the mypy --strict perimeter.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs import clock as _clock
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "RUN_REPORT_SCHEMA_VERSION",
+    "PointReport",
+    "RunReport",
+    "RunTelemetry",
+]
+
+#: Bump on any backwards-incompatible change to the payload shapes.
+RUN_REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PointReport:
+    """Telemetry of one grid point."""
+
+    #: Position in the expanded run list (sink-callback position).
+    position: int
+    #: The point's cache key (``RunPoint.run_hash()``).
+    run_hash: str
+    protocol: str
+    #: Sweep coordinates (``RunPoint.coords_dict()``).
+    coords: Dict[str, Any]
+    #: Wall seconds for this point; ``None`` for cache hits served without
+    #: measurement and for legacy paths that bypass instrumentation.
+    wall_s: Optional[float] = None
+    #: "computed" (no cache in play), "hit" or "miss".
+    cache: str = "computed"
+    #: Opaque worker label (``"pid:1234"``, ``"async:2"``) or ``None``
+    #: when the point ran in the driving process.
+    worker: Optional[str] = None
+    #: Frames simulated (warmup + measured), when known.
+    frames: Optional[int] = None
+    #: Per-phase second split, present when phase_split was requested.
+    phase_seconds: Optional[Dict[str, float]] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "position": self.position,
+            "run_hash": self.run_hash,
+            "protocol": self.protocol,
+            "coords": dict(self.coords),
+            "cache": self.cache,
+        }
+        if self.wall_s is not None:
+            payload["wall_s"] = self.wall_s
+        if self.worker is not None:
+            payload["worker"] = self.worker
+        if self.frames is not None:
+            payload["frames"] = self.frames
+        if self.phase_seconds is not None:
+            payload["phase_seconds"] = dict(self.phase_seconds)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "PointReport":
+        return cls(
+            position=int(payload["position"]),
+            run_hash=str(payload["run_hash"]),
+            protocol=str(payload["protocol"]),
+            coords=dict(payload.get("coords", {})),
+            wall_s=payload.get("wall_s"),
+            cache=str(payload.get("cache", "computed")),
+            worker=payload.get("worker"),
+            frames=payload.get("frames"),
+            phase_seconds=payload.get("phase_seconds"),
+        )
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Frozen telemetry of one grid execution (JSON round-trippable)."""
+
+    spec_name: str
+    spec_hash: str
+    n_points: int
+    #: End-to-end wall seconds of the execute call (``None`` if the
+    #: collector was never started).
+    wall_s: Optional[float]
+    points: List[PointReport]
+    #: Snapshot of the process-global metrics registry at report time
+    #: (empty when the no-op registry is installed).
+    metrics: Dict[str, Any]
+    schema_version: int = RUN_REPORT_SCHEMA_VERSION
+
+    # ------------------------------------------------------------- analysis
+    def slowest(self, n: int = 5) -> List[PointReport]:
+        """The ``n`` points with the largest known wall time."""
+        timed = [p for p in self.points if p.wall_s is not None]
+        timed.sort(key=lambda p: -(p.wall_s or 0.0))
+        return timed[:n]
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Per-phase seconds summed over every point that carried a split."""
+        totals: Dict[str, float] = {}
+        for point in self.points:
+            if point.phase_seconds:
+                for phase, seconds in point.phase_seconds.items():
+                    totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
+
+    def cache_counts(self) -> Dict[str, int]:
+        """How many points were hits / misses / plain computes."""
+        counts: Dict[str, int] = {}
+        for point in self.points:
+            counts[point.cache] = counts.get(point.cache, 0) + 1
+        return counts
+
+    # ---------------------------------------------------------- persistence
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "spec_name": self.spec_name,
+            "spec_hash": self.spec_hash,
+            "n_points": self.n_points,
+            "wall_s": self.wall_s,
+            "points": [point.to_payload() for point in self.points],
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RunReport":
+        version = int(payload.get("schema_version", 0))
+        if version > RUN_REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"run report schema v{version} is newer than supported "
+                f"v{RUN_REPORT_SCHEMA_VERSION}"
+            )
+        return cls(
+            spec_name=str(payload.get("spec_name", "")),
+            spec_hash=str(payload.get("spec_hash", "")),
+            n_points=int(payload.get("n_points", 0)),
+            wall_s=payload.get("wall_s"),
+            points=[
+                PointReport.from_payload(entry)
+                for entry in payload.get("points", [])
+            ],
+            metrics=dict(payload.get("metrics", {})),
+            schema_version=version or RUN_REPORT_SCHEMA_VERSION,
+        )
+
+
+class RunTelemetry:
+    """Mutable per-run collector the executors record points into.
+
+    Thread-safe (async workers and sink callbacks interleave).  Layered
+    executors use :meth:`child` + :meth:`absorb`: the caching executor
+    hands its inner executor a child collector over the *miss* sub-list,
+    then remaps the child's sub-positions back onto grid positions.
+    """
+
+    def __init__(self, phase_split: bool = False) -> None:
+        #: Ask executors to run points under ``enable_phase_timing`` and
+        #: attach the per-phase split to each record.
+        self.phase_split = phase_split
+        self._lock = threading.Lock()
+        self._points: Dict[int, PointReport] = {}
+        self._t0: Optional[float] = None
+
+    def start(self) -> None:
+        """Mark the beginning of the execute call (for run wall time)."""
+        self._t0 = _clock.now()
+
+    def record_point(
+        self,
+        position: int,
+        *,
+        run_hash: str,
+        protocol: str,
+        coords: Dict[str, Any],
+        wall_s: Optional[float] = None,
+        cache: str = "computed",
+        worker: Optional[str] = None,
+        frames: Optional[int] = None,
+        phase_seconds: Optional[Dict[str, float]] = None,
+    ) -> None:
+        report = PointReport(
+            position=position,
+            run_hash=run_hash,
+            protocol=protocol,
+            coords=coords,
+            wall_s=wall_s,
+            cache=cache,
+            worker=worker,
+            frames=frames,
+            phase_seconds=phase_seconds,
+        )
+        with self._lock:
+            self._points[position] = report
+
+    # ------------------------------------------------------------- layering
+    def child(self) -> "RunTelemetry":
+        """A fresh collector for an inner executor over a sub-list."""
+        return RunTelemetry(phase_split=self.phase_split)
+
+    def absorb(
+        self,
+        child: "RunTelemetry",
+        positions: Sequence[int],
+        cache: Optional[str] = None,
+    ) -> None:
+        """Fold a child's records in, remapping sub-position ``i`` to
+        ``positions[i]`` and optionally re-labelling the cache status."""
+        with child._lock:
+            records = list(child._points.values())
+        with self._lock:
+            for record in records:
+                position = positions[record.position]
+                record = replace(record, position=position)
+                if cache is not None:
+                    record = replace(record, cache=cache)
+                self._points[position] = record
+
+    # -------------------------------------------------------------- freeze
+    def report(
+        self, spec_name: str, spec_hash: str, n_points: int
+    ) -> RunReport:
+        """Freeze into a :class:`RunReport` (metric snapshot included)."""
+        wall_s = _clock.now() - self._t0 if self._t0 is not None else None
+        registry = _metrics.METRICS
+        metrics = registry.snapshot() if registry.enabled else {}
+        with self._lock:
+            points = [self._points[key] for key in sorted(self._points)]
+        return RunReport(
+            spec_name=spec_name,
+            spec_hash=spec_hash,
+            n_points=n_points,
+            wall_s=wall_s,
+            points=points,
+            metrics=metrics,
+        )
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"RunTelemetry(points={len(self._points)}, "
+                f"phase_split={self.phase_split})"
+            )

@@ -49,8 +49,6 @@ raises a clear error for custom populations that violate it.
 
 from __future__ import annotations
 
-import sys
-import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -62,6 +60,8 @@ from repro.mac.base import MACProtocol, snapshot_snr_compatible
 from repro.mac.registry import create_protocol
 from repro.mac.requests import FrameOutcome
 from repro.metrics.collector import MetricsCollector
+from repro.obs import trace as _obs_trace
+from repro.obs.trace import PHASES, PhaseRecorder
 from repro.phy.error_model import PacketErrorModel
 from repro.sim.results import SimulationResult
 from repro.sim.rng import RandomStreams
@@ -71,42 +71,6 @@ from repro.traffic.population import TerminalPopulation
 from repro.traffic.terminal import Terminal
 
 __all__ = ["UplinkSimulationEngine"]
-
-
-def _is_numpy_call(callable_object) -> bool:
-    """Whether a profiled C call enters NumPy (a kernel dispatch)."""
-    owner = getattr(callable_object, "__self__", None)
-    if isinstance(
-        owner, (np.ndarray, np.random.Generator, np.random.BitGenerator)
-    ):
-        return True
-    module = getattr(callable_object, "__module__", None)
-    return bool(module) and module.startswith("numpy")
-
-
-class _PhaseClock:
-    """Wall-time (and optionally kernel-dispatch) accounting per phase.
-
-    ``start``/``stop`` bracket the engine's five phase sections; the
-    current phase label doubles as the attribution target for the
-    dispatch-counting profile hook (see
-    :meth:`UplinkSimulationEngine.enable_phase_timing`).
-    """
-
-    __slots__ = ("times", "phase", "_t0")
-
-    def __init__(self, times: Dict[str, float]) -> None:
-        self.times = times
-        self.phase: Optional[str] = None
-        self._t0 = 0.0
-
-    def start(self, phase: str) -> None:
-        self.phase = phase
-        self._t0 = time.perf_counter()
-
-    def stop(self) -> None:
-        self.times[self.phase] += time.perf_counter() - self._t0
-        self.phase = None
 
 
 class UplinkSimulationEngine:
@@ -211,10 +175,14 @@ class UplinkSimulationEngine:
         # populated only after enable_phase_timing() switches the engine to
         # the instrumented step, so the normal hot loop pays nothing.
         self.phase_times: Optional[Dict[str, float]] = None
-        #: Per-phase NumPy kernel-dispatch counts; populated only after
+        #: Per-phase batch-kernel dispatch counts; populated only after
         #: ``enable_phase_timing(count_dispatches=True)``.
         self.dispatch_counts: Optional[Dict[str, int]] = None
-        self._clock: Optional[_PhaseClock] = None
+        # The phase clock doubles as the span emitter: it is a live
+        # ``repro.obs.trace.PhaseRecorder`` whenever phase timing or a
+        # process-global tracer is active, and ``None`` otherwise.
+        self._clock: Optional[PhaseRecorder] = None
+        self._dispatch_counter = None
         self._macro = None
         # Channel snapshots for the columnar backend are produced in blocks
         # (one batched draw + one linear-filter evaluation per block, bit
@@ -234,11 +202,32 @@ class UplinkSimulationEngine:
 
     def step(self) -> FrameOutcome:
         """Advance the whole system by one TDMA frame."""
-        if self.phase_times is not None:
+        if self.phase_times is not None or _obs_trace.TRACER is not None:
+            self._ensure_instrumented()
             return self._step_timed()
+        if self._clock is not None:  # tracer was uninstalled mid-run
+            self._clock = None
         if self.population is not None:
             return self._step_columnar()
         return self._step_object()
+
+    def _ensure_instrumented(self) -> None:
+        """Keep :attr:`_clock` live and pointed at the current tracer.
+
+        The recorder exists whenever phase timing *or* a process-global
+        tracer is active: with only a tracer installed it accumulates into
+        a private throwaway dict and its real job is emitting the
+        ``phase.*`` spans.
+        """
+        tracer = _obs_trace.TRACER
+        clock = self._clock
+        if clock is None:
+            times = self.phase_times
+            if times is None:
+                times = {phase: 0.0 for phase in PHASES}
+            self._clock = PhaseRecorder(times, tracer)
+        elif clock.tracer is not tracer:
+            clock.tracer = tracer
 
     def enable_phase_timing(
         self, count_dispatches: bool = False
@@ -251,41 +240,41 @@ class UplinkSimulationEngine:
         phases), ``phy`` (grant execution through the error model) and
         ``metrics`` (collection).  The split is what the benchmark harness
         records in ``BENCH_engine.json`` and ``python -m repro profile
-        --json`` reports, so the next bottleneck is machine-readable.
+        --json`` reports, so the next bottleneck is machine-readable.  The
+        same brackets feed the ``phase.*`` spans when a
+        :mod:`repro.obs.trace` tracer is installed — one timing substrate.
 
         With ``count_dispatches=True`` the engine additionally tallies, in
-        :attr:`dispatch_counts`, how many NumPy kernel dispatches (C calls
-        into NumPy observed via :func:`sys.setprofile`) each phase makes —
-        the frame loop's dispatch floor, measured rather than inferred.
-        Counting installs a global profile hook and slows the run several
-        fold; call :meth:`disable_phase_timing` when done.
+        :attr:`dispatch_counts`, how many batch-kernel dispatches (entries
+        into ``@kernel(batch=True)`` functions, counted by
+        :class:`repro.obs.dispatch.KernelDispatchCounter`) each phase
+        makes — the frame loop's dispatch count, measured rather than
+        inferred.  Counting wraps the live kernel bindings and adds a
+        little per-entry overhead; call :meth:`disable_phase_timing` when
+        done to restore the unwrapped kernels.
         """
         if self.phase_times is None:
-            self.phase_times = {
-                "traffic": 0.0,
-                "channel": 0.0,
-                "mac": 0.0,
-                "phy": 0.0,
-                "metrics": 0.0,
-            }
-            self._clock = _PhaseClock(self.phase_times)
+            self.phase_times = {phase: 0.0 for phase in PHASES}
+            if self._clock is not None:
+                self._clock.times = self.phase_times
+            self._ensure_instrumented()
         if count_dispatches and self.dispatch_counts is None:
+            from repro.obs.dispatch import KernelDispatchCounter
+
             counts = {phase: 0 for phase in self.phase_times}
             self.dispatch_counts = counts
             clock = self._clock
-
-            def _dispatch_hook(_frame, event, arg):
-                if event == "c_call" and clock.phase is not None:
-                    if _is_numpy_call(arg):
-                        counts[clock.phase] += 1
-
-            sys.setprofile(_dispatch_hook)
+            self._dispatch_counter = KernelDispatchCounter(
+                counts, lambda: clock.phase
+            )
+            self._dispatch_counter.install()
         return self.phase_times
 
     def disable_phase_timing(self) -> None:
-        """Remove the instrumented step (and the dispatch hook, if any)."""
-        if self.dispatch_counts is not None:
-            sys.setprofile(None)
+        """Remove the instrumented step (and unwrap counted kernels)."""
+        if self._dispatch_counter is not None:
+            self._dispatch_counter.uninstall()
+            self._dispatch_counter = None
         self.phase_times = None
         self.dispatch_counts = None
         self._clock = None
@@ -356,6 +345,13 @@ class UplinkSimulationEngine:
         """
         if n_frames <= 0:
             return
+        # The macro runner reads ``self._clock`` directly (it brackets its
+        # own block-level sections), so refresh instrumentation up front —
+        # including dropping a recorder whose tracer has been uninstalled.
+        if self.phase_times is not None or _obs_trace.TRACER is not None:
+            self._ensure_instrumented()
+        elif self._clock is not None:
+            self._clock = None
         runner = self._macro_runner()
         if runner is None:
             for _ in range(n_frames):
@@ -383,7 +379,28 @@ class UplinkSimulationEngine:
         return self._macro
 
     def run(self) -> SimulationResult:
-        """Run warm-up plus the measured period and return the results."""
+        """Run warm-up plus the measured period and return the results.
+
+        When a :mod:`repro.obs.trace` tracer is installed the whole run is
+        wrapped in an ``engine.run`` root span carrying the scenario's
+        identifying attributes, so every ``phase.*`` span in a trace file
+        chains up to the run that produced it.
+        """
+        tracer = _obs_trace.TRACER
+        if tracer is None:
+            return self._run_measured()
+        with tracer.span(
+            "engine.run",
+            protocol=self.scenario.protocol,
+            backend=self.backend,
+            n_voice=self.scenario.n_voice,
+            n_data=self.scenario.n_data,
+            seed=self.scenario.seed,
+            macro_frames=self.scenario.macro_frames,
+        ):
+            return self._run_measured()
+
+    def _run_measured(self) -> SimulationResult:
         warmup = self.scenario.warmup_frames(self.params)
         measured = self.scenario.measured_frames(self.params)
         self.run_frames(warmup)

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.accel import contention_round_scan
 from repro.lint.contracts import kernel
+from repro.obs import metrics as _metrics
 
 __all__ = ["MacroRunner", "RandomPool"]
 
@@ -83,17 +84,29 @@ class RandomPool:
         """Give back the most recently taken ``n`` doubles (pointer move)."""
         self._position -= n
 
-    def close(self) -> None:
+    def close(self) -> int:
         """Roll back and replay: leave the generator exactly where
-        per-frame draws of the consumed prefix would have left it."""
-        if self._buffer is None:
-            return
+        per-frame draws of the consumed prefix would have left it.
+
+        Returns the number of prefetched-but-unconsumed doubles rolled
+        back (0 when nothing was open), and counts each truncating close
+        on the ``pool.replay_truncations`` metric.
+        """
+        buffer = self._buffer
+        if buffer is None:
+            return 0
+        unused = buffer.shape[0] - self._position
         self._rng.bit_generator.state = self._state
         if self._position:
             self._rng.random(self._position)
         self._state = None
         self._buffer = None
         self._position = 0
+        if unused:
+            m = _metrics.METRICS
+            if m.enabled:
+                m.inc("pool.replay_truncations")
+        return unused
 
     def _refill(self, n: int) -> None:
         self.close()
@@ -164,11 +177,14 @@ class MacroRunner:
             # the incremental mirrors no longer describe current state.
             self._mirrors_dirty = True
 
+        tracer = clock.tracer if clock is not None else None
         if clock:
             clock.start("traffic")
         plan = population.plan_frames(start, n_frames)
         if clock:
             clock.stop()
+        if tracer is not None:
+            tracer.event("macro.plan", frames=n_frames, start_frame=start)
 
         for offset in range(n_frames):
             frame = start + offset
@@ -188,7 +204,9 @@ class MacroRunner:
 
         self._flush_phy(clock)
         self._commit_records(clock)
-        self._pool.close()
+        unused = self._pool.close()
+        if tracer is not None and unused:
+            tracer.event("macro.rollback", unused_draws=unused)
         self._expected_frame = engine._frame_index
 
     # ----------------------------------------------------------- fast frame
@@ -404,6 +422,11 @@ class MacroRunner:
             probs = self._cand_probs_arr = np.asarray(
                 self._cand_probs, dtype=float
             )
+        m = _metrics.METRICS
+        if m.enabled:
+            # Pure accumulation — no clock, no draw — so metrics stay
+            # legal inside kernel bodies (KRN002 only bans *timing*).
+            m.inc("contention.rounds", n_minislots)
         pool = self._pool
         k = len(ids)
         winners: List[int] = []
@@ -447,6 +470,11 @@ class MacroRunner:
         self._pool.close()
         self._flush_phy(clock)
         self._commit_records(clock)
+        m = _metrics.METRICS
+        if m.enabled:
+            m.inc("macro.fallback_frames")
+        if clock is not None and clock.tracer is not None:
+            clock.tracer.event("macro.fallback", frame=frame)
 
         if clock:
             clock.start("mac")

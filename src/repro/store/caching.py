@@ -21,9 +21,13 @@ from repro.api.executors import (
     ProgressCallback,
     ResultSink,
     SerialExecutor,
+    accepts_telemetry,
 )
 from repro.api.spec import RunPoint, config_digest
 from repro.config import SimulationParameters
+from repro.obs import clock as _obs_clock
+from repro.obs import metrics as _metrics
+from repro.obs.report import RunTelemetry
 from repro.sim.results import SimulationResult
 from repro.store.store import ResultStore
 
@@ -86,6 +90,7 @@ class CachingExecutor:
         params: SimulationParameters,
         progress: Optional[ProgressCallback] = None,
         sink: Optional[ResultSink] = None,
+        telemetry: Optional[RunTelemetry] = None,
     ) -> List[SimulationResult]:
         total = len(points)
         self.hits = 0
@@ -95,6 +100,7 @@ class CachingExecutor:
 
         missing: List[int] = []
         for position, point in enumerate(points):
+            t0 = _obs_clock.now() if telemetry is not None else 0.0
             cached = self.store.get(keys[position])
             if cached is not None and cached.scenario != point.scenario:
                 # Defensive: a digest collision (or a poisoned entry) must
@@ -105,6 +111,16 @@ class CachingExecutor:
             else:
                 results[position] = cached
                 self.hits += 1
+                if telemetry is not None:
+                    # A hit's wall time is the store lookup itself.
+                    telemetry.record_point(
+                        position,
+                        run_hash=keys[position],
+                        protocol=point.scenario.protocol,
+                        coords=point.coords_dict(),
+                        wall_s=_obs_clock.now() - t0,
+                        cache="hit",
+                    )
                 # The sink contract is "called once per available result",
                 # not "once per simulation" — layered consumers (e.g. a
                 # caching executor wrapping this one) rely on seeing hits
@@ -115,6 +131,12 @@ class CachingExecutor:
             progress(self.hits, total)
 
         self.misses = len(missing)
+        m = _metrics.METRICS
+        if m.enabled:
+            if self.hits:
+                m.inc("store.cache_hit", self.hits)
+            if self.misses:
+                m.inc("store.cache_miss", self.misses)
         if missing:
             sub_points = [points[position] for position in missing]
 
@@ -131,19 +153,38 @@ class CachingExecutor:
                 if progress is not None:
                     progress(self.hits + sub_done, total)
 
+            inner_telemetry = (
+                telemetry.child() if telemetry is not None else None
+            )
             execute_with_sink = getattr(self.inner, "execute_with_sink", None)
             if execute_with_sink is not None:
-                execute_with_sink(
-                    sub_points, params, inner_progress, inner_sink
-                )
+                if inner_telemetry is not None and accepts_telemetry(
+                    execute_with_sink
+                ):
+                    execute_with_sink(
+                        sub_points, params, inner_progress, inner_sink,
+                        telemetry=inner_telemetry,
+                    )
+                else:
+                    inner_telemetry = None
+                    execute_with_sink(
+                        sub_points, params, inner_progress, inner_sink
+                    )
             else:
                 # Plain Executor protocol: results only arrive at the end,
                 # so persistence is batched rather than incremental.
+                inner_telemetry = None
                 sub_results = self.inner.execute(
                     sub_points, params, inner_progress
                 )
                 for sub_position, result in enumerate(sub_results):
                     inner_sink(sub_position, sub_points[sub_position], result)
+            if telemetry is not None and inner_telemetry is not None:
+                # Remap the child's sub-positions onto grid positions and
+                # re-label every computed point as a miss.
+                telemetry.absorb(
+                    inner_telemetry, positions=missing, cache="miss"
+                )
 
         if any(r is None for r in results):
             raise RuntimeError(

@@ -34,13 +34,17 @@ from typing import Deque, List, Optional, Sequence, Tuple, cast
 from repro.api.executors import (
     ProgressCallback,
     ResultSink,
-    _simulate,
+    _run_point,
     _worker_init,
     _worker_run_chunk,
     estimated_point_cost,
 )
 from repro.api.spec import RunPoint
 from repro.config import SimulationParameters
+from repro.obs import clock as _obs_clock
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _obs_trace
+from repro.obs.report import RunTelemetry
 from repro.sim.results import SimulationResult
 
 __all__ = ["WorkStealingScheduler", "AsyncExecutor", "ExecutionCancelled"]
@@ -210,10 +214,14 @@ class AsyncExecutor:
         params: SimulationParameters,
         progress: Optional[ProgressCallback] = None,
         sink: Optional[ResultSink] = None,
+        telemetry: Optional[RunTelemetry] = None,
     ) -> List[SimulationResult]:
         """Synchronous entry point (wraps :meth:`execute_async`)."""
         return asyncio.run(
-            self.execute_async(points, params, progress=progress, sink=sink)
+            self.execute_async(
+                points, params, progress=progress, sink=sink,
+                telemetry=telemetry,
+            )
         )
 
     async def execute_async(
@@ -222,13 +230,14 @@ class AsyncExecutor:
         params: SimulationParameters,
         progress: Optional[ProgressCallback] = None,
         sink: Optional[ResultSink] = None,
+        telemetry: Optional[RunTelemetry] = None,
     ) -> List[SimulationResult]:
         """Evaluate the grid on the running event loop."""
         total = len(points)
         if total == 0:
             return []
         if self.n_workers == 1 or total == 1:
-            return self._execute_serial(points, params, progress, sink)
+            return self._execute_serial(points, params, progress, sink, telemetry)
 
         n_workers = min(self.n_workers, total)
         scheduler = WorkStealingScheduler(
@@ -241,10 +250,16 @@ class AsyncExecutor:
         done = 0
         loop = asyncio.get_running_loop()
 
+        busy_seconds = [0.0] * n_workers
+
         with ProcessPoolExecutor(
             max_workers=n_workers,
             initializer=_worker_init,
-            initargs=(params,),
+            initargs=(
+                params,
+                telemetry is not None,
+                telemetry.phase_split if telemetry is not None else False,
+            ),
         ) as pool:
 
             async def worker(worker_id: int) -> None:
@@ -255,12 +270,22 @@ class AsyncExecutor:
                         return
                     position, point = cast(Tuple[int, RunPoint], task)
                     job = (point.index, point.scenario, point.param_overrides)
+                    t0 = _obs_clock.now()
                     chunk = await loop.run_in_executor(
                         pool, _worker_run_chunk, [job]
                     )
-                    result = chunk[0][1]
+                    busy_seconds[worker_id] += _obs_clock.now() - t0
+                    _index, result, info = chunk[0]
                     results[position] = result
                     done += 1
+                    if telemetry is not None and info is not None:
+                        telemetry.record_point(
+                            position,
+                            run_hash=point.run_hash(),
+                            protocol=point.scenario.protocol,
+                            coords=point.coords_dict(),
+                            **info,  # type: ignore[arg-type]
+                        )
                     if sink is not None:
                         sink(position, point, result)
                     if progress is not None:
@@ -268,7 +293,13 @@ class AsyncExecutor:
 
             await asyncio.gather(*(worker(w) for w in range(n_workers)))
 
+        m = _metrics.METRICS
+        if m.enabled:
+            m.inc("scheduler.steals", scheduler.steals)
+            m.inc("executor.worker_busy_seconds", sum(busy_seconds))
+
         if self._cancel_event.is_set() and done != total:
+            self._finalize_cancelled(progress, done, total)
             raise ExecutionCancelled(done, total, results)
         if done != total or any(r is None for r in results):
             raise RuntimeError(
@@ -276,12 +307,30 @@ class AsyncExecutor:
             )  # pragma: no cover - defensive; workers re-raise errors
         return results  # type: ignore[return-value]
 
+    @staticmethod
+    def _finalize_cancelled(
+        progress: Optional[ProgressCallback], done: int, total: int
+    ) -> None:
+        """Deliver the final progress state and flush the trace sink.
+
+        Runs *before* :class:`ExecutionCancelled` propagates, so a progress
+        consumer always observes the definitive ``(done, total)`` of a
+        cancelled grid (even if cancellation struck before any point ran)
+        and a ``--trace`` file is complete up to the cancellation point.
+        """
+        if progress is not None:
+            progress(done, total)
+        tracer = _obs_trace.TRACER
+        if tracer is not None:
+            tracer.flush()
+
     def _execute_serial(
         self,
         points: Sequence[RunPoint],
         params: SimulationParameters,
         progress: Optional[ProgressCallback],
         sink: Optional[ResultSink],
+        telemetry: Optional[RunTelemetry] = None,
     ) -> List[SimulationResult]:
         """Single-worker path: in-process, but same cancel/sink semantics."""
         total = len(points)
@@ -289,8 +338,9 @@ class AsyncExecutor:
         done = 0
         for position, point in enumerate(points):
             if self._cancel_event.is_set():
+                self._finalize_cancelled(progress, done, total)
                 raise ExecutionCancelled(done, total, results)
-            result = _simulate(point.scenario, point.resolved_params(params))
+            result = _run_point(position, point, params, telemetry)
             results[position] = result
             done += 1
             if sink is not None:

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro.obs import metrics as _metrics
 from repro.sim.results import SimulationResult
 from repro.store import serialization
 from repro.store.serialization import (
@@ -170,11 +171,13 @@ class ResultStore:
         if path.exists():
             good_lines: List[str] = []
             corrupt = False
+            bad_lines = 0
             try:
                 raw = path.read_text(encoding="utf-8")
             except UnicodeDecodeError:
                 raw = ""
                 corrupt = True
+                bad_lines += 1  # the whole file, undecodable
             for line in raw.splitlines():
                 if not line.strip():
                     continue
@@ -184,10 +187,14 @@ class ResultStore:
                     record["schema"], record["result"]
                 except (json.JSONDecodeError, TypeError, KeyError):
                     corrupt = True
+                    bad_lines += 1
                     continue
                 records[run_hash] = record  # duplicate hashes: last write wins
                 good_lines.append(line)
             if corrupt:
+                m = _metrics.METRICS
+                if m.enabled:
+                    m.inc("store.quarantined_lines", bad_lines)
                 # Preserve the damaged file verbatim for post-mortems, then
                 # re-write the salvageable records in place.
                 self._quarantine_file(path)
@@ -233,6 +240,9 @@ class ResultStore:
         self, shard_name: str, record: Dict[str, Any]
     ) -> None:
         """Move one undeserialisable record out of its shard."""
+        m = _metrics.METRICS
+        if m.enabled:
+            m.inc("store.quarantined_lines")
         with open(self._quarantine_dir / "bad-records.jsonl", "a",
                   encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -656,7 +656,7 @@ class TerminalPopulation:
                 if head_created[i] < 0:
                     head_created[i] = frame_index
 
-    @kernel
+    @kernel(batch=False)
     def transmit_voice_pop(self, index: int, max_packets: int):
         """Pop a voice grant's packets now, deferring the outcome counters.
 
@@ -683,7 +683,7 @@ class TerminalPopulation:
         self.head_created[index] = segments[0][0] if segments else -1
         return n_transmitted, pre
 
-    @kernel
+    @kernel(batch=False)
     def record_voice_outcome(
         self, index: int, n_transmitted: int, n_pre_window: int, n_delivered: int
     ) -> int:
@@ -764,7 +764,7 @@ class TerminalPopulation:
         return events
 
     # --------------------------------------------------------- transmission
-    @kernel
+    @kernel(batch=False)
     def transmit(
         self, index: int, max_packets: int, n_delivered: int, current_frame: int
     ) -> int:

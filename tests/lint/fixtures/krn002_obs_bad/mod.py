@@ -1,0 +1,31 @@
+"""Bad fixture: observability timing smuggled into kernel bodies.
+
+Spans and ``repro.obs.clock`` reads are timers; inside a ``@kernel`` body
+they break the "simulated time is the only clock" purity contract even
+though the same calls are legal instrumentation glue outside.  A raw
+``time.perf_counter`` outside any kernel is also flagged now — timing must
+route through the obs-clock seam.
+"""
+
+import time
+
+from repro.obs import clock as _obs_clock
+from repro.obs import span
+from repro.lint.contracts import kernel
+
+
+def raw_timer_glue() -> float:
+    return time.perf_counter()  # flagged: raw timer, use repro.obs.clock
+
+
+@kernel
+def spanned_step(values: list) -> float:
+    with span("kernel.step", n=len(values)):  # flagged: span in a kernel
+        return float(sum(values))
+
+
+@kernel
+def clocked_step(values: list) -> float:
+    start = _obs_clock.now()  # flagged: obs clock read in a kernel
+    total = float(sum(values))
+    return total - start

@@ -30,3 +30,32 @@ def test_shipped_kernels_carry_the_marker_at_runtime():
     assert is_kernel(contention_round_scan)
     assert is_kernel(PacketErrorModel.success_probabilities)
     assert is_kernel(PacketErrorModel.transmit_batch)
+
+
+def test_kernel_batch_form_registers_and_classifies():
+    from repro.lint.contracts import (
+        is_batch_kernel, registered_kernels, kernel as kernel_decorator,
+    )
+
+    @kernel_decorator
+    def batched(x):
+        return x
+
+    @kernel_decorator(batch=False)
+    def scalar(x):
+        return x
+
+    assert is_kernel(batched) and is_batch_kernel(batched)
+    assert is_kernel(scalar) and not is_batch_kernel(scalar)
+    infos = {info.func: info for info in registered_kernels()}
+    assert infos[batched].batch is True
+    assert infos[scalar].batch is False
+    assert infos[batched].qualname.endswith("batched")
+
+
+def test_registry_covers_the_shipped_accel_kernels():
+    from repro.accel.kernels import contention_round_scan
+    from repro.lint.contracts import registered_kernels
+
+    funcs = [info.func for info in registered_kernels()]
+    assert contention_round_scan in funcs

@@ -29,6 +29,7 @@ def rules_hit(report):
         ("rng002_bad", "RNG002", 1),
         ("krn001_bad", "KRN001", 3),
         ("krn002_bad", "KRN002", 3),
+        ("krn002_obs_bad", "KRN002", 3),
     ],
 )
 def test_bad_fixture_fails(fixture, rule, n_expected):
@@ -72,7 +73,9 @@ def test_krn001_only_applies_to_marked_kernels():
     assert "KRN001" not in rules_hit(report)
 
 
-def test_krn002_timer_allowed_outside_kernels():
+def test_krn002_obs_clock_is_the_only_timing_path():
+    # The good fixture times through repro.obs.clock and bumps a metrics
+    # counter inside a kernel — both legal.
     report = run_fixture("krn002_good")
     assert "KRN002" not in rules_hit(report)
     bad = run_fixture("krn002_bad")
@@ -81,6 +84,17 @@ def test_krn002_timer_allowed_outside_kernels():
     ]
     assert len(timer_findings) == 1
     assert "timed_step" in timer_findings[0].message
+
+
+def test_krn002_flags_spans_and_obs_clock_inside_kernels():
+    report = run_fixture("krn002_obs_bad")
+    by_symbol = {f.symbol: f.message for f in report.findings}
+    assert "repro.obs.clock" in by_symbol["raw_timer_glue"]
+    assert "repro.obs.span" in by_symbol["spanned_step"]
+    assert "repro.obs.clock.now" in by_symbol["clocked_step"]
+    # Kernel sites name the purity contract, glue sites name the sanctuary.
+    assert "outside kernel bodies" in by_symbol["spanned_step"]
+    assert "sanctuary" in by_symbol["raw_timer_glue"]
 
 
 def test_rule_subset_selection():

@@ -139,3 +139,69 @@ class TestAsyncExecutor:
     def test_validation(self):
         with pytest.raises(ValueError):
             AsyncExecutor(n_workers=0)
+
+
+class TestCancellationFinalization:
+    """A cancelled grid must deliver its final progress state and flush the
+    trace sink *before* ExecutionCancelled propagates (satellite of the
+    observability PR: a --trace file and a progress bar must both end in a
+    consistent state even on cancellation)."""
+
+    def test_pre_cancelled_serial_run_reports_zero_progress(self):
+        import threading
+
+        spec = _small_spec()
+        event = threading.Event()
+        event.set()
+        executor = AsyncExecutor(n_workers=1, cancel_event=event)
+        calls = []
+        with pytest.raises(ExecutionCancelled) as excinfo:
+            executor.execute_with_sink(
+                spec.expand(), spec.params,
+                progress=lambda done, total: calls.append((done, total)),
+            )
+        assert excinfo.value.completed == 0
+        assert calls == [(0, spec.n_runs)]
+
+    def test_sink_cancellation_delivers_final_progress(self):
+        spec = _small_spec()
+        executor = AsyncExecutor(n_workers=1)
+        calls = []
+
+        def sink(position, point, result):
+            if len(calls) == 2:
+                executor.cancel()
+
+        with pytest.raises(ExecutionCancelled) as excinfo:
+            executor.execute_with_sink(
+                spec.expand(), spec.params,
+                progress=lambda done, total: calls.append((done, total)),
+                sink=sink,
+            )
+        completed = excinfo.value.completed
+        # The very last progress call re-states the definitive (done, total).
+        assert calls[-1] == (completed, spec.n_runs)
+
+    def test_cancellation_flushes_the_installed_tracer(self):
+        from repro.obs.trace import (
+            ListTraceSink, install_tracer, uninstall_tracer,
+        )
+
+        spec = _small_spec()
+        executor = AsyncExecutor(n_workers=1)
+        sink = ListTraceSink()
+        install_tracer(sink)
+        try:
+            def cancel_after_one(position, point, result):
+                executor.cancel()
+
+            with pytest.raises(ExecutionCancelled):
+                executor.execute_with_sink(
+                    spec.expand(), spec.params, sink=cancel_after_one,
+                )
+            assert sink.flushes >= 1
+            assert any(
+                r.get("name") == "point.run" for r in sink.records
+            )
+        finally:
+            uninstall_tracer()
