@@ -23,13 +23,19 @@ from __future__ import annotations
 from repro.accel.kernels import (
     HAS_NUMBA,
     contention_round_scan,
+    deadline_scan,
     kernel_provenance,
+    next_expiry_bound,
+    voice_flush_resolve,
     voice_generation_offsets,
 )
 
 __all__ = [
     "HAS_NUMBA",
     "contention_round_scan",
+    "deadline_scan",
     "kernel_provenance",
+    "next_expiry_bound",
+    "voice_flush_resolve",
     "voice_generation_offsets",
 ]

@@ -63,6 +63,12 @@ class CharismaProtocol(MACProtocol):
     uses_adaptive_phy = True
     uses_csi_scheduling = True
     supports_request_queue = True
+    #: Every CHARISMA frame draws CSI noise and ranks its pending pool, so
+    #: the macro runner cannot use the generic holder-serve frame; when the
+    #: instance supports lookahead (fast mode + dedicated CSI stream, see
+    #: ``__init__``) it dispatches to the runner's inline CSI-scheduled
+    #: frame with block-pooled estimation noise instead.
+    macro_contention_style = "csi_schedule"
 
     def __init__(
         self,
@@ -74,6 +80,7 @@ class CharismaProtocol(MACProtocol):
         enable_csi_polling: bool = True,
         rng_mode: str = "parity",
         contention_rng: Optional[np.random.Generator] = None,
+        csi_rng: Optional[np.random.Generator] = None,
     ) -> None:
         if not modem.is_adaptive:
             raise ValueError("CHARISMA requires the adaptive physical layer")
@@ -85,11 +92,21 @@ class CharismaProtocol(MACProtocol):
             rng_mode=rng_mode,
             contention_rng=contention_rng,
         )
+        # Fast mode draws estimation noise from a dedicated child stream
+        # (``csi_rng``) so the macro engine can prefetch a whole block of
+        # standard normals and roll unconsumed draws back without touching
+        # the shared MAC stream.  Parity mode keeps the shared ``rng`` —
+        # the object backend's draw order — and therefore falls back to
+        # the per-frame kernel inside macro blocks (bit-identity).
+        use_csi_stream = self.rng_fast and csi_rng is not None
         self.csi_estimator = csi_estimator or CSIEstimator(
             n_pilot_symbols=params.pilot_symbols_per_request,
             mean_snr_db=params.mean_snr_db,
             validity_frames=params.csi_validity_frames,
-            rng=rng,
+            rng=csi_rng if use_csi_stream else rng,
+        )
+        self.supports_macro_lookahead = bool(
+            csi_estimator is None and use_csi_stream
         )
         self.priority_calculator = PriorityCalculator(params.priority, modem)
         self.allocator = CSIRankedAllocator(modem, params.n_info_slots)
@@ -268,12 +285,27 @@ class CharismaProtocol(MACProtocol):
                 backlog_columns, population, frame_index
             )
             if self.enable_csi_polling:
-                backlog_priorities = self.priority_calculator.priorities_columns(
-                    backlog_columns, frame_index
-                )
-                self.csi_poller.refresh_columns(
-                    backlog_columns, snapshot, frame_index, backlog_priorities
-                )
+                # The backlog priorities exist only to rank the polling
+                # short list, so they are evaluated lazily: not at all when
+                # no estimate is stale, and skipped for a single stale row
+                # (a one-element sort is order-preserving).  Decision- and
+                # draw-identical to the unconditional evaluation.
+                stale = self.csi_poller.stale_rows(backlog_columns, frame_index)
+                if stale.shape[0]:
+                    backlog_priorities = (
+                        self.priority_calculator.priorities_columns(
+                            backlog_columns, frame_index
+                        )
+                        if stale.shape[0] > 1
+                        else None
+                    )
+                    self.csi_poller.refresh_columns(
+                        backlog_columns,
+                        snapshot,
+                        frame_index,
+                        backlog_priorities,
+                        stale=stale,
+                    )
             pending = RequestColumns.concatenate(
                 [base_columns, backlog_columns]
             )

@@ -97,25 +97,37 @@ class CSIPoller:
             self._polls_sent += 1
         return refreshed
 
+    def stale_rows(self, columns, frame_index: int) -> np.ndarray:
+        """Row indices of a request-column pool whose estimates expired.
+
+        The column twin of :meth:`stale_requests`; exposed separately so
+        callers can skip building the polling priorities entirely when no
+        row is stale (the common case for short backlogs).
+        """
+        return np.nonzero(
+            (columns.csi_frames < 0)
+            | (frame_index - columns.csi_frames >= columns.csi_validity)
+        )[0]
+
     def refresh_columns(
         self,
         columns,
         snapshot: ChannelSnapshot,
         frame_index: int,
         priorities: Optional[np.ndarray] = None,
+        stale: Optional[np.ndarray] = None,
     ) -> int:
         """Column form of :meth:`refresh` over a request-column backlog.
 
-        Staleness comes from the CSI frame-stamp column, the polling short
+        Staleness comes from the CSI frame-stamp column (or a precomputed
+        ``stale`` row array from :meth:`stale_rows`), the polling short
         list from a stable descending sort on ``priorities`` (FIFO when
         omitted), and the refreshed estimates from one batched estimator
         call — which consumes the noise stream exactly as :meth:`refresh`'s
         per-request scalar estimates would, in the same short-list order.
         """
-        stale = np.nonzero(
-            (columns.csi_frames < 0)
-            | (frame_index - columns.csi_frames >= columns.csi_validity)
-        )[0]
+        if stale is None:
+            stale = self.stale_rows(columns, frame_index)
         if priorities is not None and stale.shape[0] > 1:
             stale = stale[np.argsort(-priorities[stale], kind="stable")]
         polled = stale[: self._n_pilot_slots]

@@ -168,11 +168,27 @@ class MACProtocol(abc.ABC):
     supports_request_queue: ClassVar[bool] = True
     #: Whether the macro-stepped engine may execute this protocol's frames
     #: inline (reservation lookahead).  Requires that a frame with an empty
-    #: request queue draws randomness *only* through contention — protocols
-    #: with additional per-frame draws (CHARISMA's CSI estimation) and
-    #: custom subclasses leave this False and run their per-frame kernel
-    #: inside macro blocks instead.
-    supports_macro_lookahead: ClassVar[bool] = False
+    #: request queue draws randomness only through streams the macro engine
+    #: can pool or replay exactly — contention draws, or (CHARISMA, fast
+    #: mode only) CSI estimation noise from a dedicated child stream.
+    #: Usually a class attribute; protocols whose eligibility depends on
+    #: construction (CHARISMA needs ``rng_mode="fast"`` plus an injected
+    #: CSI stream) override it per instance, which is why it is a plain
+    #: ``bool`` rather than a ``ClassVar``.
+    supports_macro_lookahead: bool = False
+    #: How the macro runner executes a frame with live contenders when the
+    #: protocol has no fixed request subframe (``macro_minislots() is
+    #: None``): ``"auction"`` resolves RAMA's sequential auction with direct
+    #: scalar draws from ``rng`` (nothing poolable — at most ``N_a`` draw
+    #: pairs per frame, in the per-frame call order), ``"slot_loop"`` runs
+    #: DRMA's interleaved serve/convert slot loop with pool-fed minislot
+    #: draws (winners re-enter the same frame's pending pool), and ``None``
+    #: falls back to the per-frame kernel.  ``"csi_schedule"`` (CHARISMA)
+    #: is dispatched before the generic frame body entirely: every frame —
+    #: contended or quiet — draws CSI noise and ranks its pending pool, so
+    #: the runner executes a dedicated inline frame with pooled estimation
+    #: noise instead of the holder-serve path.
+    macro_contention_style: ClassVar[Optional[str]] = None
 
     def __init__(
         self,

@@ -43,10 +43,14 @@ class DRMAProtocol(MACProtocol):
     supports_request_queue = True
     #: Quiet frames (no contenders, empty queue) reduce to serving the
     #: reservation holders and idling the converted minislots of every
-    #: unassigned slot — no draws — so the macro engine runs them inline;
-    #: any contended frame takes the per-frame kernel (its winners re-enter
-    #: the same frame's slot loop, which a flat pool cannot express).
+    #: unassigned slot — no draws — so the macro engine runs them inline.
+    #: Contended frames run through the runner's inline slot loop: each
+    #: converted slot's minislot draws come from the contention pool
+    #: (bit-identical per-minislot prefixes with exact roll-back), and
+    #: winners re-enter the same frame's pending pool just like the
+    #: per-frame kernel's cursor loop.
     supports_macro_lookahead = True
+    macro_contention_style = "slot_loop"
 
     def macro_quiet_idle_slots(self, n_served: int) -> int:
         """Unassigned slots convert to ``N_x`` idle request minislots each."""

@@ -49,10 +49,13 @@ class RAMAProtocol(MACProtocol):
     uses_csi_scheduling = False
     supports_request_queue = True
     #: Quiet frames (no contenders, empty queue) draw nothing — the auction
-    #: never runs — so the macro engine may execute them inline.  Contested
-    #: frames always resolve a winner (guaranteed progress), hence no
-    #: ``macro_minislots``: they take the per-frame kernel.
+    #: never runs — so the macro engine executes them inline.  Contested
+    #: frames resolve through the runner's inline auction: the sequential
+    #: tie/winner draw pairs are made directly against ``rng`` in the exact
+    #: per-frame call order (they are inherently unpoolable), so contested
+    #: frames stay inside the fused block too.
     supports_macro_lookahead = True
+    macro_contention_style = "auction"
 
     # ------------------------------------------------------------ interface
     def _build_frame_structure(self) -> FrameStructure:

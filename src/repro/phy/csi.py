@@ -115,6 +115,18 @@ class CSIEstimator:
         """Whether estimation noise is disabled."""
         return self._perfect
 
+    @property
+    def noise_rng(self) -> np.random.Generator:
+        """The generator the estimation noise is drawn from.
+
+        Exposed so block-stepped callers can prefetch standard normals from
+        the *same* stream (``noise = std * z`` with ``z`` consumed element
+        by element, exactly like :meth:`estimate_amplitudes`'s batched
+        ``Generator.normal`` call) and roll back unconsumed draws — the
+        macro engine's CSI pooling in fast RNG mode.
+        """
+        return self._rng
+
     def estimation_std(self, true_amplitude: float) -> float:
         """Standard deviation of the amplitude estimation error.
 

@@ -152,6 +152,9 @@ class UplinkSimulationEngine:
                 contention_rng=(
                     self.streams.child("mac", "contention") if rng_fast else None
                 ),
+                csi_rng=(
+                    self.streams.child("csi", "estimation") if rng_fast else None
+                ),
             )
         self.protocol = protocol
         # The array-native MAC kernels drive the columnar backend by

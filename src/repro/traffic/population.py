@@ -42,7 +42,12 @@ from typing import Deque, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.accel import voice_generation_offsets
+from repro.accel import (
+    deadline_scan,
+    next_expiry_bound,
+    voice_flush_resolve,
+    voice_generation_offsets,
+)
 from repro.config import SimulationParameters
 from repro.lint.contracts import kernel
 from repro.traffic.packets import Packet, TrafficKind
@@ -704,6 +709,33 @@ class TerminalPopulation:
             self._voice_loss_total += errored
         return errored
 
+    @kernel
+    def resolve_voice_outcomes(
+        self,
+        terminal_ids: np.ndarray,
+        counts: np.ndarray,
+        pre_window: np.ndarray,
+        delivered: np.ndarray,
+    ):
+        """Batched :meth:`record_voice_outcome` over a flush's voice rows.
+
+        One compiled (or NumPy-twin) pass resolves every deferred voice
+        row's delivered/errored split and scatter-accumulates the
+        per-terminal counters — count-identical to calling
+        :meth:`record_voice_outcome` row by row, in any order (every update
+        is an independent add).  Returns ``(rows, errors)``: the positions
+        within the batch that errored, and the per-row errored counts, so
+        the caller can attribute losses to its per-frame records.
+        """
+        delivered_totals, errored_totals, rows, errors = voice_flush_resolve(
+            terminal_ids, counts, pre_window, delivered,
+            self.occupancy.shape[0],
+        )
+        self.voice_delivered += delivered_totals
+        self.voice_errored += errored_totals
+        self._voice_loss_total += int(errored_totals.sum())
+        return rows, errors
+
     def drop_expired(self, current_frame: int) -> int:
         """Drop buffered voice packets whose 20 ms deadline has passed.
 
@@ -734,10 +766,10 @@ class TerminalPopulation:
         heads = self.head_created[:nv]
         # head_created is -1 exactly when the buffer is empty, so a single
         # range test finds the expired heads.
-        expired_mask = (heads >= 0) & (heads <= current_frame - self._deadline)
+        expired = deadline_scan(heads, current_frame - self._deadline)
         events = []
-        if expired_mask.any():
-            for i in expired_mask.nonzero()[0]:
+        if expired.shape[0]:
+            for i in expired:
                 segments = self._segments[i]
                 dropped = 0
                 counted = 0
@@ -755,12 +787,9 @@ class TerminalPopulation:
         # Re-derive the next-expiry lower bound.  Transmissions only move
         # heads later (FIFO), so a bound computed here can never skip a
         # real expiry; fresh heads tighten it at their append sites.
-        heads = self.head_created[:nv]
-        alive = heads >= 0
-        if alive.any():
-            self._next_drop_frame = int(heads[alive].min()) + self._deadline
-        else:
-            self._next_drop_frame = _NO_DROP
+        self._next_drop_frame = next_expiry_bound(
+            self.head_created[:nv], self._deadline, _NO_DROP
+        )
         return events
 
     # --------------------------------------------------------- transmission

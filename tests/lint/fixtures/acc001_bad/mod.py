@@ -1,0 +1,86 @@
+"""Bad ACC001 fixture: every way a numba twin can drift from its fallback."""
+
+import numpy as np
+
+from repro.lint.contracts import kernel
+
+try:
+    import numba
+
+    HAS_NUMBA = True
+except ImportError:
+    numba = None
+    HAS_NUMBA = False
+
+
+@kernel
+def scatter_sum(values, rows, size):
+    return np.bincount(rows, weights=values, minlength=size)
+
+
+@kernel
+def bounded_min(heads, deadline, sentinel):
+    alive = heads >= 0
+    if not alive.any():
+        return sentinel
+    return int(heads[alive].min()) + deadline
+
+
+@kernel
+def windowed_count(stamps, lo, hi):
+    return int(((stamps >= lo) & (stamps < hi)).sum())
+
+
+if HAS_NUMBA:
+
+    @numba.njit(cache=True)
+    def _scatter_sum_jit(values, rows, size):
+        out = np.zeros(size, dtype=np.float64)
+        for j in range(rows.shape[0]):
+            out[rows[j]] += values[j]
+        return out
+
+    # Drift 1: jit implementation renamed/reordered its parameters.
+    @numba.njit(cache=True)
+    def _bounded_min_jit(deadline, heads, sentinel):
+        best = sentinel
+        for i in range(heads.shape[0]):
+            if heads[i] >= 0 and heads[i] + deadline < best:
+                best = heads[i] + deadline
+        return best
+
+    @numba.njit(cache=True)
+    def _windowed_count_jit(stamps, lo, hi):
+        n = 0
+        for i in range(stamps.shape[0]):
+            if stamps[i] >= lo and stamps[i] < hi:
+                n += 1
+        return n
+
+    @numba.njit(cache=True)
+    def _orphan_step_jit(buffer):
+        return buffer
+
+    # Drift 2: wrapper swaps the arguments it routes into the jit twin.
+    @kernel
+    def scatter_sum(values, rows, size):  # noqa: F811
+        return _scatter_sum_jit(
+            np.ascontiguousarray(rows), np.ascontiguousarray(values), size
+        )
+
+    # Drift 3: wrapper signature no longer matches the fallback's.
+    @kernel
+    def bounded_min(heads, horizon, sentinel):  # noqa: F811
+        return int(
+            _bounded_min_jit(np.ascontiguousarray(heads), horizon, sentinel)
+        )
+
+    # Drift 4: wrapper drops a parameter on the way through.
+    @kernel
+    def windowed_count(stamps, lo, hi):  # noqa: F811
+        return int(_windowed_count_jit(np.ascontiguousarray(stamps), lo))
+
+    # Drift 5: gated twin with no NumPy fallback before the gate.
+    @kernel
+    def orphan_step(buffer):
+        return _orphan_step_jit(np.ascontiguousarray(buffer))

@@ -1,0 +1,66 @@
+"""Good ACC001 fixture: numba twins mirroring their NumPy fallbacks."""
+
+import numpy as np
+
+from repro.lint.contracts import kernel
+
+try:
+    import numba
+
+    HAS_NUMBA = True
+except ImportError:
+    numba = None
+    HAS_NUMBA = False
+
+
+@kernel
+def scatter_sum(values, rows, size):
+    return np.bincount(rows, weights=values, minlength=size)
+
+
+@kernel
+def bounded_min(heads, deadline, sentinel):
+    alive = heads >= 0
+    if not alive.any():
+        return sentinel
+    return int(heads[alive].min()) + deadline
+
+
+def _plain_helper(values):
+    # Unmarked helper outside the gate: not a twin, never checked.
+    return values.sum()
+
+
+if HAS_NUMBA:
+
+    @numba.njit(cache=True)
+    def _scatter_sum_jit(values, rows, size):
+        out = np.zeros(size, dtype=np.float64)
+        for j in range(rows.shape[0]):
+            out[rows[j]] += values[j]
+        return out
+
+    @numba.njit(cache=True)
+    def _bounded_min_jit(heads, deadline, sentinel):
+        best = sentinel
+        for i in range(heads.shape[0]):
+            if heads[i] >= 0 and heads[i] + deadline < best:
+                best = heads[i] + deadline
+        return best
+
+    @numba.njit(cache=True)
+    def _private_scratch_jit(buffer):
+        # No same-named fallback: a private building block, not a twin.
+        return buffer
+
+    @kernel
+    def scatter_sum(values, rows, size):  # noqa: F811
+        return _scatter_sum_jit(
+            np.ascontiguousarray(values), np.ascontiguousarray(rows), size
+        )
+
+    @kernel
+    def bounded_min(heads, deadline, sentinel):  # noqa: F811
+        return int(
+            _bounded_min_jit(np.ascontiguousarray(heads), deadline, sentinel)
+        )

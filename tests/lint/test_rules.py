@@ -30,6 +30,7 @@ def rules_hit(report):
         ("krn001_bad", "KRN001", 3),
         ("krn002_bad", "KRN002", 3),
         ("krn002_obs_bad", "KRN002", 3),
+        ("acc001_bad", "ACC001", 6),
     ],
 )
 def test_bad_fixture_fails(fixture, rule, n_expected):
@@ -40,7 +41,11 @@ def test_bad_fixture_fails(fixture, rule, n_expected):
 
 
 @pytest.mark.parametrize(
-    "fixture", ["rng001_good", "rng002_good", "krn001_good", "krn002_good"]
+    "fixture",
+    [
+        "rng001_good", "rng002_good", "krn001_good", "krn002_good",
+        "acc001_good",
+    ],
 )
 def test_good_fixture_is_clean(fixture):
     report = run_fixture(fixture)
@@ -95,6 +100,25 @@ def test_krn002_flags_spans_and_obs_clock_inside_kernels():
     # Kernel sites name the purity contract, glue sites name the sanctuary.
     assert "outside kernel bodies" in by_symbol["spanned_step"]
     assert "sanctuary" in by_symbol["raw_timer_glue"]
+
+
+def test_acc001_names_each_drift_mode():
+    report = run_fixture("acc001_bad")
+    messages = [f.message for f in report.findings if f.rule == "ACC001"]
+    joined = " ".join(messages)
+    # The reordered jit implementation, the swapped wrapper routing, the
+    # renamed wrapper parameter, the dropped argument and the orphan twin
+    # are each called out by name.
+    assert "_bounded_min_jit" in joined and "mirror" in joined
+    assert "argument order drifted" in joined
+    assert "signatures must match exactly" in joined
+    assert "2 positional argument(s)" in joined
+    assert "no NumPy fallback" in joined
+
+
+def test_acc001_ignores_private_jit_helpers():
+    report = run_fixture("acc001_good")
+    assert "ACC001" not in rules_hit(report)
 
 
 def test_rule_subset_selection():

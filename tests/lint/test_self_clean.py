@@ -19,15 +19,21 @@ def test_shipped_tree_is_clean():
 
 
 def test_kernel_coverage_floor():
+    # Raised from 10 as the accel seam and the macro frame kernels grew
+    # (PR 8 added the voice-flush/deadline/expiry kernels and the inline
+    # CHARISMA CSI frame); shrinking coverage below this means hot-path
+    # code lost its purity contract, not that the floor is wrong.
     report = lint_tree()
-    assert report.n_kernels >= 10, (
+    assert report.n_kernels >= 25, (
         "the kernel purity rules are only as good as their coverage: "
-        f"expected >= 10 @kernel functions, found {report.n_kernels}"
+        f"expected >= 25 @kernel functions, found {report.n_kernels}"
     )
 
 
 def test_all_contract_rules_registered():
-    for rule_id in ("LNT000", "RNG001", "RNG002", "KRN001", "KRN002", "SCH001"):
+    for rule_id in (
+        "LNT000", "RNG001", "RNG002", "KRN001", "KRN002", "SCH001", "ACC001",
+    ):
         assert rule_id in RULE_REGISTRY
 
 

@@ -102,13 +102,19 @@ class TestStatisticalEquivalence:
         second = _run("charisma", 9, "fast").summary()
         assert first == second
 
-    @pytest.mark.parametrize("protocol", ("rmav", "dtdma_vr", "drma"))
+    @pytest.mark.parametrize(
+        "protocol", ("rmav", "dtdma_vr", "drma", "charisma")
+    )
     def test_macro_fast_mode_statistical_equivalence(self, protocol):
         """Macro-stepped fast runs stay within the parity CI as well.
 
         A macro fast run may re-partition contention draws differently
         from the per-frame fast path (pool semantics), so it is its own
         sample — compare it against per-frame parity the same way.
+        CHARISMA's entry exercises the batched-CSI stream: its macro
+        lookahead prefetches whole blocks of estimation noise from the
+        dedicated child stream, and those draws, too, may re-partition
+        relative to per-frame fast stepping without biasing any metric.
         """
 
         def run_macro_fast(seed):
@@ -149,6 +155,38 @@ class TestStatisticalEquivalence:
         assert voice.delivered + voice.errored + voice.dropped <= voice.generated
         assert data.delivered <= data.generated
         assert len(data.delay_frames) == data.delivered
+
+    def test_charisma_macro_fast_batched_csi_engages_and_is_deterministic(self):
+        """The batched-CSI lookahead actually runs, reproducibly.
+
+        In fast mode CHARISMA advertises ``supports_macro_lookahead`` (its
+        estimation noise comes from a dedicated child stream the macro
+        runner can prefetch), so macro blocks must take the inline CSI
+        path — and two identically-seeded runs must agree bit-for-bit.
+        Bit-identity *across* stepping modes is deliberately not asserted:
+        the contract is statistical equivalence (see above), because the
+        block pool may re-partition the noise draws.
+        """
+        from repro.sim.engine import UplinkSimulationEngine
+
+        def build():
+            return UplinkSimulationEngine(
+                Scenario(
+                    protocol="charisma", n_voice=10, n_data=3,
+                    use_request_queue=True, duration_s=0.4, warmup_s=0.1,
+                    seed=9, rng_mode="fast", macro_frames=16,
+                ),
+                PARAMS,
+            )
+
+        first = build()
+        first_result = first.run()
+        assert first._macro is not None
+        assert first._macro._supported  # the lookahead engaged in fast mode
+        assert first._macro._style == "csi_schedule"
+        assert first_result.voice.delivered > 0
+        second = build()
+        assert first_result.summary() == second.run().summary()
 
     def test_fast_and_parity_differ_but_share_initial_state(self):
         """Same seed, different draw partitioning: the realisations diverge
