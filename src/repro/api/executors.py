@@ -29,6 +29,14 @@ from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.config import SimulationParameters
+from repro.faults import injector as _faults
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import (
+    FailedPoint,
+    PointOutcome,
+    RetryPolicy,
+    run_point_attempts,
+)
 from repro.obs import clock as _obs_clock
 from repro.obs import trace as _obs_trace
 from repro.obs.report import RunTelemetry
@@ -41,7 +49,9 @@ __all__ = [
     "Executor",
     "ProgressCallback",
     "ResultSink",
+    "accepts_kwarg",
     "accepts_telemetry",
+    "accepts_retry",
     "SerialExecutor",
     "ParallelExecutor",
     "select_executor",
@@ -58,22 +68,34 @@ ProgressCallback = Callable[[int, int], None]
 #: ``position`` indexes the run list passed to the executor.  Executors that
 #: support a sink expose ``execute_with_sink``; the caching layer uses it to
 #: persist results incrementally so an interrupted grid keeps everything
-#: finished so far.
+#: finished so far.  Under a ``RetryPolicy(on_error="record")`` the third
+#: argument may be a :class:`~repro.faults.retry.FailedPoint` instead of a
+#: result — sinks that persist must branch on the type.
 ResultSink = Callable[[int, RunPoint, SimulationResult], None]
 
 
-def accepts_telemetry(execute_with_sink: object) -> bool:
-    """Whether an ``execute_with_sink`` callable takes a ``telemetry`` kwarg.
+def accepts_kwarg(callable_obj: object, name: str) -> bool:
+    """Whether a callable's signature takes the named keyword argument.
 
     Checked up front (rather than try/except TypeError around the call) so
     a genuine TypeError raised *inside* a foreign executor is never mistaken
     for a signature mismatch.
     """
     try:
-        signature = inspect.signature(execute_with_sink)  # type: ignore[arg-type]
+        signature = inspect.signature(callable_obj)  # type: ignore[arg-type]
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
         return False
-    return "telemetry" in signature.parameters
+    return name in signature.parameters
+
+
+def accepts_telemetry(execute_with_sink: object) -> bool:
+    """Whether an ``execute_with_sink`` callable takes a ``telemetry`` kwarg."""
+    return accepts_kwarg(execute_with_sink, "telemetry")
+
+
+def accepts_retry(execute_with_sink: object) -> bool:
+    """Whether an ``execute_with_sink`` callable takes a ``retry`` kwarg."""
+    return accepts_kwarg(execute_with_sink, "retry")
 
 
 def _simulate(scenario: Scenario, params: SimulationParameters) -> SimulationResult:
@@ -111,43 +133,56 @@ def _run_point(
     point: RunPoint,
     params: SimulationParameters,
     telemetry: Optional[RunTelemetry],
-) -> SimulationResult:
+    retry: Optional[RetryPolicy] = None,
+) -> PointOutcome:
     """One point in the driving process, traced/telemetered when active.
 
     The shared serial primitive: :class:`SerialExecutor` and the async
     executor's single-worker path both route through it, so a ``--trace``
     run gets one ``point.run`` span per point and a telemetry collector
-    gets one record per point, from either front end.
+    gets one record per point, from either front end.  Each attempt passes
+    through the fault injector's ``point_attempt`` gate; with a retry
+    policy in ``on_error="record"`` mode a terminally failed point comes
+    back as a :class:`~repro.faults.retry.FailedPoint` (telemetry is only
+    recorded for attempts that produced a result).
     """
     resolved = point.resolved_params(params)
-    tracer = _obs_trace.TRACER
-    if telemetry is None and tracer is None:
-        return _simulate(point.scenario, resolved)
-    span = (
-        tracer.span(
-            "point.run",
-            index=point.index,
-            protocol=point.scenario.protocol,
-            seed=point.scenario.seed,
+    run_hash = point.run_hash()
+
+    def attempt(attempt_number: int) -> SimulationResult:
+        injector = _faults.INJECTOR
+        if injector is not None:
+            injector.point_attempt(run_hash, attempt_number)
+        tracer = _obs_trace.TRACER
+        if telemetry is None and tracer is None:
+            return _simulate(point.scenario, resolved)
+        span = (
+            tracer.span(
+                "point.run",
+                index=point.index,
+                protocol=point.scenario.protocol,
+                seed=point.scenario.seed,
+            )
+            if tracer is not None
+            else nullcontext()
         )
-        if tracer is not None
-        else nullcontext()
-    )
-    with span:
-        result, info = _simulate_measured(
-            point.scenario,
-            resolved,
-            telemetry.phase_split if telemetry is not None else False,
-        )
-    if telemetry is not None:
-        telemetry.record_point(
-            position,
-            run_hash=point.run_hash(),
-            protocol=point.scenario.protocol,
-            coords=point.coords_dict(),
-            **info,
-        )
-    return result
+        with span:
+            result, info = _simulate_measured(
+                point.scenario,
+                resolved,
+                telemetry.phase_split if telemetry is not None else False,
+            )
+        if telemetry is not None:
+            telemetry.record_point(
+                position,
+                run_hash=run_hash,
+                protocol=point.scenario.protocol,
+                coords=point.coords_dict(),
+                **info,
+            )
+        return result
+
+    return run_point_attempts(retry, run_hash, attempt)
 
 
 class Executor(Protocol):
@@ -186,11 +221,12 @@ class SerialExecutor:
         progress: Optional[ProgressCallback] = None,
         sink: Optional[ResultSink] = None,
         telemetry: Optional[RunTelemetry] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> List[SimulationResult]:
         results: List[SimulationResult] = []
         total = len(points)
         for position, point in enumerate(points):
-            result = _run_point(position, point, params, telemetry)
+            result = _run_point(position, point, params, telemetry, retry)
             results.append(result)
             if sink is not None:
                 sink(position, point, result)
@@ -210,42 +246,72 @@ _WORKER_PARAMS: Optional[SimulationParameters] = None
 #: Whether workers should measure each job (set alongside _WORKER_PARAMS).
 _WORKER_TELEMETRY = False
 _WORKER_PHASE_SPLIT = False
+#: Retry policy applied in-worker (set alongside _WORKER_PARAMS).
+_WORKER_RETRY: Optional[RetryPolicy] = None
+
+#: One pool job: ``(index, scenario, param-deltas, run_hash)``.  The hash
+#: rides along so in-worker retry jitter and targeted fault injection key on
+#: the point's stable identity rather than on scheduling order.
+WorkerJob = Tuple[int, Scenario, Tuple[Tuple[str, object], ...], str]
 
 
 def _worker_init(
     params: SimulationParameters,
     telemetry: bool = False,
     phase_split: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    fault_spec: Optional[str] = None,
 ) -> None:
     global _WORKER_PARAMS, _WORKER_TELEMETRY, _WORKER_PHASE_SPLIT
+    global _WORKER_RETRY
     _WORKER_PARAMS = params
     _WORKER_TELEMETRY = telemetry
     _WORKER_PHASE_SPLIT = phase_split
+    _WORKER_RETRY = retry
+    # A forked worker inherits the parent's injector *object* (counts
+    # included), which would skew periodic triggers; always reset to a
+    # fresh injector built from the shipped spec, or to none at all.
+    if fault_spec:
+        _faults.install(FaultPlan.from_spec(fault_spec))
+    else:
+        _faults.uninstall()
 
 
 def _worker_run_chunk(
-    chunk: Sequence[Tuple[int, Scenario, Tuple[Tuple[str, object], ...]]],
-) -> List[Tuple[int, SimulationResult, Optional[Dict[str, object]]]]:
-    """Evaluate one chunk of (index, scenario, param-deltas) jobs.
+    chunk: Sequence[WorkerJob],
+) -> List[Tuple[int, PointOutcome, Optional[Dict[str, object]]]]:
+    """Evaluate one chunk of (index, scenario, param-deltas, hash) jobs.
 
-    Each output row is ``(index, result, info)``: ``info`` is the
+    Each output row is ``(index, outcome, info)``: ``info`` is the
     telemetry dict of :func:`_simulate_measured` when the pool was
     initialised with telemetry on, else ``None`` (measurement costs two
-    clock reads per job, so it stays opt-in).
+    clock reads per job, so it stays opt-in).  Under a recording retry
+    policy the outcome of a terminally failed job is its
+    :class:`~repro.faults.retry.FailedPoint` (``info`` is ``None``); in
+    ``on_error="raise"`` mode the error propagates and the parent's future
+    re-raises it, the pre-PR behaviour.
     """
     params = _WORKER_PARAMS
     if params is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("worker pool initializer did not run")
-    out: List[Tuple[int, SimulationResult, Optional[Dict[str, object]]]] = []
-    for index, scenario, overrides in chunk:
+    out: List[Tuple[int, PointOutcome, Optional[Dict[str, object]]]] = []
+    for index, scenario, overrides, run_hash in chunk:
         effective = params.with_overrides(**dict(overrides)) if overrides else params
-        if _WORKER_TELEMETRY:
-            result, info = _simulate_measured(
-                scenario, effective, _WORKER_PHASE_SPLIT
-            )
-            out.append((index, result, info))
+
+        def attempt(attempt_number: int) -> Tuple[SimulationResult, Optional[Dict[str, object]]]:
+            injector = _faults.INJECTOR
+            if injector is not None:
+                injector.point_attempt(run_hash, attempt_number)
+            if _WORKER_TELEMETRY:
+                return _simulate_measured(scenario, effective, _WORKER_PHASE_SPLIT)
+            return _simulate(scenario, effective), None
+
+        outcome = run_point_attempts(_WORKER_RETRY, run_hash, attempt)
+        if isinstance(outcome, FailedPoint):
+            out.append((index, outcome, None))
         else:
-            out.append((index, _simulate(scenario, effective), None))
+            result, info = outcome
+            out.append((index, result, info))
     return out
 
 
@@ -290,23 +356,32 @@ class ParallelExecutor:
         progress: Optional[ProgressCallback] = None,
         sink: Optional[ResultSink] = None,
         telemetry: Optional[RunTelemetry] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> List[SimulationResult]:
         total = len(points)
         if total == 0:
             return []
         if self.n_workers == 1 or total == 1:
             return SerialExecutor().execute_with_sink(
-                points, params, progress, sink, telemetry=telemetry
+                points, params, progress, sink, telemetry=telemetry,
+                retry=retry,
             )
 
-        jobs = [(p.index, p.scenario, p.param_overrides) for p in points]
+        jobs = [
+            (p.index, p.scenario, p.param_overrides, p.run_hash())
+            for p in points
+        ]
         index_of = {p.index: i for i, p in enumerate(points)}
         if len(index_of) != total:
             raise ValueError("run points must have unique indices")
         chunk_size = self._chunks(total)
         chunks = [jobs[i:i + chunk_size] for i in range(0, total, chunk_size)]
 
-        results: List[Optional[SimulationResult]] = [None] * total
+        # The active fault plan travels to workers as its spec string; each
+        # worker installs a fresh injector (counts restart per process).
+        plan = _faults.active_plan()
+        fault_spec = plan.to_spec() if plan is not None else None
+        results: List[Optional[PointOutcome]] = [None] * total
         done = 0
         with ProcessPoolExecutor(
             max_workers=min(self.n_workers, len(chunks)),
@@ -315,6 +390,8 @@ class ParallelExecutor:
                 params,
                 telemetry is not None,
                 telemetry.phase_split if telemetry is not None else False,
+                retry,
+                fault_spec,
             ),
         ) as pool:
             pending = {pool.submit(_worker_run_chunk, chunk) for chunk in chunks}

@@ -11,6 +11,7 @@ caching (``cache_dir=`` / ``store=``) live in exactly one place.
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _nullcontext
 from typing import List, Optional, Sequence, Union
 
 from repro.api.executors import (
@@ -22,6 +23,8 @@ from repro.api.executors import (
 from repro.api.resultset import ResultSet, RunRecord
 from repro.api.spec import ExperimentSpec, SweepAxis
 from repro.config import SimulationParameters
+from repro.faults import FailedPoint, FaultPlan, RetryPolicy
+from repro.faults import injector as _faults_injector
 from repro.obs.report import RunReport, RunTelemetry
 from repro.sim.scenario import Scenario
 
@@ -36,6 +39,8 @@ def run(
     store: Optional[object] = None,
     cache_dir: Optional[str] = None,
     telemetry: Union[None, bool, RunTelemetry] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Union[None, str, FaultPlan] = None,
 ) -> ResultSet:
     """Execute every run of ``spec`` and return a queryable result set.
 
@@ -70,12 +75,24 @@ def run(
         instance is used as-is (caller keeps ownership and configuration,
         e.g. ``phase_split=True``).  The report is attached to the returned
         set as :attr:`~repro.api.resultset.ResultSet.telemetry`.
+    retry:
+        Optional :class:`~repro.faults.RetryPolicy`: transient point
+        failures are retried with backoff, and with ``on_error="record"``
+        a terminally failed point degrades to an error record in the
+        returned set (:meth:`~repro.api.resultset.ResultSet.errors`)
+        instead of aborting the grid.
+    faults:
+        Deterministic fault injection for chaos testing: a
+        :class:`~repro.faults.FaultPlan`, a spec string such as
+        ``"crash_every=3,seed=7"``, or ``None`` to fall back to the
+        ``REPRO_FAULTS`` environment variable.  The plan is installed for
+        the duration of this call (and shipped to worker processes).
 
     The returned set's records are in the spec's deterministic expansion
     order regardless of the executor, so serial, parallel, work-stealing
     and cached runs of the same spec are interchangeable.
     """
-    from repro.api.executors import accepts_telemetry
+    from repro.api.executors import accepts_retry, accepts_telemetry
     from repro.store import CachingExecutor
 
     points = spec.expand()
@@ -102,33 +119,57 @@ def run(
     else:
         collector = None
 
+    plan = FaultPlan.resolve(faults)
+    injection = (
+        _faults_injector.injecting(plan)
+        if plan is not None
+        else _nullcontext()
+    )
+
     report: Optional[RunReport] = None
     execute_with_sink = getattr(executor, "execute_with_sink", None)
-    if (
-        collector is not None
-        and execute_with_sink is not None
-        and accepts_telemetry(execute_with_sink)
-    ):
-        collector.start()
-        results = execute_with_sink(
-            points, spec.params, progress, None, telemetry=collector
-        )
-        report = collector.report(
-            spec_name=spec.name,
-            spec_hash=spec.spec_hash(),
-            n_points=len(points),
-        )
-        if isinstance(executor, CachingExecutor):
-            executor.store.put_artifact(
-                f"telemetry-{spec.spec_hash()}", report.to_payload()
+    kwargs: dict = {}
+    if retry is not None:
+        if execute_with_sink is None or not accepts_retry(execute_with_sink):
+            raise ValueError(
+                f"executor {executor!r} does not accept a retry policy"
             )
-    else:
-        results = executor.execute(points, spec.params, progress=progress)
+        kwargs["retry"] = retry
+    with injection:
+        if (
+            collector is not None
+            and execute_with_sink is not None
+            and accepts_telemetry(execute_with_sink)
+        ):
+            collector.start()
+            results = execute_with_sink(
+                points, spec.params, progress, None, telemetry=collector,
+                **kwargs,
+            )
+            report = collector.report(
+                spec_name=spec.name,
+                spec_hash=spec.spec_hash(),
+                n_points=len(points),
+            )
+            if isinstance(executor, CachingExecutor):
+                executor.store.put_artifact(
+                    f"telemetry-{spec.spec_hash()}", report.to_payload()
+                )
+        elif execute_with_sink is not None and kwargs:
+            results = execute_with_sink(
+                points, spec.params, progress, None, **kwargs
+            )
+        else:
+            results = executor.execute(points, spec.params, progress=progress)
     if len(results) != len(points):
         raise RuntimeError(
             f"executor returned {len(results)} results for {len(points)} runs"
         )
-    records = [RunRecord(point=p, result=r) for p, r in zip(points, results)]
+    records = [
+        RunRecord(point=p, error=r) if isinstance(r, FailedPoint)
+        else RunRecord(point=p, result=r)
+        for p, r in zip(points, results)
+    ]
     return ResultSet(records, name=spec.name, telemetry=report)
 
 

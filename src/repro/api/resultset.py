@@ -27,6 +27,7 @@ from typing import (
     Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union,
 )
 
+from repro.faults.retry import FailedPoint
 from repro.obs.report import RunReport
 from repro.sim.results import SimulationResult, SweepResult
 from repro.api.spec import RunPoint
@@ -43,10 +44,28 @@ DEFAULT_METRICS: Tuple[str, ...] = (
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One grid point together with its simulation result."""
+    """One grid point together with its simulation result.
+
+    Under a degrading retry policy (``RetryPolicy(on_error="record")``) a
+    record may instead carry the point's terminal
+    :class:`~repro.faults.retry.FailedPoint` in ``error``; exactly one of
+    ``result``/``error`` is set, and :attr:`ok` tells them apart.
+    """
 
     point: RunPoint
-    result: SimulationResult
+    result: Optional[SimulationResult] = None
+    error: Optional[FailedPoint] = None
+
+    def __post_init__(self) -> None:
+        if (self.result is None) == (self.error is None):
+            raise ValueError(
+                "a RunRecord carries exactly one of result or error"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point completed (has a result, not an error)."""
+        return self.result is not None
 
     @cached_property
     def _row(self) -> Dict[str, object]:
@@ -55,7 +74,14 @@ class RunRecord:
         # access would make every query quadratic in practice.
         row: Dict[str, object] = {"run_hash": self.point.run_hash()}
         row.update(self.point.coords_dict())
-        row.update(self.result.summary())
+        if self.result is not None:
+            row.update(self.result.summary())
+        elif self.error is not None:
+            row.update({
+                "error": self.error.error_type,
+                "error_message": self.error.message,
+                "attempts": self.error.attempts,
+            })
         return row
 
     def record(self) -> Dict[str, object]:
@@ -155,8 +181,26 @@ class ResultSet:
 
     @property
     def results(self) -> List[SimulationResult]:
-        """Raw simulation results, in expansion order."""
-        return [r.result for r in self._records]
+        """Raw simulation results, in expansion order (``None`` for failed
+        points when the run degraded under a recording retry policy)."""
+        return [r.result for r in self._records]  # type: ignore[misc]
+
+    # ------------------------------------------------------- failure surface
+    def completed(self) -> "ResultSet":
+        """The records that produced a result."""
+        return ResultSet(
+            [r for r in self._records if r.ok], name=self.name
+        )
+
+    def failed(self) -> "ResultSet":
+        """The records that degraded to a failure."""
+        return ResultSet(
+            [r for r in self._records if not r.ok], name=self.name
+        )
+
+    def errors(self) -> List[FailedPoint]:
+        """Terminal failure records, in expansion order (empty when clean)."""
+        return [r.error for r in self._records if r.error is not None]
 
     def coordinates(self) -> Tuple[str, ...]:
         """Grid coordinate names present on the records."""
@@ -209,8 +253,15 @@ class ResultSet:
         }
 
     def series(self, metric: str) -> List[float]:
-        """One metric across all records, in expansion order."""
-        return [float(record[metric]) for record in self._records]
+        """One metric across all completed records, in expansion order.
+
+        Failed records carry no summary metrics, so they are skipped —
+        which is what lets :meth:`aggregate` reduce the partial results of
+        a degraded run (check :meth:`errors` to know what is missing).
+        """
+        return [
+            float(record[metric]) for record in self._records if record.ok
+        ]
 
     # ---------------------------------------------------------- aggregation
     def aggregate(

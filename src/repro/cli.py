@@ -12,6 +12,10 @@ Python:
   regenerates each;
 * ``cache`` — inspect (``stats``), compact (``gc``) or empty (``clear``) an
   on-disk result store (see ``--cache`` on ``run``/``compare``);
+* ``fleet`` — crash-tolerant multi-process execution: ``fleet run`` drives a
+  protocol sweep through the lease-based :mod:`repro.fleet` work queue
+  (killed workers forfeit, never lose, their points) and ``fleet status``
+  inspects a lease database;
 * ``profile`` — cProfile the engine's frame loop on a chosen scenario and
   print the top-N functions (hot-path work belongs here first);
 * ``obs`` — observability utilities: ``obs summarize trace.jsonl`` renders
@@ -140,6 +144,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the summary as JSON instead of tables",
     )
 
+    fleet_parser = sub.add_parser(
+        "fleet",
+        help="lease-based multi-process fleet execution "
+             "(crash-tolerant, resumable grids)",
+    )
+    fleet_sub = fleet_parser.add_subparsers(dest="fleet_command",
+                                            required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run",
+        help="execute a protocol sweep on N worker processes coordinating "
+             "through a lease queue; killed workers forfeit, never lose, "
+             "their points",
+    )
+    _add_scenario_arguments(fleet_run, include_protocol=False)
+    fleet_run.add_argument(
+        "--protocols", nargs="+", default=list(available_protocols()),
+        choices=available_protocols(), help="protocols to sweep",
+    )
+    fleet_run.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="shared result store directory (doubles as the home of the "
+             "lease database, <DIR>/fleet.db)",
+    )
+    fleet_run.add_argument("--workers", type=int, default=2,
+                           help="worker processes to spawn")
+    fleet_run.add_argument("--ttl", type=float, default=10.0, metavar="S",
+                           help="lease TTL in seconds; heartbeats run at a "
+                                "quarter of it")
+    fleet_run.add_argument("--deadline", type=float, default=600.0,
+                           metavar="S",
+                           help="driver-side wall-clock safety net")
+    fleet_status = fleet_sub.add_parser(
+        "status", help="inspect a fleet lease database",
+    )
+    fleet_status.add_argument(
+        "--db", required=True, metavar="PATH",
+        help="lease database (typically <store>/fleet.db)",
+    )
+    fleet_status.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full queue snapshot as JSON",
+    )
+
     lint_parser = sub.add_parser(
         "lint",
         help="contract-aware static analysis: RNG discipline, kernel "
@@ -199,6 +246,15 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser,
                         help="write a JSON-lines execution trace (engine "
                              "phases, MAC batches, macro-step events) to "
                              "PATH; digest it with 'repro obs summarize'")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="deterministic fault-injection plan, e.g. "
+                             "'crash_every=3,seed=7' (see repro.faults; "
+                             "defaults to the REPRO_FAULTS environment "
+                             "variable)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retry each point up to N times on transient "
+                             "failures (recording survivors-only results "
+                             "instead of aborting the grid)")
 
 
 def _scenario_from_args(args: argparse.Namespace, protocol: Optional[str] = None) -> Scenario:
@@ -238,6 +294,32 @@ def _trace_context(args: argparse.Namespace, command: str):
     })
 
 
+def _fault_kwargs(args: argparse.Namespace) -> dict:
+    """``retry=``/``faults=`` keyword arguments for :func:`run` from the CLI
+    flags (``--retries N`` records failures instead of aborting the grid)."""
+    kwargs: dict = {}
+    if getattr(args, "faults", None) is not None:
+        kwargs["faults"] = args.faults
+    if getattr(args, "retries", None) is not None:
+        from repro.faults import RetryPolicy
+
+        kwargs["retry"] = RetryPolicy(max_attempts=args.retries,
+                                      on_error="record")
+    return kwargs
+
+
+def _report_failures(results) -> None:
+    """Print a one-line-per-point digest of any failed points."""
+    failed = results.failed()
+    if not failed:
+        return
+    print(f"\n{len(failed)} point(s) failed:")
+    for record in failed:
+        error = record.error
+        print(f"  {record.point.run_hash()}  {error.error_type}: "
+              f"{error.message} (after {error.attempts} attempt(s))")
+
+
 def _command_run(args: argparse.Namespace) -> int:
     params = SimulationParameters()
     scenario = _scenario_from_args(args)
@@ -249,8 +331,13 @@ def _command_run(args: argparse.Namespace) -> int:
         name="cli-run",
     )
     with _trace_context(args, "run"):
-        result = run(spec, executor=SerialExecutor(),
-                     cache_dir=args.cache)[0].result
+        results = run(spec, executor=SerialExecutor(),
+                      cache_dir=args.cache, **_fault_kwargs(args))
+    record = results[0]
+    if not record.ok:
+        _report_failures(results)
+        return 1
+    result = record.result
     print(format_kv_table(result.summary(), title=f"Results for {scenario.label()}"))
     if args.trace:
         print(f"\ntrace written to {args.trace} "
@@ -273,8 +360,10 @@ def _command_compare(args: argparse.Namespace) -> int:
     # execution — process-pool workers would write nothing into the file.
     executor = SerialExecutor() if args.trace else None
     with _trace_context(args, "compare"):
-        sweeps = run(spec, executor=executor,
-                     cache_dir=args.cache).to_sweep_results("n_voice")
+        results = run(spec, executor=executor,
+                      cache_dir=args.cache, **_fault_kwargs(args))
+    _report_failures(results)
+    sweeps = results.completed().to_sweep_results("n_voice")
     for metric in ("voice_loss_rate", "data_throughput_per_frame", "data_delay_s"):
         print(format_comparison_table(sweeps, metric, title=f"[{metric}]"))
         print()
@@ -282,6 +371,64 @@ def _command_compare(args: argparse.Namespace) -> int:
         print(f"trace written to {args.trace} "
               f"(digest: python -m repro obs summarize {args.trace})")
     return 0
+
+
+def _command_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import WorkService, run_fleet
+
+    if args.fleet_command == "status":
+        service = WorkService(args.db)
+        counts = service.counts()
+        try:
+            if args.as_json:
+                import json
+
+                print(json.dumps(
+                    {"counts": counts, "points": service.snapshot()},
+                    indent=2,
+                ))
+                return 0
+            print(format_kv_table(counts, title=f"Fleet queue at {args.db}"))
+            leased = [row for row in service.snapshot()
+                      if row["state"] == "leased"]
+            for row in leased:
+                remaining = row["lease_remaining_s"]
+                print(f"  leased {row['run_hash']} -> {row['owner']} "
+                      f"({remaining:.1f}s of lease left)")
+        finally:
+            service.close()
+        return 0
+
+    params = SimulationParameters()
+    base = _scenario_from_args(args, protocol=args.protocols[0])
+    spec = ExperimentSpec(
+        protocols=tuple(args.protocols),
+        base_scenario=base,
+        params=params,
+        seeds=(base.seed,),
+        name="cli-fleet",
+    )
+    kwargs = _fault_kwargs(args)
+    results = run_fleet(
+        spec,
+        args.store,
+        n_workers=args.workers,
+        lease_ttl_s=args.ttl,
+        deadline_s=args.deadline,
+        retry=kwargs.get("retry"),
+        faults=kwargs.get("faults"),
+    )
+    completed = results.completed()
+    print(f"fleet run: {len(completed)}/{len(results)} points completed "
+          f"on {args.workers} worker(s); results in {args.store}")
+    for row in completed.aggregate(
+        ["voice_loss_rate", "data_throughput_per_frame", "data_delay_s"],
+        by=("protocol",),
+    ):
+        coords = ", ".join(f"{k}={v}" for k, v in row.group)
+        print(f"  {coords:<24} {row.metric:<28} {row.mean:.6g}")
+    _report_failures(results)
+    return 0 if len(completed) == len(results) else 1
 
 
 def _command_capacity(args: argparse.Namespace) -> int:
@@ -658,6 +805,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "capacity": _command_capacity,
         "experiments": _command_experiments,
         "cache": _command_cache,
+        "fleet": _command_fleet,
         "profile": _command_profile,
         "obs": _command_obs,
         "lint": _command_lint,

@@ -1,0 +1,36 @@
+"""repro.fleet — lease-based multi-process fleet execution.
+
+The ROADMAP's distributed-executor seam, crossed as a service: a SQLite
+:class:`WorkService` lease queue, :class:`FleetWorker` claim-execute-persist
+loops (one per process, heartbeating their leases), and a
+:func:`run_fleet` driver that reaps expired leases so killed workers
+forfeit — never lose — their points.  Idempotency is inherited from the
+content-addressed :class:`~repro.store.ResultStore`: every point is keyed
+by :meth:`~repro.api.spec.RunPoint.run_hash`, so reclaimed or repeated work
+dedupes to a free store hit.
+"""
+
+from repro.fleet.runner import FleetError, run_fleet, spawn_worker
+from repro.fleet.service import (
+    WorkItem,
+    WorkService,
+    payload_to_params,
+    payload_to_point,
+    params_to_payload,
+    point_to_payload,
+)
+from repro.fleet.worker import FleetWorker, worker_process_main
+
+__all__ = [
+    "WorkService",
+    "WorkItem",
+    "FleetWorker",
+    "worker_process_main",
+    "run_fleet",
+    "spawn_worker",
+    "FleetError",
+    "point_to_payload",
+    "payload_to_point",
+    "params_to_payload",
+    "payload_to_params",
+]

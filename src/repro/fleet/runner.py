@@ -1,0 +1,205 @@
+"""Drive a fleet run end to end: enqueue, spawn workers, reap, assemble.
+
+:func:`run_fleet` is the fleet counterpart of :func:`repro.api.facade.run`:
+same :class:`~repro.api.spec.ExperimentSpec` in, same
+:class:`~repro.api.resultset.ResultSet` out, but the grid is executed by
+``n_workers`` *independent processes* coordinating only through the
+:class:`~repro.fleet.service.WorkService` lease queue and the shared
+:class:`~repro.store.ResultStore`.  The driver stays out of the data path:
+it reaps expired leases, reports progress, and re-spawns a worker if the
+whole fleet dies with work still queued — which is exactly what makes a
+SIGKILLed worker a non-event (acceptance: one of two workers killed
+mid-grid, the run still finishes with zero lost and zero duplicated
+points).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import uuid
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.api.executors import ProgressCallback
+from repro.api.resultset import ResultSet, RunRecord
+from repro.api.spec import ExperimentSpec
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import FailedPoint, RetryPolicy
+from repro.fleet.service import WorkService, params_to_payload
+from repro.fleet.worker import worker_process_main
+from repro.store.store import ResultStore
+
+__all__ = ["run_fleet", "spawn_worker", "FleetError"]
+
+
+class FleetError(RuntimeError):
+    """A fleet run could not account for every point."""
+
+
+def spawn_worker(
+    db_path: Union[str, Path],
+    store_path: Union[str, Path],
+    worker_id: Optional[str] = None,
+    poll_s: float = 0.05,
+    retry: Optional[RetryPolicy] = None,
+    fault_spec: Optional[str] = None,
+    lease_ttl_s: float = 10.0,
+) -> multiprocessing.Process:
+    """Start one fleet worker process (used by the driver and by tests
+    that need a handle to SIGKILL)."""
+    worker_id = worker_id or f"worker:{uuid.uuid4().hex[:8]}"
+    process = multiprocessing.Process(
+        target=worker_process_main,
+        args=(str(db_path), str(store_path), worker_id),
+        kwargs={
+            "poll_s": poll_s,
+            "retry": retry,
+            "fault_spec": fault_spec,
+            "lease_ttl_s": lease_ttl_s,
+        },
+        name=worker_id,
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+def run_fleet(
+    spec: ExperimentSpec,
+    store: Union[ResultStore, str, Path],
+    n_workers: int = 2,
+    db_path: Union[None, str, Path] = None,
+    lease_ttl_s: float = 10.0,
+    poll_s: float = 0.05,
+    retry: Optional[RetryPolicy] = None,
+    faults: Union[None, str, FaultPlan] = None,
+    progress: Optional[ProgressCallback] = None,
+    deadline_s: Optional[float] = 600.0,
+) -> ResultSet:
+    """Execute a spec on a single-host multi-process fleet.
+
+    Parameters
+    ----------
+    spec:
+        The experiment grid; expanded deterministically as everywhere else.
+    store:
+        Shared result store (or its path).  Workers persist with
+        ``fsync=True``; finished points of earlier runs are deduped, so an
+        interrupted fleet resumes for free.
+    n_workers:
+        Worker processes to spawn.
+    db_path:
+        Lease database location; defaults to ``<store>/fleet.db``.
+    lease_ttl_s:
+        Lease TTL; heartbeats run at a quarter of it.
+    poll_s:
+        Worker sleep between claim attempts while peers hold leases.
+    retry:
+        In-worker retry policy for transient failures.
+    faults:
+        Fault plan (object, spec string, or None → ``REPRO_FAULTS``),
+        shipped to every worker; counters restart per process.
+    progress:
+        ``progress(done, total)``, driven by the driver's monitor loop.
+    deadline_s:
+        Driver-side safety net: a fleet that has not finished after this
+        many wall seconds raises :class:`FleetError` instead of hanging
+        forever.  ``None`` disables.
+
+    Returns the grid's :class:`ResultSet` in expansion order; points the
+    queue parked as failed become error records
+    (:meth:`~repro.api.resultset.ResultSet.errors`).
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+    points = spec.expand()
+    store = store if isinstance(store, ResultStore) else ResultStore(store)
+    if db_path is None:
+        db_path = store.path / "fleet.db"
+    service = WorkService(
+        db_path, lease_ttl_s=lease_ttl_s, max_attempts=max(3, n_workers + 1)
+    )
+    service.set_meta("spec_hash", spec.spec_hash())
+    service.set_meta("spec_name", spec.name)
+    service.set_meta("params", params_to_payload(spec.params))
+    service.enqueue(points)
+
+    plan = FaultPlan.resolve(faults)
+    fault_spec = plan.to_spec() if plan is not None else None
+
+    workers: List[multiprocessing.Process] = [
+        spawn_worker(
+            db_path, store.path, worker_id=f"worker:{i}", poll_s=poll_s,
+            retry=retry, fault_spec=fault_spec, lease_ttl_s=lease_ttl_s,
+        )
+        for i in range(n_workers)
+    ]
+
+    total = len(points)
+    # The driver's wall-clock deadline is operational tooling, not
+    # simulation state.
+    started = time.time()  # lint: allow[KRN002]
+    try:
+        while service.unfinished() > 0:
+            service.reap()
+            if progress is not None:
+                counts = service.counts()
+                progress(counts["done"] + counts["failed"], total)
+            if all(not w.is_alive() for w in workers):
+                if service.unfinished() == 0:
+                    break
+                # The whole fleet died with work queued (e.g. every worker
+                # was killed): spawn a fresh worker to finish the grid.
+                workers.append(spawn_worker(
+                    db_path, store.path,
+                    worker_id=f"worker:respawn-{len(workers)}",
+                    poll_s=poll_s, retry=retry, fault_spec=fault_spec,
+                    lease_ttl_s=lease_ttl_s,
+                ))
+            elapsed = time.time() - started  # lint: allow[KRN002]
+            if deadline_s is not None and elapsed > deadline_s:
+                raise FleetError(
+                    f"fleet did not finish within {deadline_s:g}s: "
+                    f"{service.counts()}"
+                )
+            time.sleep(poll_s)
+        for worker in workers:
+            worker.join(timeout=10.0)
+    finally:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+    if progress is not None:
+        counts = service.counts()
+        progress(counts["done"] + counts["failed"], total)
+
+    # ----------------------------------------------------------- assemble
+    failed_by_hash = {
+        run_hash: (error, attempts)
+        for _position, run_hash, error, attempts in service.failed_rows()
+    }
+    records: List[RunRecord] = []
+    for point in points:
+        run_hash = point.run_hash()
+        result = store.get(run_hash)
+        if result is not None:
+            records.append(RunRecord(point=point, result=result))
+            continue
+        if run_hash in failed_by_hash:
+            error, attempts = failed_by_hash[run_hash]
+            error_type, _, message = error.partition(": ")
+            records.append(RunRecord(point=point, error=FailedPoint(
+                run_hash=run_hash,
+                error_type=error_type or "FleetPointFailed",
+                message=message or error,
+                attempts=attempts,
+                transient=False,
+            )))
+            continue
+        raise FleetError(
+            f"point {run_hash} is neither stored nor marked failed: "
+            f"{service.counts()}"
+        )
+    service.close()
+    return ResultSet(records, name=spec.name)

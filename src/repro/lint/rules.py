@@ -630,6 +630,123 @@ class AccelTwinDriftRule(Rule):
         return False
 
 
+# -------------------------------------------------------------------- FLT001
+
+#: Path fragments whose modules form the fault-tolerance perimeter: the
+#: executor retry paths, the store-backed executors and the fleet/faults
+#: subsystems, where a swallowed exception silently loses a point.
+_FLT_PATHS = (
+    "api/executors.py",
+    "store/scheduler.py",
+    "store/caching.py",
+    "fleet/",
+    "faults/",
+)
+
+_BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad_handler(module: SourceModule,
+                      handler: ast.ExceptHandler) -> bool:
+    """Whether a handler catches ``Exception``/``BaseException`` (or all)."""
+    if handler.type is None:
+        return True  # bare `except:`
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        name = module.resolve_call(node)
+        if name is None:
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+        if name is not None and name.rsplit(".", 1)[-1] in (
+            _BROAD_EXCEPTION_NAMES
+        ):
+            return True
+    return False
+
+
+@register
+class FaultSwallowRule(Rule):
+    """Broad exception handlers on the fault-tolerance perimeter must
+    re-raise or record.
+
+    The retry/degradation contract says every point is *accounted for*: a
+    failure either propagates (``raise``), or is recorded somewhere a
+    caller can see it (the bound exception passed into a call — a
+    ``FailedPoint`` constructor, ``service.fail(...)``, an error list).  A
+    broad ``except Exception`` whose handler does neither silently loses
+    the point, which is exactly the bug class the fault-injection suite
+    exists to catch.  Scoped to the executor retry paths and the
+    fleet/faults subsystems; narrow handlers (``except KeyError``) are
+    out of scope.  Deliberate swallows (e.g. best-effort cleanup) must
+    carry an explicit ``# lint: allow[FLT001]`` stating why losing the
+    exception is safe.
+    """
+
+    id = "FLT001"
+    severity = "error"
+    summary = "broad except swallows a fault on the retry/fleet path"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.iter_parsed():
+            if not any(fragment in module.rel for fragment in _FLT_PATHS):
+                continue
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not _is_broad_handler(module, node):
+                    continue
+                if self._handler_accounts(node):
+                    continue
+                caught = (
+                    "bare `except:`" if node.type is None
+                    else "broad `except "
+                         f"{ast.unparse(node.type)}`"
+                )
+                yield module.finding(
+                    node, self.id, self.severity,
+                    f"{caught} neither re-raises nor records the "
+                    "exception: on the fault-tolerance perimeter every "
+                    "failure must propagate or be passed into a recording "
+                    "call, or the point is silently lost",
+                )
+
+    @staticmethod
+    def _handler_accounts(handler: ast.ExceptHandler) -> bool:
+        """Whether the handler re-raises or records the bound exception.
+
+        "Records" means the bound name (``except ... as err``) appears
+        somewhere inside a call's arguments — handed to a constructor,
+        an ``append``, a ``fail(...)`` — where a caller can observe it.
+        Nested function definitions are skipped: a ``raise`` in a closure
+        is not executed by the handler.
+        """
+        bound = handler.name
+
+        def scan(node: ast.AST) -> bool:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                return False
+            if isinstance(node, ast.Raise):
+                return True
+            if bound is not None and isinstance(node, ast.Call):
+                for arg in (*node.args, *node.keywords):
+                    for name in ast.walk(
+                        arg.value if isinstance(arg, ast.keyword) else arg
+                    ):
+                        if isinstance(name, ast.Name) and name.id == bound:
+                            return True
+            return any(scan(child) for child in ast.iter_child_nodes(node))
+
+        return any(scan(statement) for statement in handler.body)
+
+
 # -------------------------------------------------------------------- SCH001
 
 

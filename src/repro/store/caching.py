@@ -14,17 +14,20 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.api.executors import (
     Executor,
     ProgressCallback,
     ResultSink,
     SerialExecutor,
+    accepts_retry,
     accepts_telemetry,
 )
 from repro.api.spec import RunPoint, config_digest
 from repro.config import SimulationParameters
+from repro.faults import injector as _faults
+from repro.faults.retry import RetryPolicy
 from repro.obs import clock as _obs_clock
 from repro.obs import metrics as _metrics
 from repro.obs.report import RunTelemetry
@@ -91,6 +94,7 @@ class CachingExecutor:
         progress: Optional[ProgressCallback] = None,
         sink: Optional[ResultSink] = None,
         telemetry: Optional[RunTelemetry] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> List[SimulationResult]:
         total = len(points)
         self.hits = 0
@@ -144,8 +148,14 @@ class CachingExecutor:
                            result: SimulationResult) -> None:
                 position = missing[sub_position]
                 results[position] = result
-                self.store.put(keys[position], result,
-                               coords=point.coords_dict())
+                if isinstance(result, SimulationResult):
+                    injector = _faults.INJECTOR
+                    if injector is not None:
+                        injector.sink_write(keys[position])
+                    self.store.put(keys[position], result,
+                                   coords=point.coords_dict())
+                # A FailedPoint outcome is never persisted: the point stays
+                # a cache miss, so the next identical invocation retries it.
                 if sink is not None:
                     sink(position, point, result)
 
@@ -158,21 +168,31 @@ class CachingExecutor:
             )
             execute_with_sink = getattr(self.inner, "execute_with_sink", None)
             if execute_with_sink is not None:
+                kwargs: Dict[str, Any] = {}
                 if inner_telemetry is not None and accepts_telemetry(
                     execute_with_sink
                 ):
-                    execute_with_sink(
-                        sub_points, params, inner_progress, inner_sink,
-                        telemetry=inner_telemetry,
-                    )
+                    kwargs["telemetry"] = inner_telemetry
                 else:
                     inner_telemetry = None
-                    execute_with_sink(
-                        sub_points, params, inner_progress, inner_sink
-                    )
+                if retry is not None:
+                    if not accepts_retry(execute_with_sink):
+                        raise ValueError(
+                            f"inner executor {self.inner!r} does not accept "
+                            "a retry policy"
+                        )
+                    kwargs["retry"] = retry
+                execute_with_sink(
+                    sub_points, params, inner_progress, inner_sink, **kwargs
+                )
             else:
                 # Plain Executor protocol: results only arrive at the end,
                 # so persistence is batched rather than incremental.
+                if retry is not None:
+                    raise ValueError(
+                        f"inner executor {self.inner!r} does not accept "
+                        "a retry policy"
+                    )
                 inner_telemetry = None
                 sub_results = self.inner.execute(
                     sub_points, params, inner_progress

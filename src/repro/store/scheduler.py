@@ -41,6 +41,8 @@ from repro.api.executors import (
 )
 from repro.api.spec import RunPoint
 from repro.config import SimulationParameters
+from repro.faults import injector as _faults
+from repro.faults.retry import RetryPolicy
 from repro.obs import clock as _obs_clock
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _obs_trace
@@ -189,6 +191,11 @@ class AsyncExecutor:
         self._cancel_event = cancel_event or threading.Event()
         #: Scheduler of the most recent execution (stealing statistics).
         self.last_scheduler: Optional[WorkStealingScheduler] = None
+        #: ``(position, error)`` pairs of the most recent execution.  A
+        #: raising point no longer kills its worker silently: the failure is
+        #: recorded here, surviving workers drain the remaining deque, and
+        #: the first error re-raises only after the grid has wound down.
+        self.last_errors: List[Tuple[int, BaseException]] = []
 
     def cancel(self) -> None:
         """Stop dispatching new points; in-flight points still finish."""
@@ -215,12 +222,13 @@ class AsyncExecutor:
         progress: Optional[ProgressCallback] = None,
         sink: Optional[ResultSink] = None,
         telemetry: Optional[RunTelemetry] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> List[SimulationResult]:
         """Synchronous entry point (wraps :meth:`execute_async`)."""
         return asyncio.run(
             self.execute_async(
                 points, params, progress=progress, sink=sink,
-                telemetry=telemetry,
+                telemetry=telemetry, retry=retry,
             )
         )
 
@@ -231,13 +239,16 @@ class AsyncExecutor:
         progress: Optional[ProgressCallback] = None,
         sink: Optional[ResultSink] = None,
         telemetry: Optional[RunTelemetry] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> List[SimulationResult]:
         """Evaluate the grid on the running event loop."""
         total = len(points)
         if total == 0:
             return []
         if self.n_workers == 1 or total == 1:
-            return self._execute_serial(points, params, progress, sink, telemetry)
+            return self._execute_serial(
+                points, params, progress, sink, telemetry, retry
+            )
 
         n_workers = min(self.n_workers, total)
         scheduler = WorkStealingScheduler(
@@ -246,11 +257,14 @@ class AsyncExecutor:
              for position, point in enumerate(points)],
         )
         self.last_scheduler = scheduler
+        self.last_errors = []
         results: List[Optional[SimulationResult]] = [None] * total
         done = 0
         loop = asyncio.get_running_loop()
 
         busy_seconds = [0.0] * n_workers
+        plan = _faults.active_plan()
+        fault_spec = plan.to_spec() if plan is not None else None
 
         with ProcessPoolExecutor(
             max_workers=n_workers,
@@ -259,6 +273,8 @@ class AsyncExecutor:
                 params,
                 telemetry is not None,
                 telemetry.phase_split if telemetry is not None else False,
+                retry,
+                fault_spec,
             ),
         ) as pool:
 
@@ -269,11 +285,26 @@ class AsyncExecutor:
                     if task is None:
                         return
                     position, point = cast(Tuple[int, RunPoint], task)
-                    job = (point.index, point.scenario, point.param_overrides)
-                    t0 = _obs_clock.now()
-                    chunk = await loop.run_in_executor(
-                        pool, _worker_run_chunk, [job]
+                    job = (
+                        point.index, point.scenario, point.param_overrides,
+                        point.run_hash(),
                     )
+                    t0 = _obs_clock.now()
+                    try:
+                        chunk = await loop.run_in_executor(
+                            pool, _worker_run_chunk, [job]
+                        )
+                    except Exception as error:
+                        # Hardened path: record the failure and keep this
+                        # worker draining the deque — one bad point must not
+                        # strand the rest of the grid without a final
+                        # progress report.
+                        busy_seconds[worker_id] += _obs_clock.now() - t0
+                        self.last_errors.append((position, error))
+                        m = _metrics.METRICS
+                        if m.enabled:
+                            m.inc("executor.worker_errors")
+                        continue
                     busy_seconds[worker_id] += _obs_clock.now() - t0
                     _index, result, info = chunk[0]
                     results[position] = result
@@ -301,6 +332,12 @@ class AsyncExecutor:
         if self._cancel_event.is_set() and done != total:
             self._finalize_cancelled(progress, done, total)
             raise ExecutionCancelled(done, total, results)
+        if self.last_errors:
+            # Every dispatchable point ran; deliver the definitive progress
+            # state and the trace, then surface the first failure unchanged
+            # (callers keep seeing the original exception type).
+            self._finalize_cancelled(progress, done, total)
+            raise self.last_errors[0][1]
         if done != total or any(r is None for r in results):
             raise RuntimeError(
                 f"async pool produced {done} of {total} results"
@@ -331,22 +368,34 @@ class AsyncExecutor:
         progress: Optional[ProgressCallback],
         sink: Optional[ResultSink],
         telemetry: Optional[RunTelemetry] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> List[SimulationResult]:
         """Single-worker path: in-process, but same cancel/sink semantics."""
         total = len(points)
+        self.last_errors = []
         results: List[Optional[SimulationResult]] = [None] * total
         done = 0
         for position, point in enumerate(points):
             if self._cancel_event.is_set():
                 self._finalize_cancelled(progress, done, total)
                 raise ExecutionCancelled(done, total, results)
-            result = _run_point(position, point, params, telemetry)
+            try:
+                result = _run_point(position, point, params, telemetry, retry)
+            except Exception as error:
+                self.last_errors.append((position, error))
+                m = _metrics.METRICS
+                if m.enabled:
+                    m.inc("executor.worker_errors")
+                continue
             results[position] = result
             done += 1
             if sink is not None:
                 sink(position, point, result)
             if progress is not None:
                 progress(done, total)
+        if self.last_errors:
+            self._finalize_cancelled(progress, done, total)
+            raise self.last_errors[0][1]
         return results  # type: ignore[return-value]
 
     def __repr__(self) -> str:

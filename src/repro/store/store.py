@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro.faults import injector as _faults
 from repro.obs import metrics as _metrics
 from repro.sim.results import SimulationResult
 from repro.store import serialization
@@ -91,10 +92,21 @@ class ResultStore:
     ----------
     path:
         Cache directory; created (with its manifest) if it does not exist.
+    fsync:
+        Flush and ``os.fsync`` every shard append before releasing the
+        store lock.  Off by default (the OS page cache is plenty for a
+        local cache); fleet workers turn it on so a completed point's
+        record provably survives the worker being SIGKILLed right after
+        its lease is marked done.
     """
 
-    def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
+    def __init__(
+        self,
+        path: Union[str, "os.PathLike[str]"],
+        fsync: bool = False,
+    ) -> None:
         self.path = Path(path)
+        self.fsync = fsync
         self._lock = threading.RLock()
         #: Shard name -> {run_hash: record}; loaded lazily per shard.
         self._loaded: Dict[str, Dict[str, Dict[str, Any]]] = {}
@@ -162,7 +174,18 @@ class ResultStore:
         return run_hash
 
     def _shard(self, name: str) -> Dict[str, Dict[str, Any]]:
-        """Load one shard (salvaging around corruption), cached in memory."""
+        """Load one shard (salvaging around corruption), cached in memory.
+
+        Two distinct damage modes:
+
+        * a torn **final** line — the signature of a process killed in the
+          middle of its append — is expected wear, not corruption: the
+          partial line is truncated away in place and every complete
+          record survives, with no quarantine detour;
+        * anything else unparseable (interior damage, undecodable bytes)
+          still moves the file verbatim to ``quarantine/`` for post-mortem
+          before the good records are re-written.
+        """
         cached = self._loaded.get(name)
         if cached is not None:
             return cached
@@ -170,31 +193,42 @@ class ResultStore:
         records: Dict[str, Dict[str, Any]] = {}
         if path.exists():
             good_lines: List[str] = []
-            corrupt = False
-            bad_lines = 0
+            bad_indices: List[int] = []
+            undecodable = False
             try:
                 raw = path.read_text(encoding="utf-8")
             except UnicodeDecodeError:
                 raw = ""
-                corrupt = True
-                bad_lines += 1  # the whole file, undecodable
-            for line in raw.splitlines():
-                if not line.strip():
-                    continue
+                undecodable = True  # the whole file, unreadable
+            lines = [line for line in raw.splitlines() if line.strip()]
+            for index, line in enumerate(lines):
                 try:
                     record = json.loads(line)
                     run_hash = record["run_hash"]
                     record["schema"], record["result"]
                 except (json.JSONDecodeError, TypeError, KeyError):
-                    corrupt = True
-                    bad_lines += 1
+                    bad_indices.append(index)
                     continue
                 records[run_hash] = record  # duplicate hashes: last write wins
                 good_lines.append(line)
-            if corrupt:
+            torn_tail_only = (
+                not undecodable
+                and bad_indices == [len(lines) - 1]
+            )
+            if torn_tail_only:
                 m = _metrics.METRICS
                 if m.enabled:
-                    m.inc("store.quarantined_lines", bad_lines)
+                    m.inc("store.torn_tail_salvaged")
+                self._write_atomic(
+                    path, "\n".join(good_lines) + "\n" if good_lines else ""
+                )
+            elif undecodable or bad_indices:
+                m = _metrics.METRICS
+                if m.enabled:
+                    m.inc(
+                        "store.quarantined_lines",
+                        len(bad_indices) if bad_indices else 1,
+                    )
                 # Preserve the damaged file verbatim for post-mortems, then
                 # re-write the salvageable records in place.
                 self._quarantine_file(path)
@@ -279,12 +313,28 @@ class ResultStore:
             "result": result_to_payload(result),
         }
         line = json.dumps(record, sort_keys=True) + "\n"
+        torn = False
+        injector = _faults.INJECTOR
+        if injector is not None:
+            maimed = injector.torn_append(line)
+            torn = maimed != line
+            line = maimed
         with self._lock:
             name = self._shard_name(run_hash)
             records = self._shard(name)
             with open(self._shards_dir / name, "a", encoding="utf-8") as handle:
                 handle.write(line)
-            records[run_hash] = record
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            if torn:
+                # Simulated mid-write kill: the record never made it, so the
+                # memory cache must not claim it did.  Dropping the shard
+                # from the cache forces the next read back through the
+                # torn-tail salvage path, like a restart would.
+                self._loaded.pop(name, None)
+            else:
+                records[run_hash] = record
 
     def __contains__(self, run_hash: str) -> bool:
         return self.get(run_hash) is not None

@@ -1,0 +1,178 @@
+"""Tests for the SQLite lease-based WorkService."""
+
+import time
+
+import pytest
+
+from repro.api import ExperimentSpec, SweepAxis
+from repro.config import SimulationParameters
+from repro.fleet import (
+    WorkService,
+    params_to_payload,
+    payload_to_params,
+    payload_to_point,
+    point_to_payload,
+)
+from repro.sim.scenario import Scenario
+
+PARAMS = SimulationParameters()
+BASE = Scenario(protocol="charisma", n_voice=0, n_data=1,
+                duration_s=0.3, warmup_s=0.1)
+
+
+def spec():
+    return ExperimentSpec(
+        protocols=("charisma", "rama"),
+        base_scenario=BASE,
+        axes=(SweepAxis("n_voice", (2, 4)),),
+        params=PARAMS,
+        seeds=(0,),
+        name="fleet-service",
+    )
+
+
+@pytest.fixture()
+def points():
+    return spec().expand()
+
+
+@pytest.fixture()
+def service(tmp_path):
+    service = WorkService(tmp_path / "fleet.db", lease_ttl_s=0.2,
+                          max_attempts=3)
+    yield service
+    service.close()
+
+
+class TestSerialization:
+    def test_point_payload_round_trip_preserves_run_hash(self, points):
+        for point in points:
+            rebuilt = payload_to_point(point_to_payload(point))
+            assert rebuilt == point
+            assert rebuilt.run_hash() == point.run_hash()
+
+    def test_params_payload_round_trip(self):
+        rebuilt = payload_to_params(params_to_payload(PARAMS))
+        assert rebuilt == PARAMS
+
+
+class TestQueueLifecycle:
+    def test_enqueue_is_idempotent(self, service, points):
+        assert service.enqueue(points) == len(points)
+        assert service.enqueue(points) == 0
+        assert service.counts()["pending"] == len(points)
+
+    def test_claim_walks_positions_in_order(self, service, points):
+        service.enqueue(points)
+        first = service.claim("w1")
+        second = service.claim("w2")
+        assert (first.position, second.position) == (0, 1)
+        assert first.attempts == 1
+        assert service.counts()["leased"] == 2
+
+    def test_complete_requires_the_lease(self, service, points):
+        service.enqueue(points)
+        item = service.claim("w1")
+        run_hash = item.point.run_hash()
+        assert service.complete("thief", run_hash, executed=True) is False
+        assert service.complete("w1", run_hash, executed=True) is True
+        counts = service.counts()
+        assert counts["done"] == 1
+        assert counts["executions"] == 1
+        assert counts["completions"] == 1
+
+    def test_dedup_completion_counts_no_execution(self, service, points):
+        service.enqueue(points)
+        item = service.claim("w1")
+        service.complete("w1", item.point.run_hash(), executed=False)
+        counts = service.counts()
+        assert counts["completions"] == 1
+        assert counts["executions"] == 0
+
+    def test_fail_parks_the_point(self, service, points):
+        service.enqueue(points)
+        item = service.claim("w1")
+        run_hash = item.point.run_hash()
+        assert service.fail("w1", run_hash, "ValueError: poison") is True
+        rows = service.failed_rows()
+        assert [(r[1], r[2]) for r in rows] == [(run_hash,
+                                                 "ValueError: poison")]
+        assert service.unfinished() == len(points) - 1
+
+    def test_claim_exhaustion_returns_none(self, service, points):
+        service.enqueue(points)
+        claimed = [service.claim(f"w{i}") for i in range(len(points) + 1)]
+        assert claimed[-1] is None
+        assert all(item is not None for item in claimed[:-1])
+
+
+class TestLeases:
+    def test_heartbeat_extends_the_lease(self, service, points):
+        service.enqueue(points)
+        item = service.claim("w1")
+        run_hash = item.point.run_hash()
+        for _ in range(4):
+            time.sleep(0.1)
+            assert service.heartbeat("w1", run_hash,
+                                     {"status": "computing"}) is True
+            assert service.reap() == 0
+        # well past the 0.2 s TTL, still leased thanks to the beats
+        assert service.counts()["leased"] == 1
+        snapshot = {row["run_hash"]: row for row in service.snapshot()}
+        assert snapshot[run_hash]["heartbeat"] == {"status": "computing"}
+
+    def test_expired_lease_is_reclaimed(self, service, points):
+        service.enqueue(points)
+        item = service.claim("w1")
+        time.sleep(0.3)  # past the TTL with no heartbeat
+        assert service.reap() == 1
+        assert service.counts()["leased"] == 0
+        # the point is claimable again, with the attempt recorded
+        again = service.claim("w2")
+        assert again.point.run_hash() == item.point.run_hash()
+        assert again.attempts == 2
+
+    def test_lost_lease_heartbeat_returns_false(self, service, points):
+        service.enqueue(points)
+        item = service.claim("w1")
+        time.sleep(0.3)
+        service.reap()
+        assert service.heartbeat("w1", item.point.run_hash(), None) is False
+
+    def test_poison_point_parks_after_max_attempts(self, service, points):
+        service.enqueue(points)
+        run_hash = None
+        for _ in range(service.max_attempts):
+            item = service.claim("w1")
+            run_hash = item.point.run_hash()
+            time.sleep(0.3)  # die without completing, every time
+            service.reap()
+        # attempts exhausted: parked as failed, not re-queued
+        rows = service.failed_rows()
+        assert [r[1] for r in rows] == [run_hash]
+        assert "lease expired" in rows[0][2]
+        assert service.claim("w1").point.run_hash() != run_hash
+
+    def test_reap_emits_lease_metrics(self, service, points):
+        from repro.obs import metrics as _metrics
+
+        service.enqueue(points)
+        with _metrics.recording() as registry:
+            service.claim("w1")
+            time.sleep(0.3)
+            service.reap()
+        counters = registry.snapshot()["counters"]
+        assert counters["lease.expired"] == 1
+        assert counters["lease.reclaimed"] == 1
+
+
+class TestMeta:
+    def test_meta_round_trip(self, service):
+        service.set_meta("params", params_to_payload(PARAMS))
+        assert payload_to_params(service.get_meta("params")) == PARAMS
+        assert service.get_meta("absent") is None
+
+    def test_counts_and_repr_on_empty_queue(self, service):
+        counts = service.counts()
+        assert counts["total"] == 0
+        assert "pending=0" in repr(service)

@@ -1,0 +1,23 @@
+"""Bad: broad handlers that swallow faults on the fleet path."""
+
+
+def run_one(service, point):
+    try:
+        return point.execute()
+    except Exception:  # neither re-raises nor records
+        return None
+
+
+def drain(queue):
+    for item in queue:
+        try:
+            item.run()
+        except:  # noqa: E722 — bare except, swallowed
+            pass
+
+
+def lease_loop(service):
+    try:
+        service.claim()
+    except (ValueError, BaseException) as error:  # broad via the tuple
+        del error

@@ -1,0 +1,32 @@
+"""Good: broad handlers that re-raise, record, or sit out of scope."""
+
+
+def run_one(service, point, run_hash, worker_id):
+    try:
+        return point.execute()
+    except Exception as error:
+        # recorded: the bound exception is passed into a call
+        service.fail(worker_id, run_hash, f"{type(error).__name__}: {error}")
+        return None
+
+
+def execute(point, errors):
+    try:
+        return point.run()
+    except Exception as error:
+        errors.append((point.index, error))
+        raise
+
+
+def narrow(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:  # narrow handlers are out of scope
+        return None
+
+
+def cleanup(handle):
+    try:
+        handle.close()
+    except Exception:  # lint: allow[FLT001] best-effort close on shutdown
+        pass

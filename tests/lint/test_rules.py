@@ -31,6 +31,7 @@ def rules_hit(report):
         ("krn002_bad", "KRN002", 3),
         ("krn002_obs_bad", "KRN002", 3),
         ("acc001_bad", "ACC001", 6),
+        ("flt001_bad", "FLT001", 3),
     ],
 )
 def test_bad_fixture_fails(fixture, rule, n_expected):
@@ -44,7 +45,7 @@ def test_bad_fixture_fails(fixture, rule, n_expected):
     "fixture",
     [
         "rng001_good", "rng002_good", "krn001_good", "krn002_good",
-        "acc001_good",
+        "acc001_good", "flt001_good",
     ],
 )
 def test_good_fixture_is_clean(fixture):

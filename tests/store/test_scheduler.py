@@ -182,6 +182,75 @@ class TestCancellationFinalization:
         # The very last progress call re-states the definitive (done, total).
         assert calls[-1] == (completed, spec.n_runs)
 
+    def test_worker_exception_recorded_with_final_progress(self):
+        """Regression (fault-tolerance PR): a raising point must not strand
+        the grid — the failure lands in ``last_errors``, surviving points
+        drain, the final progress state is delivered, and the original
+        exception type re-raises only after the wind-down."""
+        from repro.faults import FaultPlan, InjectedFault, injecting
+
+        spec = _small_spec()
+        executor = AsyncExecutor(n_workers=1)
+        calls = []
+        delivered = []
+        with injecting(FaultPlan(crash_every=3)):
+            with pytest.raises(InjectedFault):
+                executor.execute_with_sink(
+                    spec.expand(), spec.params,
+                    progress=lambda done, total: calls.append((done, total)),
+                    sink=lambda p, pt, r: delivered.append(p),
+                )
+        n_failed = len(executor.last_errors)
+        assert n_failed == spec.n_runs // 3
+        assert all(isinstance(e, InjectedFault)
+                   for _, e in executor.last_errors)
+        # the survivors all executed and reached the sink
+        assert len(delivered) == spec.n_runs - n_failed
+        # the very last progress call states the definitive (done, total)
+        assert calls[-1] == (spec.n_runs - n_failed, spec.n_runs)
+
+    def test_worker_exception_recorded_on_pool_path(self):
+        from repro.faults import FaultPlan, InjectedFault, injecting
+
+        spec = _small_spec()
+        executor = AsyncExecutor(n_workers=2)
+        delivered = []
+        with injecting(FaultPlan(crash_points=(
+            spec.expand()[0].run_hash(),
+        ), crash_point_attempts=99)):
+            with pytest.raises(InjectedFault):
+                executor.execute_with_sink(
+                    spec.expand(), spec.params,
+                    sink=lambda p, pt, r: delivered.append(p),
+                )
+        assert [p for p, _ in executor.last_errors] == [0]
+        assert len(delivered) == spec.n_runs - 1
+
+    def test_worker_errors_counted_in_metrics(self):
+        from repro.faults import FaultPlan, injecting
+        from repro.obs import metrics as _metrics
+
+        spec = _small_spec()
+        executor = AsyncExecutor(n_workers=1)
+        with _metrics.recording() as registry:
+            with injecting(FaultPlan(crash_every=4)):
+                with pytest.raises(Exception):
+                    executor.execute_with_sink(spec.expand(), spec.params)
+        counters = registry.snapshot()["counters"]
+        assert counters["executor.worker_errors"] == spec.n_runs // 4
+
+    def test_retry_policy_recovers_injected_crashes(self):
+        from repro.faults import FaultPlan, RetryPolicy, injecting
+
+        spec = _small_spec()
+        serial = run(spec, executor=SerialExecutor())
+        executor = AsyncExecutor(n_workers=2)
+        with injecting(FaultPlan(crash_every=2, seed=3)):
+            fanned = run(spec, executor=executor,
+                         retry=RetryPolicy(max_attempts=4))
+        assert not executor.last_errors
+        assert fanned.to_records() == serial.to_records()
+
     def test_cancellation_flushes_the_installed_tracer(self):
         from repro.obs.trace import (
             ListTraceSink, install_tracer, uninstall_tracer,

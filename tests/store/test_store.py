@@ -118,7 +118,9 @@ class TestSchemaVersioning:
 
 
 class TestCorruptionQuarantine:
-    def test_torn_write_is_quarantined_and_neighbours_survive(self, store):
+    def test_torn_final_line_salvaged_without_quarantine(self, store):
+        # A partial trailing line is the signature of a mid-append kill:
+        # expected wear, truncated away in place — no quarantine detour.
         good = make_result()
         store.put(HASH_A, good)
         shard = store.path / "shards" / "ab.jsonl"
@@ -126,6 +128,20 @@ class TestCorruptionQuarantine:
             handle.write('{"torn": ')  # a write cut off mid-record
         fresh = ResultStore(store.path)
         assert fresh.get(HASH_A) == good  # salvaged
+        assert list((store.path / "quarantine").iterdir()) == []
+        assert fresh.stats().n_quarantined == 0
+        # the shard itself was repaired: a re-read parses cleanly
+        assert ResultStore(store.path).get(HASH_A) == good
+        assert shard.read_text().count("\n") == 1
+
+    def test_interior_corruption_still_quarantined(self, store):
+        good = make_result()
+        store.put(HASH_A, good)
+        shard = store.path / "shards" / "ab.jsonl"
+        original = shard.read_text()
+        shard.write_text('{"garbage": \n' + original)  # damage mid-file
+        fresh = ResultStore(store.path)
+        assert fresh.get(HASH_A) == good  # neighbours survive
         quarantined = list((store.path / "quarantine").iterdir())
         assert len(quarantined) == 1
         assert quarantined[0].name.startswith("ab.jsonl")
@@ -152,6 +168,47 @@ class TestCorruptionQuarantine:
         # and the poisoned entry is gone from the shard
         assert fresh.get(HASH_A) is None
         assert len(ResultStore(store.path)) == 0
+
+
+class TestCrashSafety:
+    def test_fsync_put_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path / "cache", fsync=True)
+        result = make_result()
+        store.put(HASH_A, result)
+        assert ResultStore(store.path).get(HASH_A) == result
+
+    def test_injected_torn_append_is_salvaged_not_quarantined(self, tmp_path):
+        from repro.faults import FaultPlan, injecting
+
+        store = ResultStore(tmp_path / "cache")
+        good, lost = make_result(seed=0), make_result(seed=1)
+        with injecting(FaultPlan(store_torn_every=2)):
+            store.put(HASH_A, good)  # 1st append: intact
+            store.put(HASH_B, lost)  # 2nd append: torn mid-line
+        # the in-memory cache must not claim the torn record landed
+        assert store.get(HASH_B) is None
+        assert store.get(HASH_A) == good
+        fresh = ResultStore(store.path)
+        assert fresh.get(HASH_A) == good
+        assert fresh.get(HASH_B) is None
+        # expected wear, not corruption: nothing was quarantined
+        assert list((store.path / "quarantine").iterdir()) == []
+        # re-putting the lost record heals the store
+        store.put(HASH_B, lost)
+        assert ResultStore(store.path).get(HASH_B) == lost
+
+    def test_torn_tail_salvage_is_counted(self, tmp_path):
+        from repro.obs import metrics as _metrics
+
+        store = ResultStore(tmp_path / "cache")
+        store.put(HASH_A, make_result())
+        shard = store.path / "shards" / "ab.jsonl"
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write('{"torn": ')
+        with _metrics.recording() as registry:
+            assert ResultStore(store.path).get(HASH_A) is not None
+        counters = registry.snapshot()["counters"]
+        assert counters["store.torn_tail_salvaged"] == 1
 
 
 class TestStatsAndArtifacts:

@@ -99,6 +99,52 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "stats"])
 
+    def test_run_with_faults_and_retries_recovers(self, capsys):
+        code = main([
+            "run", "--protocol", "rama", "--n-voice", "4", "--n-data", "1",
+            "--duration", "0.4", "--warmup", "0.2",
+            "--faults", "crash_every=1,crash_limit=2,seed=5",
+            "--retries", "4",
+        ])
+        assert code == 0
+        assert "voice_loss_rate" in capsys.readouterr().out
+
+    def test_run_reports_unrecovered_failure(self, capsys):
+        code = main([
+            "run", "--protocol", "rama", "--n-voice", "4", "--n-data", "1",
+            "--duration", "0.4", "--warmup", "0.2",
+            # every attempt crashes and the budget is too small to recover
+            "--faults", "crash_every=1", "--retries", "2",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "failed" in out
+        assert "InjectedFault" in out
+
+    def test_fleet_run_and_status(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code = main([
+            "fleet", "run", "--protocols", "rama", "--n-voice", "4",
+            "--n-data", "1", "--duration", "0.4", "--warmup", "0.2",
+            "--store", store, "--workers", "2", "--ttl", "5",
+            "--deadline", "120",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1/1 points completed" in out
+        assert "voice_loss_rate" in out
+        assert main(["fleet", "status", "--db", store + "/fleet.db"]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        code = main(["fleet", "status", "--db", store + "/fleet.db",
+                     "--json"])
+        assert code == 0
+        import json
+
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counts"]["done"] == 1
+        assert snapshot["points"][0]["state"] == "done"
+
     def test_selftest_runs_every_executor(self, capsys):
         assert main(["selftest"]) == 0
         out = capsys.readouterr().out
