@@ -195,3 +195,60 @@ def test_macro_fps_and_speedup_not_regressed():
         f"BENCH_engine.json (drift margin {ALLOWED_DROP:.0%}) or under the "
         f"absolute lookahead ratio floors: {failures}"
     )
+
+
+#: Aggregate frames/sec the 100-beam constellation demo must always sustain
+#: (the ISSUE's scale target), regardless of what the committed record says.
+CONSTELLATION_ABSOLUTE_FLOOR = 500.0
+
+
+@pytest.mark.skipif(
+    not _guard_enabled(),
+    reason="perf guard is opt-in: set REPRO_BENCH_GUARD=1 on the machine "
+           "that produced BENCH_engine.json",
+)
+def test_constellation_aggregate_fps_not_regressed():
+    """Guard the committed constellation record's aggregate frames/sec.
+
+    The floor is ``max(500, committed aggregate x 0.75)`` — the absolute
+    scale target never relaxes, and on the recording machine the usual
+    drift margin applies on top.  Wall-clock timing (not CPU) because the
+    record's thread-scaling row measures worker threads.
+    """
+    from repro.constellation import ConstellationRunner, ConstellationScenario
+
+    record = _committed_record()
+    section = record.get("latest", {}).get("constellation", {})
+    workload = section.get("workload", {})
+    if not section or not workload:
+        pytest.skip("committed BENCH_engine.json has no constellation record")
+
+    scenario = ConstellationScenario(
+        protocol=workload["protocol"],
+        n_beams=workload["n_beams"],
+        n_voice=workload["n_voice_per_beam"],
+        n_data=workload["n_data_per_beam"],
+        duration_s=workload["measured_s"],
+        warmup_s=workload["warmup_s"],
+        seed=workload["seed"],
+        rng_mode=workload["rng_mode"],
+        macro_frames=workload["macro_frames"],
+    )
+    best = 0.0
+    for _ in range(2):
+        runner = ConstellationRunner(scenario, PARAMS)
+        start = time.perf_counter()
+        runner.run()
+        elapsed = time.perf_counter() - start
+        frames = sum(shard.engine.frame_index for shard in runner.shards)
+        best = max(best, frames / elapsed)
+
+    floor = max(
+        CONSTELLATION_ABSOLUTE_FLOOR,
+        section["aggregate_fps"] * (1.0 - ALLOWED_DROP),
+    )
+    assert best >= floor, {
+        "committed_aggregate_fps": section["aggregate_fps"],
+        "measured_aggregate_fps": round(best, 1),
+        "floor_fps": round(floor, 1),
+    }

@@ -78,7 +78,7 @@ _STORE_EXPORTS = {
 }
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     if name in _STORE_EXPORTS:
         import importlib
 

@@ -99,7 +99,16 @@ def accepts_retry(execute_with_sink: object) -> bool:
 
 
 def _simulate(scenario: Scenario, params: SimulationParameters) -> SimulationResult:
-    """Run one scenario (the single-run primitive the executors share)."""
+    """Run one scenario (the single-run primitive the executors share).
+
+    A :class:`~repro.constellation.scenario.ConstellationScenario` routes
+    through the constellation runner and yields the merged aggregate
+    result, so grids can mix single-cell and multi-beam points freely.
+    """
+    if not isinstance(scenario, Scenario):
+        from repro.constellation.runner import run_constellation
+
+        return run_constellation(scenario, params).merged
     return UplinkSimulationEngine(scenario, params).run()
 
 
@@ -113,8 +122,24 @@ def _simulate_measured(
     The dict matches :meth:`repro.obs.report.RunTelemetry.record_point`
     keyword arguments (``wall_s``/``frames``/``phase_seconds``/``worker``);
     with ``phase_split`` the engine runs instrumented so the per-phase
-    second split rides along.
+    second split rides along.  Constellation points report aggregate
+    frames across all beams and no phase split (the per-phase clock is a
+    single-engine facility).
     """
+    if not isinstance(scenario, Scenario):
+        from repro.constellation.runner import ConstellationRunner
+
+        runner = ConstellationRunner(scenario, params)
+        t0 = _obs_clock.now()
+        outcome = runner.run()
+        wall_s = _obs_clock.now() - t0
+        frames = sum(shard.engine.frame_index for shard in runner.shards)
+        return outcome.merged, {
+            "wall_s": wall_s,
+            "frames": frames,
+            "phase_seconds": None,
+            "worker": f"pid:{os.getpid()}",
+        }
     engine = UplinkSimulationEngine(scenario, params)
     phases = engine.enable_phase_timing() if phase_split else None
     t0 = _obs_clock.now()
@@ -328,7 +353,7 @@ class ParallelExecutor:
         per worker so the pool stays load-balanced near the end of the run.
     """
 
-    def __init__(self, n_workers: Optional[int] = None, chunk_size: Optional[int] = None):
+    def __init__(self, n_workers: Optional[int] = None, chunk_size: Optional[int] = None) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         if chunk_size is not None and chunk_size < 1:

@@ -149,7 +149,7 @@ class ResultSet:
         records: Sequence[RunRecord],
         name: str = "",
         telemetry: Optional[RunReport] = None,
-    ):
+    ) -> None:
         self._records: Tuple[RunRecord, ...] = tuple(records)
         self.name = name
         #: Per-point execution telemetry of the run that produced this set

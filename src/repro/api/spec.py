@@ -24,9 +24,10 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.config import SimulationParameters
+from repro.constellation.scenario import ConstellationScenario
 from repro.sim.scenario import Scenario
 
 __all__ = [
@@ -43,13 +44,27 @@ __all__ = [
 #: ``seeds``).
 _RESERVED_SCENARIO_FIELDS = ("protocol", "seed")
 
+#: A spec's template scenario: a single cell or a whole constellation.
+AnyScenario = Union[Scenario, ConstellationScenario]
+
 
 def scenario_sweepable_fields() -> Tuple[str, ...]:
-    """Scenario fields a :class:`SweepAxis` may sweep."""
-    return tuple(
+    """Scenario fields a :class:`SweepAxis` may sweep.
+
+    The union of :class:`Scenario` and :class:`ConstellationScenario`
+    fields (Scenario order first, constellation-only extras appended);
+    :class:`ExperimentSpec` additionally checks each scenario-target axis
+    against the concrete type of its ``base_scenario``.
+    """
+    names = [
         f.name for f in dataclasses.fields(Scenario)
         if f.name not in _RESERVED_SCENARIO_FIELDS
+    ]
+    names.extend(
+        f.name for f in dataclasses.fields(ConstellationScenario)
+        if f.name not in _RESERVED_SCENARIO_FIELDS and f.name not in names
     )
+    return tuple(names)
 
 
 def parameter_sweepable_fields() -> Tuple[str, ...]:
@@ -98,7 +113,7 @@ class SweepAxis:
     values: Tuple[object, ...]
     target: str = ""
 
-    def __init__(self, field: str, values: Iterable[object], target: str = ""):
+    def __init__(self, field: str, values: Iterable[object], target: str = "") -> None:
         object.__setattr__(self, "field", field)
         object.__setattr__(self, "values", tuple(values))
         object.__setattr__(self, "target", target or self._infer_target(field))
@@ -162,7 +177,7 @@ class RunPoint:
     """
 
     index: int
-    scenario: Scenario
+    scenario: AnyScenario
     param_overrides: Tuple[Tuple[str, object], ...] = ()
     coords: Tuple[Tuple[str, object], ...] = ()
     params_digest: str = ""
@@ -201,6 +216,10 @@ class ExperimentSpec:
         Protocol registry names; always the outermost axis.
     base_scenario:
         Template scenario providing every field the axes do not sweep.
+        Either a single-cell :class:`~repro.sim.scenario.Scenario` or a
+        :class:`~repro.constellation.scenario.ConstellationScenario`; a
+        constellation template makes every expanded point a constellation
+        run (executed through the constellation runner, merged results).
     axes:
         The swept dimensions (may be empty for a pure protocol × seed grid).
     params:
@@ -212,7 +231,7 @@ class ExperimentSpec:
     """
 
     protocols: Tuple[str, ...]
-    base_scenario: Scenario
+    base_scenario: AnyScenario
     axes: Tuple[SweepAxis, ...] = ()
     params: SimulationParameters = field(default_factory=SimulationParameters)
     seeds: Tuple[int, ...] = (0,)
@@ -221,12 +240,12 @@ class ExperimentSpec:
     def __init__(
         self,
         protocols: Sequence[str],
-        base_scenario: Scenario,
+        base_scenario: AnyScenario,
         axes: Sequence[SweepAxis] = (),
         params: Optional[SimulationParameters] = None,
         seeds: Sequence[int] = (0,),
         name: str = "",
-    ):
+    ) -> None:
         object.__setattr__(self, "protocols", tuple(protocols))
         object.__setattr__(self, "base_scenario", base_scenario)
         object.__setattr__(self, "axes", tuple(axes))
@@ -247,10 +266,16 @@ class ExperimentSpec:
         if len(set(self.seeds)) != len(self.seeds):
             raise ValueError("seeds must be unique")
         seen = set()
+        base_fields = {f.name for f in dataclasses.fields(self.base_scenario)}
         for axis in self.axes:
             if axis.field in seen:
                 raise ValueError(f"duplicate sweep axis {axis.field!r}")
             seen.add(axis.field)
+            if axis.target == "scenario" and axis.field not in base_fields:
+                raise ValueError(
+                    f"axis {axis.field!r} is not a field of the spec's "
+                    f"{type(self.base_scenario).__name__} base scenario"
+                )
 
     # ------------------------------------------------------------- expansion
     @property

@@ -47,11 +47,29 @@ class ChannelSnapshot:
     amplitude: np.ndarray
     snr_db: np.ndarray
     frame_index: int
+    #: Beam index when the snapshot belongs to one shard of a multi-beam
+    #: constellation (``None`` for plain single-cell runs).  Ids passed to
+    #: the accessors are then *beam-local*; the error messages say so.
+    beam: Optional[int] = None
 
     @property
     def n_users(self) -> int:
         """Number of users covered by the snapshot."""
         return int(self.amplitude.shape[0])
+
+    def _id_error(self, user_id: int) -> IndexError:
+        n = self.amplitude.shape[0]
+        if self.beam is None:
+            return IndexError(
+                f"user_id {user_id} outside the snapshot's dense 0.."
+                f"{n - 1} population (terminal ids double as channel rows)"
+            )
+        return IndexError(
+            f"(beam {self.beam}, local_id {user_id}): local id outside the "
+            f"beam's dense 0..{n - 1} population — constellation snapshots "
+            f"index by beam-local id, not global terminal id (terminal ids "
+            f"double as channel rows within each beam)"
+        )
 
     def amplitude_of(self, user_id: int) -> float:
         """Composite amplitude of a single user.
@@ -59,25 +77,18 @@ class ChannelSnapshot:
         ``user_id`` must be the user's dense population index (the engine
         validates ``terminal_id == index`` at construction); out-of-range
         ids raise instead of silently wrapping around like raw negative
-        NumPy indexing would.
+        NumPy indexing would.  Within a constellation shard the id is
+        beam-local and the error carries ``(beam, local_id)``.
         """
         if not 0 <= user_id < self.amplitude.shape[0]:
-            raise IndexError(
-                f"user_id {user_id} outside the snapshot's dense 0.."
-                f"{self.amplitude.shape[0] - 1} population (terminal ids "
-                f"double as channel rows)"
-            )
+            raise self._id_error(user_id)
         return float(self.amplitude[user_id])
 
     def snr_db_of(self, user_id: int) -> float:
         """Instantaneous SNR (dB) of a single user (dense id, like
         :meth:`amplitude_of`)."""
         if not 0 <= user_id < self.snr_db.shape[0]:
-            raise IndexError(
-                f"user_id {user_id} outside the snapshot's dense 0.."
-                f"{self.snr_db.shape[0] - 1} population (terminal ids "
-                f"double as channel rows)"
-            )
+            raise self._id_error(user_id)
         return float(self.snr_db[user_id])
 
 
@@ -99,6 +110,10 @@ class ChannelManager:
         Log-normal shadowing parameters shared by all users.
     mean_snr_db:
         Average received SNR at unit composite amplitude.
+    beam:
+        Optional beam index when this manager serves one shard of a
+        multi-beam constellation; carried into every snapshot so id errors
+        report ``(beam, local_id)``.
     """
 
     def __init__(
@@ -111,6 +126,7 @@ class ChannelManager:
         shadow_mean_db: float = 0.0,
         shadow_decorrelation_s: float = 1.0,
         mean_snr_db: float = 20.0,
+        beam: Optional[int] = None,
     ) -> None:
         if n_users < 0:
             raise ValueError("n_users must be non-negative")
@@ -127,6 +143,15 @@ class ChannelManager:
         # engine-owned instances always inject a RandomStreams generator.
         self._rng = rng if rng is not None else np.random.default_rng()  # lint: allow[RNG001]
         self._mean_snr_db = float(mean_snr_db)
+        self._beam = None if beam is None else int(beam)
+        # Co-channel interference folded in by a constellation's coupling
+        # layer between macro blocks: an SINR penalty in dB, applied as a
+        # linear gain on the composite amplitude so every consumer (PHY
+        # error draws, CSI estimation, adaptive mode selection) sees a
+        # consistently degraded channel.  Zero keeps the amplitude maths
+        # untouched, preserving single-cell bit-identity.
+        self._interference_db = 0.0
+        self._interference_gain = 1.0
         self._shadow_mean_db = float(shadow_mean_db)
         self._shadow_std_db = float(shadow_std_db)
         self._shadow_tau = float(shadow_decorrelation_s)
@@ -190,10 +215,39 @@ class ChannelManager:
         """Per-user mobility models."""
         return tuple(self._dopplers)
 
+    @property
+    def beam(self) -> Optional[int]:
+        """Beam index when serving a constellation shard (else ``None``)."""
+        return self._beam
+
+    @property
+    def interference_db(self) -> float:
+        """Current co-channel interference penalty in dB (0 = none)."""
+        return self._interference_db
+
+    def set_interference_db(self, penalty_db: float) -> None:
+        """Fold a co-channel interference penalty into the channel.
+
+        The penalty is an SINR degradation in dB applied as a linear factor
+        ``10^(-penalty/20)`` on the composite amplitude, so the derived
+        ``snr_db`` drops by exactly ``penalty_db`` and every amplitude
+        consumer (PHY error model, CSI estimation, adaptive mode selection)
+        sees the same degraded channel.  A constellation's coupling layer
+        calls this between macro blocks; snapshots produced afterwards carry
+        the new penalty.  Zero restores the exact uncoupled amplitudes.
+        """
+        if not math.isfinite(penalty_db) or penalty_db < 0.0:
+            raise ValueError("interference penalty must be finite and >= 0 dB")
+        self._interference_db = float(penalty_db)
+        self._interference_gain = 10.0 ** (-float(penalty_db) / 20.0)
+
     def amplitudes(self) -> np.ndarray:
         """Current composite amplitude per user."""
         shadow_gain = 10.0 ** ((self._shadow_mean_db + self._shadow_dev) / 20.0)
-        return np.abs(self._gain) * shadow_gain
+        amplitude = np.abs(self._gain) * shadow_gain
+        if self._interference_db != 0.0:
+            amplitude = amplitude * self._interference_gain
+        return amplitude
 
     def snr_db(self) -> np.ndarray:
         """Current instantaneous SNR (dB) per user."""
@@ -211,6 +265,7 @@ class ChannelManager:
             amplitude=amplitude,
             snr_db=self._mean_snr_db + amp_db,
             frame_index=self._frame_index,
+            beam=self._beam,
         )
 
     def advance_frame(self) -> ChannelSnapshot:
@@ -281,6 +336,8 @@ class ChannelManager:
             )
 
         amplitude = np.abs(gains) * 10.0 ** (shadow_db / 20.0)
+        if self._interference_db != 0.0:
+            amplitude = amplitude * self._interference_gain
         with np.errstate(divide="ignore"):
             snr_db = self._mean_snr_db + 20.0 * np.log10(amplitude)
         snapshots = []
@@ -291,6 +348,7 @@ class ChannelManager:
                     amplitude=amplitude[offset],
                     snr_db=snr_db[offset],
                     frame_index=self._frame_index,
+                    beam=self._beam,
                 )
             )
         return snapshots

@@ -38,6 +38,7 @@ Invoke as ``python -m repro <command> ...``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import tempfile
 from typing import Optional, Sequence
@@ -69,6 +70,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="simulate one scenario")
     _add_scenario_arguments(run_parser)
+    run_parser.add_argument(
+        "--constellation", type=int, default=None, metavar="N",
+        help="simulate N spot beams instead of one cell (--n-voice/--n-data "
+             "become per-beam counts; the merged constellation-aggregate "
+             "result is reported)")
+    run_parser.add_argument(
+        "--handover-rate", type=float, default=0.0, dest="handover_rate",
+        metavar="P",
+        help="per-block probability that an idle voice terminal hands over "
+             "to another beam (constellation runs only)")
+    run_parser.add_argument(
+        "--coupling-db", type=float, default=0.0, dest="coupling_db",
+        metavar="DB",
+        help="frequency-reuse interference coupling strength in dB "
+             "(constellation runs only)")
+    run_parser.add_argument(
+        "--reuse", type=int, default=1, dest="reuse_factor", metavar="K",
+        help="frequency-reuse factor: beams b and b' share a channel iff "
+             "b%%K == b'%%K (constellation runs only)")
+    run_parser.add_argument(
+        "--beam-workers", type=int, default=None, dest="beam_workers",
+        metavar="W",
+        help="worker threads stepping the beam shards (default: machine "
+             "dependent; also settable via REPRO_CONSTELLATION_WORKERS)")
 
     compare_parser = sub.add_parser("compare", help="compare several protocols")
     _add_scenario_arguments(compare_parser, include_protocol=False)
@@ -273,6 +298,38 @@ def _scenario_from_args(args: argparse.Namespace, protocol: Optional[str] = None
     )
 
 
+def _constellation_from_args(args: argparse.Namespace):
+    """The multi-beam scenario requested by ``--constellation``, or ``None``.
+
+    ``--beam-workers`` is exported through the ``REPRO_CONSTELLATION_WORKERS``
+    environment override so the worker count reaches the constellation
+    runner through the normal ExperimentSpec execution path.
+    """
+    n_beams = getattr(args, "constellation", None)
+    if n_beams is None:
+        return None
+    from repro.constellation import ConstellationScenario, WORKERS_ENV
+
+    if getattr(args, "beam_workers", None) is not None:
+        os.environ[WORKERS_ENV] = str(args.beam_workers)
+    return ConstellationScenario(
+        protocol=args.protocol,
+        n_beams=n_beams,
+        n_voice=args.n_voice,
+        n_data=args.n_data,
+        use_request_queue=args.queue,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        seed=args.seed,
+        mobile_speed_kmh=args.speed,
+        rng_mode=getattr(args, "rng_mode", "parity"),
+        macro_frames=getattr(args, "macro_frames", 1),
+        handover_rate=getattr(args, "handover_rate", 0.0),
+        coupling_db=getattr(args, "coupling_db", 0.0),
+        reuse_factor=getattr(args, "reuse_factor", 1),
+    )
+
+
 def _trace_context(args: argparse.Namespace, command: str):
     """Context manager installing the process tracer when ``--trace`` is set.
 
@@ -322,7 +379,7 @@ def _report_failures(results) -> None:
 
 def _command_run(args: argparse.Namespace) -> int:
     params = SimulationParameters()
-    scenario = _scenario_from_args(args)
+    scenario = _constellation_from_args(args) or _scenario_from_args(args)
     spec = ExperimentSpec(
         protocols=(scenario.protocol,),
         base_scenario=scenario,

@@ -36,6 +36,7 @@ __all__ = [
 #: project-relative file each is declared in.
 SCHEMA_CLASSES: Tuple[Tuple[str, str], ...] = (
     ("Scenario", "sim/scenario.py"),
+    ("ConstellationScenario", "constellation/scenario.py"),
     ("SimulationParameters", "config.py"),
 )
 

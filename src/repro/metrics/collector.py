@@ -66,6 +66,37 @@ class MacStats:
             return 0.0
         return self.contention_collisions / self.n_frames
 
+    @classmethod
+    def combine(cls, parts) -> "MacStats":
+        """Merge per-beam stats measured over the *same* frame window.
+
+        Slot counters sum — ``info_slots_per_frame`` included, because N
+        beams really do offer N times the information slots per frame —
+        while ``n_frames`` stays the shared window length, so
+        ``slot_utilisation`` remains a true constellation-wide fraction.
+        ``mean_queue_length`` sums too: it is the expected number of queued
+        requests across all base stations at any instant.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("combine requires at least one MacStats")
+        first = parts[0]
+        for part in parts:
+            if part.n_frames != first.n_frames:
+                raise ValueError(
+                    "cannot combine MacStats over different frame windows: "
+                    f"{part.n_frames} != {first.n_frames}"
+                )
+        return cls(
+            n_frames=first.n_frames,
+            contention_attempts=sum(p.contention_attempts for p in parts),
+            contention_collisions=sum(p.contention_collisions for p in parts),
+            idle_request_slots=sum(p.idle_request_slots for p in parts),
+            allocated_slots=sum(p.allocated_slots for p in parts),
+            info_slots_per_frame=sum(p.info_slots_per_frame for p in parts),
+            mean_queue_length=float(sum(p.mean_queue_length for p in parts)),
+        )
+
 
 class MetricsCollector:
     """Accumulates per-frame observations and produces the run's metrics."""

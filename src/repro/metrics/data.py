@@ -93,6 +93,42 @@ class DataMetrics:
         return self.mean_delay_s <= max_delay_s and per_user >= min_throughput_per_user
 
     @classmethod
+    def combine(cls, parts: Iterable["DataMetrics"]) -> "DataMetrics":
+        """Merge per-beam metrics measured over the *same* frame window.
+
+        Counters sum and delay samples concatenate; ``n_frames`` stays the
+        shared window length (beams run concurrently, not back to back),
+        so the merged throughput is the constellation-aggregate packets
+        per frame.  Raises if the windows disagree.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("combine requires at least one DataMetrics")
+        first = parts[0]
+        generated = delivered = retransmissions = 0
+        delays: List[int] = []
+        for part in parts:
+            if part.n_frames != first.n_frames:
+                raise ValueError(
+                    "cannot combine DataMetrics over different frame windows: "
+                    f"{part.n_frames} != {first.n_frames}"
+                )
+            if part.frame_duration_s != first.frame_duration_s:
+                raise ValueError("cannot combine DataMetrics across frame durations")
+            generated += part.generated
+            delivered += part.delivered
+            retransmissions += part.retransmissions
+            delays.extend(part.delay_frames)
+        return cls(
+            generated=generated,
+            delivered=delivered,
+            retransmissions=retransmissions,
+            delay_frames=delays,
+            n_frames=first.n_frames,
+            frame_duration_s=first.frame_duration_s,
+        )
+
+    @classmethod
     def from_population(
         cls,
         population,

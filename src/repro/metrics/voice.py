@@ -75,6 +75,22 @@ class VoiceMetrics:
         return self.loss_rate <= threshold
 
     @classmethod
+    def combine(cls, parts: Iterable["VoiceMetrics"]) -> "VoiceMetrics":
+        """Sum per-beam (or per-run) counters into one aggregate.
+
+        Exact because every field is an extensive count: the constellation
+        runner merges its shards' metrics with this.
+        """
+        generated = delivered = errored = dropped = 0
+        for part in parts:
+            generated += part.generated
+            delivered += part.delivered
+            errored += part.errored
+            dropped += part.dropped
+        return cls(generated=generated, delivered=delivered,
+                   errored=errored, dropped=dropped)
+
+    @classmethod
     def from_terminals(cls, terminals: Iterable[Terminal]) -> "VoiceMetrics":
         """Aggregate the per-terminal statistics of a finished run."""
         generated = delivered = errored = dropped = 0

@@ -86,6 +86,14 @@ class UplinkSimulationEngine:
     protocol:
         Optionally, a pre-built protocol instance (used by tests and
         ablations); by default the registry builds it, including its modem.
+    streams:
+        Optionally, pre-built random streams.  The constellation layer
+        passes per-beam streams derived with beam-specific spawn keys;
+        the default derives the classic ``RandomStreams(scenario.seed)``.
+    beam:
+        Optional beam index when this engine runs one shard of a
+        multi-beam constellation; propagated to the channel manager and
+        population so id errors report ``(beam, local_id)``.
     """
 
     def __init__(
@@ -94,10 +102,13 @@ class UplinkSimulationEngine:
         params: Optional[SimulationParameters] = None,
         protocol: Optional[MACProtocol] = None,
         use_batch_mac: Optional[bool] = None,
+        streams: Optional[RandomStreams] = None,
+        beam: Optional[int] = None,
     ) -> None:
         self.scenario = scenario
         self.params = params if params is not None else SimulationParameters()
-        self.streams = RandomStreams(scenario.seed)
+        self.streams = streams if streams is not None else RandomStreams(scenario.seed)
+        self.beam = None if beam is None else int(beam)
         self.backend = scenario.engine_backend
         self.rng_mode = scenario.rng_mode
         rng_fast = self.rng_mode == "fast" and self.backend == "columnar"
@@ -117,6 +128,7 @@ class UplinkSimulationEngine:
             shadow_mean_db=self.params.shadow_mean_db,
             shadow_decorrelation_s=self.params.shadow_decorrelation_s,
             mean_snr_db=self.params.mean_snr_db,
+            beam=self.beam,
         )
 
         self.population: Optional[TerminalPopulation] = None
@@ -133,6 +145,7 @@ class UplinkSimulationEngine:
                 burst_rng=(
                     self.streams.child("traffic", "burst") if rng_fast else None
                 ),
+                beam=self.beam,
             )
             self.terminals: Sequence = self.population.views
         else:
@@ -410,6 +423,27 @@ class UplinkSimulationEngine:
         self._reset_statistics()
         self.run_frames(measured)
         return self.collect_results()
+
+    def begin_measurement(self) -> None:
+        """Start the measured window now (public warm-up boundary hook).
+
+        Equivalent to the reset :meth:`run` performs between warm-up and
+        the measured period; exposed so external drivers (the constellation
+        runner steps many engines through their warm-up in lockstep) can
+        reproduce :meth:`run`'s exact sequencing.
+        """
+        self._reset_statistics()
+
+    def notify_external_mutation(self) -> None:
+        """Block-boundary hook: population state changed outside the engine.
+
+        A constellation handover swaps terminal state between shards at a
+        macro-block boundary.  The macro runner keeps incremental mirrors of
+        the MAC-visible state; this invalidates them so the next block
+        resynchronises from the authoritative arrays.
+        """
+        if self._macro is not None:
+            self._macro.invalidate_mirrors()
 
     def collect_results(self) -> SimulationResult:
         """Aggregate the metrics collected since the last statistics reset."""
@@ -708,11 +742,16 @@ class UplinkSimulationEngine:
         """
         for index, terminal in enumerate(terminals):
             if terminal.terminal_id != index:
+                where = (
+                    "" if self.beam is None
+                    else f" (beam {self.beam}: ids are beam-local within the "
+                         f"shard, not global constellation ids)"
+                )
                 raise ValueError(
                     f"terminal ids must be dense 0..n-1 (id == population "
                     f"index): found id {terminal.terminal_id} at index "
-                    f"{index}; channel rows and columnar kernels index "
-                    f"per-user state by terminal id"
+                    f"{index}{where}; channel rows and columnar kernels "
+                    f"index per-user state by terminal id"
                 )
 
     def _reset_statistics(self) -> None:

@@ -230,6 +230,17 @@ class MacroRunner:
         self._records: List[List] = []
 
     # ------------------------------------------------------------------ API
+    def invalidate_mirrors(self) -> None:
+        """Mark the incremental MAC-state mirrors stale.
+
+        External drivers that mutate population state between blocks (a
+        constellation handover swaps terminal state across shards at the
+        block boundary) call this so the next :meth:`run_block`
+        resynchronises from the authoritative structures instead of
+        trusting the event-driven mirrors.
+        """
+        self._mirrors_dirty = True
+
     def run_block(self, n_frames: int) -> None:
         """Advance ``n_frames`` frames as one macro block."""
         engine = self.engine

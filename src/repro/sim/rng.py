@@ -55,16 +55,23 @@ class RandomStreams:
         Master seed of the run.
     names:
         Stream names to create; defaults to :data:`STREAM_NAMES`.
+    spawn_key:
+        Optional spawn-key prefix for the root seed sequence.  The empty
+        default reproduces the classic single-cell derivation exactly; a
+        constellation shard passes a beam-specific key so every beam's
+        streams are mutually independent while beam 0 (empty key) remains
+        bit-identical to a plain single-cell run under the same seed.
     """
 
-    def __init__(self, seed: int, names=STREAM_NAMES) -> None:
+    def __init__(self, seed: int, names=STREAM_NAMES, spawn_key=()) -> None:
         if seed < 0:
             raise ValueError("seed must be non-negative")
         self._seed = int(seed)
+        self._spawn_key = tuple(int(k) for k in spawn_key)
         names = tuple(names)
         if len(names) != len(set(names)):
             raise ValueError("stream names must be unique")
-        root = np.random.SeedSequence(self._seed)
+        root = np.random.SeedSequence(self._seed, spawn_key=self._spawn_key)
         children = root.spawn(len(names))
         self._sequences: Dict[str, np.random.SeedSequence] = dict(zip(names, children))
         self._streams: Dict[str, np.random.Generator] = {
@@ -75,6 +82,11 @@ class RandomStreams:
     def seed(self) -> int:
         """The master seed."""
         return self._seed
+
+    @property
+    def spawn_key(self) -> tuple:
+        """Spawn-key prefix of the root sequence (empty for plain runs)."""
+        return self._spawn_key
 
     @property
     def names(self) -> tuple:

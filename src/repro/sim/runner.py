@@ -24,6 +24,20 @@ def run_simulation(
     scenario: Scenario,
     params: Optional[SimulationParameters] = None,
 ) -> SimulationResult:
-    """Simulate one scenario and return its metrics."""
+    """Simulate one scenario and return its metrics.
+
+    Also accepts a :class:`~repro.constellation.scenario.
+    ConstellationScenario`, in which case the constellation runner steps
+    every beam and the *merged* constellation-aggregate result is returned
+    (the per-beam breakdown is available from
+    :func:`repro.constellation.run_constellation` directly).
+    """
+    if not isinstance(scenario, Scenario):
+        # Imported lazily: repro.constellation builds on this module.
+        from repro.constellation.runner import run_constellation
+        from repro.constellation.scenario import ConstellationScenario
+
+        if isinstance(scenario, ConstellationScenario):
+            return run_constellation(scenario, params).merged
     engine = UplinkSimulationEngine(scenario, params)
     return engine.run()

@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Dict, TypeVar, cast
 
+from repro.constellation.scenario import ConstellationScenario
 from repro.metrics.collector import MacStats
 from repro.metrics.data import DataMetrics
 from repro.metrics.voice import VoiceMetrics
@@ -34,7 +35,7 @@ __all__ = [
 
 #: Version of the serialised result format.  Bump on any change to the
 #: result dataclasses; the store invalidates entries from other versions.
-SCHEMA_VERSION = 4  # v4: Scenario gained macro_frames (PR 5); v3: rng_mode
+SCHEMA_VERSION = 5  # v5: ConstellationScenario results (PR 10); v4: macro_frames
 
 
 class SerializationError(ValueError):
@@ -79,8 +80,17 @@ def payload_to_result(payload: Dict[str, object]) -> SimulationResult:
         raise SerializationError(
             f"result payload is missing sections: {sorted(missing)}"
         )
+    # A merged constellation result carries a ConstellationScenario; its
+    # ``n_beams`` field distinguishes the two scenario shapes on the wire
+    # (the exact field-set match in _rebuild still rejects hybrids).
+    scenario_payload = payload["scenario"]
+    scenario_cls: Callable[..., Any] = (
+        ConstellationScenario
+        if isinstance(scenario_payload, dict) and "n_beams" in scenario_payload
+        else Scenario
+    )
     return SimulationResult(
-        scenario=_rebuild(Scenario, payload["scenario"], "scenario"),
+        scenario=_rebuild(scenario_cls, scenario_payload, "scenario"),
         voice=_rebuild(VoiceMetrics, payload["voice"], "voice"),
         data=_rebuild(DataMetrics, payload["data"], "data"),
         mac=_rebuild(MacStats, payload["mac"], "mac"),

@@ -38,6 +38,7 @@ the MAC layer's vectorised fast paths key on.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass, field
 from typing import Deque, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -54,6 +55,7 @@ from repro.traffic.packets import Packet, TrafficKind
 from repro.traffic.terminal import TerminalStats
 
 __all__ = [
+    "TerminalMigrationState",
     "TerminalPopulation",
     "TerminalView",
     "TerminalViews",
@@ -62,6 +64,38 @@ __all__ = [
 
 #: Sentinel for "no buffered voice packet can expire" (see ``drop_expired``).
 _NO_DROP = 1 << 62
+
+
+@dataclass
+class TerminalMigrationState:
+    """One terminal's complete traffic state, detached from its population.
+
+    The handover currency of the multi-beam constellation layer:
+    :meth:`TerminalPopulation.export_terminal_state` materialises a slot into
+    one of these and :meth:`TerminalPopulation.import_terminal_state` installs
+    it into a (same-service-class) slot of another population, carrying the
+    source model phase, the buffered FIFO segments and every accumulated
+    statistic across the shard boundary.  Export followed by import is
+    conservation-exact: no packet, delay sample or outcome counter is lost or
+    duplicated (asserted by ``tests/constellation/test_handover.py``).
+    """
+
+    is_voice: bool
+    in_talkspurt: bool
+    countdown: int
+    frames_since_packet: int
+    talkspurt_started_frame: int
+    occupancy: int
+    head_created: int
+    segments: List[List[int]] = field(default_factory=list)
+    voice_generated: int = 0
+    voice_delivered: int = 0
+    voice_errored: int = 0
+    voice_dropped: int = 0
+    data_generated: int = 0
+    data_delivered: int = 0
+    data_retransmissions: int = 0
+    data_delays: List[int] = field(default_factory=list)
 
 
 class TrafficBlockPlan:
@@ -121,6 +155,7 @@ class TerminalPopulation:
         rng_mode: str = "parity",
         toggle_rng: Optional[np.random.Generator] = None,
         burst_rng: Optional[np.random.Generator] = None,
+        beam: Optional[int] = None,
     ) -> None:
         if n_voice < 0 or n_data < 0:
             raise ValueError("population sizes must be non-negative")
@@ -140,6 +175,10 @@ class TerminalPopulation:
             self._burst_rng = burst_rng if burst_rng is not None else rng.spawn(1)[0]
         else:
             self._toggle_rng = self._burst_rng = None
+        #: Beam index when this population is one shard of a multi-beam
+        #: constellation (``None`` for plain single-cell runs); indices are
+        #: then *beam-local*, and error messages carry ``(beam, local_id)``.
+        self.beam = None if beam is None else int(beam)
         self.n_voice = int(n_voice)
         self.n_data = int(n_data)
         n = self.n_voice + self.n_data
@@ -903,6 +942,102 @@ class TerminalPopulation:
         self._data_delays = [[] for _ in range(self._n)]
         self._measure_from = int(frame_index)
         self._voice_loss_total = 0
+
+    # ----------------------------------------------------- handover migration
+    def describe_index(self, index: int) -> str:
+        """Human-readable id for error messages: beam-local when sharded."""
+        if self.beam is None:
+            return f"terminal {index}"
+        return f"(beam {self.beam}, local_id {index})"
+
+    def _check_index(self, index: int) -> int:
+        index = int(index)
+        if not 0 <= index < self._n:
+            where = (
+                "population"
+                if self.beam is None
+                else f"beam {self.beam} (ids are beam-local)"
+            )
+            raise IndexError(
+                f"{self.describe_index(index)} outside the dense 0.."
+                f"{self._n - 1} {where}"
+            )
+        return index
+
+    @kernel
+    def export_terminal_state(self, index: int) -> TerminalMigrationState:
+        """Detach one slot's full traffic state (handover export).
+
+        Returns an owning copy — FIFO segments and delay samples included —
+        and leaves the slot itself untouched; the caller is expected to
+        overwrite it with :meth:`import_terminal_state` (a handover is a
+        state *swap* between two same-class slots, keeping both populations
+        at their fixed sizes and dense-id layouts).
+        """
+        index = self._check_index(index)
+        return TerminalMigrationState(
+            is_voice=bool(self.is_voice[index]),
+            in_talkspurt=bool(self.in_talkspurt[index]),
+            countdown=int(self.countdown[index]),
+            frames_since_packet=int(self.frames_since_packet[index]),
+            talkspurt_started_frame=int(self._talkspurt_started_frame[index]),
+            occupancy=int(self.occupancy[index]),
+            head_created=int(self.head_created[index]),
+            segments=[list(segment) for segment in self._segments[index]],
+            voice_generated=int(self.voice_generated[index]),
+            voice_delivered=int(self.voice_delivered[index]),
+            voice_errored=int(self.voice_errored[index]),
+            voice_dropped=int(self.voice_dropped[index]),
+            data_generated=int(self.data_generated[index]),
+            data_delivered=int(self.data_delivered[index]),
+            data_retransmissions=int(self.data_retransmissions[index]),
+            data_delays=list(self._data_delays[index]),
+        )
+
+    @kernel
+    def import_terminal_state(
+        self, index: int, state: TerminalMigrationState
+    ) -> None:
+        """Install a detached terminal state into one slot (handover import).
+
+        The slot's service class must match the incoming state (the dense
+        voice-then-data layout is immutable; handover exchanges same-class
+        subscribers).  Outcome counters move with the subscriber, so the
+        population's running loss total is adjusted by the difference
+        between the incoming and outgoing slot's losses — summed over both
+        ends of a swap the global totals are exactly conserved.
+        """
+        index = self._check_index(index)
+        if bool(self.is_voice[index]) != state.is_voice:
+            raise ValueError(
+                f"cannot import a "
+                f"{'voice' if state.is_voice else 'data'} terminal state "
+                f"into {self.describe_index(index)}: the slot's service "
+                f"class is fixed by the dense voice-then-data layout"
+            )
+        outgoing_losses = int(self.voice_errored[index] + self.voice_dropped[index])
+        self.in_talkspurt[index] = state.in_talkspurt
+        self.countdown[index] = state.countdown
+        self.frames_since_packet[index] = state.frames_since_packet
+        self._talkspurt_started_frame[index] = state.talkspurt_started_frame
+        self.occupancy[index] = state.occupancy
+        self.head_created[index] = state.head_created
+        self._segments[index] = deque(list(s) for s in state.segments)
+        self.voice_generated[index] = state.voice_generated
+        self.voice_delivered[index] = state.voice_delivered
+        self.voice_errored[index] = state.voice_errored
+        self.voice_dropped[index] = state.voice_dropped
+        self.data_generated[index] = state.data_generated
+        self.data_delivered[index] = state.data_delivered
+        self.data_retransmissions[index] = state.data_retransmissions
+        self._data_delays[index] = list(state.data_delays)
+        self._voice_loss_total += (
+            int(state.voice_errored + state.voice_dropped) - outgoing_losses
+        )
+        if state.is_voice and state.head_created >= 0:
+            bound = state.head_created + self._deadline
+            if bound < self._next_drop_frame:
+                self._next_drop_frame = bound
 
     # ------------------------------------------------------------- plumbing
     def data_delays(self, index: int) -> List[int]:

@@ -1,0 +1,82 @@
+"""The 1-beam constellation is bit-identical to the plain Scenario path.
+
+Beam 0's random streams use an empty spawn-key prefix — the classic
+single-cell derivation — and without any coupling the runner advances whole
+phases through the same ``run_frames`` chunking as ``engine.run()``, so the
+merged result of a single-beam constellation must equal the plain run
+field for field in parity RNG mode.  Every protocol and both macro-step
+block sizes are exercised.
+"""
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.constellation import ConstellationScenario, run_constellation
+from repro.mac.registry import available_protocols
+from repro.sim.runner import run_simulation
+from repro.sim.scenario import Scenario
+
+PARAMS = SimulationParameters()
+
+
+def constellation_and_plain(protocol, macro_frames, **overrides):
+    kwargs = dict(
+        protocol=protocol,
+        n_voice=12,
+        n_data=3,
+        use_request_queue=(protocol != "rmav"),
+        duration_s=0.6,
+        warmup_s=0.2,
+        seed=7,
+        macro_frames=macro_frames,
+    )
+    kwargs.update(overrides)
+    constellation = ConstellationScenario(n_beams=1, **kwargs)
+    merged = run_constellation(constellation, PARAMS).merged
+    plain = run_simulation(Scenario(**kwargs), PARAMS)
+    return merged, plain
+
+
+@pytest.mark.parametrize("macro_frames", [1, 16])
+@pytest.mark.parametrize("protocol", available_protocols())
+def test_single_beam_bit_identity(protocol, macro_frames):
+    merged, plain = constellation_and_plain(protocol, macro_frames)
+    assert merged.voice == plain.voice
+    assert merged.data == plain.data
+    assert merged.mac == plain.mac
+
+
+def test_single_beam_identity_through_run_simulation_dispatch():
+    scenario = ConstellationScenario(
+        protocol="rama", n_beams=1, n_voice=10, n_data=2,
+        duration_s=0.5, warmup_s=0.1, seed=3, macro_frames=16,
+    )
+    via_dispatch = run_simulation(scenario, PARAMS)
+    direct = run_constellation(scenario, PARAMS).merged
+    assert via_dispatch == direct
+
+
+def test_beam_zero_streams_match_plain_streams():
+    from repro.sim.rng import RandomStreams
+
+    plain = RandomStreams(42)
+    beamed = RandomStreams(42, spawn_key=())
+    for name in plain.names:
+        assert plain[name].bit_generator.state == beamed[name].bit_generator.state
+
+
+def test_other_beams_get_independent_streams():
+    from repro.constellation import beam_spawn_key
+    from repro.sim.rng import RandomStreams
+
+    base = RandomStreams(42)
+    other = RandomStreams(42, spawn_key=beam_spawn_key(1))
+    assert other.spawn_key != ()
+    for name in base.names:
+        assert base[name].bit_generator.state != other[name].bit_generator.state
+    # Distinct beams must also differ from each other.
+    third = RandomStreams(42, spawn_key=beam_spawn_key(2))
+    assert (
+        other["channel"].bit_generator.state
+        != third["channel"].bit_generator.state
+    )

@@ -1,0 +1,181 @@
+"""Handover conservation: no packet or statistic lost or duplicated.
+
+A handover is a state *swap* between two idle same-class slots in
+different beams.  Summed over both ends, every counter — generated,
+delivered, errored, dropped, queued packets, delay samples, the
+population's running loss total — must be exactly conserved, and the dense
+voice-then-data layout must reject cross-class imports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationParameters
+from repro.constellation import (
+    ConstellationScenario,
+    ConstellationRunner,
+    plan_handovers,
+    run_constellation,
+)
+from repro.constellation.shard import BeamShard
+
+PARAMS = SimulationParameters()
+
+
+def make_shards(n_beams=2, **overrides):
+    kwargs = dict(
+        protocol="rama", n_beams=n_beams, n_voice=10, n_data=3,
+        duration_s=0.5, warmup_s=0.1, seed=11, macro_frames=8,
+        handover_rate=0.2,
+    )
+    kwargs.update(overrides)
+    scenario = ConstellationScenario(**kwargs)
+    return [BeamShard(beam, scenario, PARAMS) for beam in range(n_beams)]
+
+
+def population_totals(populations):
+    totals = {}
+    for name in (
+        "voice_generated", "voice_delivered", "voice_errored",
+        "voice_dropped", "data_generated", "data_delivered",
+        "data_retransmissions", "occupancy",
+    ):
+        totals[name] = sum(int(getattr(p, name).sum()) for p in populations)
+    totals["voice_loss_total"] = sum(p.voice_loss_total for p in populations)
+    totals["delay_samples"] = sum(
+        len(p.all_data_delays()) for p in populations
+    )
+    return totals
+
+
+class TestSwapConservation:
+    def test_swap_conserves_every_counter(self):
+        shard_a, shard_b = make_shards()
+        for shard in (shard_a, shard_b):
+            shard.run_frames(200)
+        populations = [shard_a.population, shard_b.population]
+        before = population_totals(populations)
+
+        ids_a = shard_a.eligible_handover_ids()
+        ids_b = shard_b.eligible_handover_ids()
+        assert ids_a and ids_b, "expected idle voice terminals in both beams"
+        local_a, local_b = ids_a[0], ids_b[0]
+        state_a = shard_a.export_terminal(local_a)
+        state_b = shard_b.export_terminal(local_b)
+        shard_a.import_terminal(local_a, state_b)
+        shard_b.import_terminal(local_b, state_a)
+
+        assert population_totals(populations) == before
+
+    def test_eligible_terminals_are_idle_voice(self):
+        shard, _ = make_shards()
+        shard.run_frames(150)
+        population = shard.population
+        for local_id in shard.eligible_handover_ids():
+            assert bool(population.is_voice[local_id])
+            assert not bool(population.in_talkspurt[local_id])
+            assert int(population.occupancy[local_id]) == 0
+
+    def test_cross_class_import_rejected_with_beam_label(self):
+        shard_a, shard_b = make_shards()
+        voice_state = shard_a.export_terminal(0)
+        data_slot = shard_b.population.n_voice  # first data slot
+        with pytest.raises(ValueError, match=r"beam 1, local_id"):
+            shard_b.import_terminal(data_slot, voice_state)
+
+    def test_swap_runs_on_cleanly(self):
+        # After an idle-idle swap both engines must keep stepping without
+        # error and keep producing traffic (mirror invalidation works).
+        shard_a, shard_b = make_shards()
+        for shard in (shard_a, shard_b):
+            shard.run_frames(120)
+        ids_a = shard_a.eligible_handover_ids()
+        ids_b = shard_b.eligible_handover_ids()
+        state_a = shard_a.export_terminal(ids_a[0])
+        state_b = shard_b.export_terminal(ids_b[0])
+        shard_a.import_terminal(ids_a[0], state_b)
+        shard_b.import_terminal(ids_b[0], state_a)
+        before = population_totals([shard_a.population, shard_b.population])
+        for shard in (shard_a, shard_b):
+            shard.run_frames(200)
+        after = population_totals([shard_a.population, shard_b.population])
+        assert after["voice_generated"] > before["voice_generated"]
+
+
+class TestPlanHandovers:
+    def test_each_slot_swaps_at_most_once(self):
+        rng = np.random.default_rng(0)
+        eligible = [[0, 1, 2, 3], [0, 1, 2, 3], [0, 1, 2, 3]]
+        swaps = plan_handovers(eligible, 1.0, rng)
+        seen = set()
+        for (beam_a, local_a), (beam_b, local_b) in swaps:
+            assert beam_a != beam_b
+            assert (beam_a, local_a) not in seen
+            assert (beam_b, local_b) not in seen
+            seen.add((beam_a, local_a))
+            seen.add((beam_b, local_b))
+
+    def test_disabled_or_degenerate_plans_nothing(self):
+        rng = np.random.default_rng(0)
+        assert plan_handovers([[0, 1]], 1.0, rng) == []
+        assert plan_handovers([[0], [0]], 0.0, rng) == []
+
+    def test_plan_is_deterministic_in_rng_state(self):
+        eligible = [[0, 2, 5], [1, 3], [0, 4]]
+        first = plan_handovers(eligible, 0.5, np.random.default_rng(9))
+        second = plan_handovers(eligible, 0.5, np.random.default_rng(9))
+        assert first == second
+
+
+class TestCoupledRun:
+    def test_handovers_happen_and_results_reproduce(self):
+        scenario = ConstellationScenario(
+            protocol="charisma", n_beams=3, n_voice=12, n_data=3,
+            duration_s=0.8, warmup_s=0.2, seed=5, macro_frames=8,
+            handover_rate=0.1,
+        )
+        first = run_constellation(scenario, PARAMS)
+        second = run_constellation(scenario, PARAMS)
+        assert first.handovers > 0
+        assert first.handovers == second.handovers
+        assert first.merged == second.merged
+        assert first.beams == second.beams
+
+    def test_merged_equals_sum_of_beams(self):
+        scenario = ConstellationScenario(
+            protocol="dtdma_vr", n_beams=3, n_voice=10, n_data=4,
+            duration_s=0.6, warmup_s=0.1, seed=2, macro_frames=8,
+            handover_rate=0.1,
+        )
+        outcome = run_constellation(scenario, PARAMS)
+        for counter in ("generated", "delivered", "errored", "dropped"):
+            assert getattr(outcome.merged.voice, counter) == sum(
+                getattr(beam.voice, counter) for beam in outcome.beams
+            )
+        assert outcome.merged.data.generated == sum(
+            beam.data.generated for beam in outcome.beams
+        )
+        assert len(outcome.merged.data.delay_frames) == sum(
+            len(beam.data.delay_frames) for beam in outcome.beams
+        )
+        assert outcome.merged.mac.allocated_slots == sum(
+            beam.mac.allocated_slots for beam in outcome.beams
+        )
+        assert outcome.merged.mac.n_frames == outcome.beams[0].mac.n_frames
+
+    def test_runner_counts_match_metrics_gauge(self):
+        from repro.obs.metrics import MetricsRegistry, recording
+
+        scenario = ConstellationScenario(
+            protocol="rama", n_beams=2, n_voice=10, n_data=2,
+            duration_s=0.5, warmup_s=0.1, seed=4, macro_frames=8,
+            handover_rate=0.2,
+        )
+        registry = MetricsRegistry()
+        with recording(registry):
+            outcome = ConstellationRunner(scenario, PARAMS).run()
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["constellation.handovers"] == float(
+            outcome.handovers
+        )
+        assert "constellation.load_imbalance" in snapshot["gauges"]

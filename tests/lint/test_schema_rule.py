@@ -119,7 +119,11 @@ def test_committed_fingerprint_matches_the_real_tree():
     project = load_project(root)
     fields = extract_schema_fields(project)
     assert fields is not None
-    assert set(fields) == {"Scenario", "SimulationParameters"}
+    assert set(fields) == {
+        "Scenario",
+        "ConstellationScenario",
+        "SimulationParameters",
+    }
     recorded = load_recorded_fingerprint(default_fingerprint_path(root))
     assert recorded is not None
     assert recorded["fingerprint"] == schema_fingerprint(fields)
@@ -132,4 +136,8 @@ def test_fingerprint_file_is_versioned_json():
     )
     assert isinstance(payload["schema_version"], int)
     assert isinstance(payload["fingerprint"], str)
-    assert set(payload["fields"]) == {"Scenario", "SimulationParameters"}
+    assert set(payload["fields"]) == {
+        "Scenario",
+        "ConstellationScenario",
+        "SimulationParameters",
+    }
